@@ -1,0 +1,279 @@
+package hammerhead_test
+
+// One benchmark per paper artifact (DESIGN.md §5 index). Each figure bench
+// runs a scaled-down simulated deployment per iteration and reports the
+// paper's metrics (latency seconds, throughput tx/s) via b.ReportMetric, so
+// `go test -bench=.` regenerates every series in miniature;
+// cmd/hammerhead-bench runs the full-scale sweeps. Micro-benchmarks for the
+// hot data structures follow at the bottom.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hammerhead"
+	"hammerhead/internal/bullshark"
+	"hammerhead/internal/core"
+	"hammerhead/internal/dag/dagtest"
+	"hammerhead/internal/leader"
+	"hammerhead/internal/types"
+)
+
+// benchScenario shrinks a paper scenario to bench-iteration size.
+func benchScenario(m hammerhead.Mechanism, n, faults int, load float64, seed int64) hammerhead.Scenario {
+	s := hammerhead.NewScenario(m, n, faults, load)
+	s.Duration = 30 * time.Second
+	s.Warmup = 15 * time.Second
+	s.Seed = seed
+	return s
+}
+
+func reportResult(b *testing.B, res hammerhead.ExperimentResult) {
+	b.Helper()
+	b.ReportMetric(res.ThroughputTxPerSec, "tx/s")
+	b.ReportMetric(res.Latency.Mean.Seconds(), "lat-mean-s")
+	b.ReportMetric(res.Latency.P95.Seconds(), "lat-p95-s")
+	b.ReportMetric(float64(res.SkippedAnchors), "skipped")
+}
+
+func runScenario(b *testing.B, s hammerhead.Scenario) hammerhead.ExperimentResult {
+	b.Helper()
+	res, err := hammerhead.RunExperiment(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFigure1 regenerates Figure 1's series (faultless latency vs
+// throughput) at bench scale: committee sizes 10 and 50 under the two
+// mechanisms at a moderate load point.
+func BenchmarkFigure1(b *testing.B) {
+	for _, n := range []int{10, 50} {
+		for _, m := range []hammerhead.Mechanism{hammerhead.Bullshark, hammerhead.HammerHead} {
+			b.Run(fmt.Sprintf("%s/n=%d", m, n), func(b *testing.B) {
+				var last hammerhead.ExperimentResult
+				for i := 0; i < b.N; i++ {
+					last = runScenario(b, benchScenario(m, n, 0, 1000, int64(i+1)))
+				}
+				reportResult(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2's series (maximum crash faults).
+func BenchmarkFigure2(b *testing.B) {
+	for _, n := range []int{10, 50} {
+		faults := (n - 1) / 3
+		for _, m := range []hammerhead.Mechanism{hammerhead.Bullshark, hammerhead.HammerHead} {
+			b.Run(fmt.Sprintf("%s/n=%d/f=%d", m, n, faults), func(b *testing.B) {
+				var last hammerhead.ExperimentResult
+				for i := 0; i < b.N; i++ {
+					last = runScenario(b, benchScenario(m, n, faults, 600, int64(i+1)))
+				}
+				reportResult(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkIncident regenerates the §1 incident table (10% of validators
+// degrade mid-run) at bench scale (n=20, 3 windows of 20s).
+func BenchmarkIncident(b *testing.B) {
+	for _, m := range []hammerhead.Mechanism{hammerhead.Bullshark, hammerhead.HammerHead} {
+		b.Run(m.String(), func(b *testing.B) {
+			var during, before hammerhead.LatencyStats
+			for i := 0; i < b.N; i++ {
+				s := benchScenario(m, 20, 0, 130, int64(i+1))
+				s.Duration = 60 * time.Second
+				s.Warmup = 0
+				s.SlowCount = 2
+				s.SlowFactor = 6
+				s.SlowFrom = 20 * time.Second
+				s.SlowUntil = 40 * time.Second
+				s.Windows = []time.Duration{20 * time.Second, 40 * time.Second}
+				res := runScenario(b, s)
+				before, during = res.WindowLatencies[0], res.WindowLatencies[1]
+			}
+			b.ReportMetric(before.P95.Seconds(), "p95-before-s")
+			b.ReportMetric(during.P95.Seconds(), "p95-during-s")
+		})
+	}
+}
+
+// BenchmarkLeaderUtilization measures Lemma 6's bound: anchor rounds lost
+// to crashed leaders under each mechanism.
+func BenchmarkLeaderUtilization(b *testing.B) {
+	for _, m := range []hammerhead.Mechanism{hammerhead.Bullshark, hammerhead.HammerHead} {
+		b.Run(m.String(), func(b *testing.B) {
+			var skipped, rounds float64
+			for i := 0; i < b.N; i++ {
+				res := runScenario(b, benchScenario(m, 10, 3, 200, int64(i+1)))
+				skipped = float64(res.SkippedAnchors)
+				rounds = float64(res.LastOrderedRound)
+			}
+			b.ReportMetric(skipped, "skipped")
+			b.ReportMetric(rounds, "rounds")
+		})
+	}
+}
+
+// BenchmarkAblationEpoch sweeps the schedule-change frequency (A1).
+func BenchmarkAblationEpoch(b *testing.B) {
+	for _, commits := range []int{2, 10, 50} {
+		b.Run(fmt.Sprintf("epoch=%d", commits), func(b *testing.B) {
+			var last hammerhead.ExperimentResult
+			for i := 0; i < b.N; i++ {
+				s := benchScenario(hammerhead.HammerHead, 10, 3, 200, int64(i+1))
+				s.EpochCommits = commits
+				last = runScenario(b, s)
+			}
+			reportResult(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationScoring compares the vote rule with the Shoal rule (A2).
+func BenchmarkAblationScoring(b *testing.B) {
+	for _, rule := range []hammerhead.ScoringRule{hammerhead.ScoringVotes, hammerhead.ScoringShoal} {
+		b.Run(rule.String(), func(b *testing.B) {
+			var last hammerhead.ExperimentResult
+			for i := 0; i < b.N; i++ {
+				s := benchScenario(hammerhead.HammerHead, 10, 3, 200, int64(i+1))
+				s.Scoring = rule
+				last = runScenario(b, s)
+			}
+			reportResult(b, last)
+		})
+	}
+}
+
+// BenchmarkRecovery exercises the reintegration extension (A3).
+func BenchmarkRecovery(b *testing.B) {
+	var switches float64
+	for i := 0; i < b.N; i++ {
+		s := benchScenario(hammerhead.HammerHead, 10, 2, 200, int64(i+1))
+		s.Duration = 80 * time.Second
+		s.Warmup = 10 * time.Second
+		s.CrashAt = 15 * time.Second
+		s.RecoverAt = 40 * time.Second
+		res := runScenario(b, s)
+		switches = float64(res.ScheduleSwitches)
+	}
+	b.ReportMetric(switches, "switches")
+}
+
+// ---- micro-benchmarks of the hot paths ----
+
+// BenchmarkCommitterProcessVertex measures the committer's per-vertex cost
+// on a 50-validator DAG (the simulation hot path).
+func BenchmarkCommitterProcessVertex(b *testing.B) {
+	committee, err := types.NewEqualStakeCommittee(50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builder := dagtest.NewBuilder(committee)
+	rng := rand.New(rand.NewSource(1))
+	rounds := types.Round(40)
+	builder.GrowRandom(rng, 1, rounds, nil)
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cm := bullshark.New(committee, builder.DAG, leader.NewRoundRobin(committee, 1))
+		for r := types.Round(1); r <= rounds; r++ {
+			for _, v := range builder.DAG.RoundVertices(r) {
+				cm.ProcessVertex(v)
+			}
+		}
+	}
+}
+
+// BenchmarkScheduleSwap measures HammerHead's schedule recomputation (scores
+// scan + B/G swap) for a 100-validator epoch.
+func BenchmarkScheduleSwap(b *testing.B) {
+	committee, err := types.NewEqualStakeCommittee(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builder := dagtest.NewBuilder(committee)
+	for r := types.Round(1); r <= 22; r++ {
+		builder.AddFullRound(r, nil)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.EpochByRounds
+	cfg.EpochRounds = 20
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewManager(committee, builder.DAG, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		anchor := leader.AnchorInfo{Round: 20, Source: m.LeaderAt(20)}
+		if !m.MaybeSwitch(anchor) {
+			b.Fatal("switch must fire at the epoch boundary")
+		}
+	}
+}
+
+// BenchmarkDAGPath measures reachability queries across a 100-validator,
+// 20-round causal history.
+func BenchmarkDAGPath(b *testing.B) {
+	committee, err := types.NewEqualStakeCommittee(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builder := dagtest.NewBuilder(committee)
+	rng := rand.New(rand.NewSource(2))
+	builder.GrowRandom(rng, 1, 20, nil)
+	from := builder.DAG.RoundVertices(20)[0]
+	to := builder.DAG.RoundVertices(2)[50]
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		builder.DAG.Path(from, to)
+	}
+}
+
+// BenchmarkLocalClusterFinality measures wall-clock finality on the real
+// runtime: a 4-validator in-process cluster committing a batch of txs.
+func BenchmarkLocalClusterFinality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		done := make(chan struct{})
+		count := 0
+		cluster, err := hammerhead.StartLocalCluster(4,
+			hammerhead.WithCommitObserver(func(id hammerhead.ValidatorID, sub hammerhead.CommittedSubDAG, replayed bool) {
+				if id != 0 || replayed {
+					return
+				}
+				count += sub.TxCount()
+				if count >= 50 {
+					select {
+					case <-done:
+					default:
+						close(done)
+					}
+				}
+			}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 50; j++ {
+			if err := cluster.Submit(hammerhead.ValidatorID(j%4), hammerhead.Transaction{ID: uint64(j + 1)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			b.Fatal("timed out waiting for finality")
+		}
+		cluster.Stop()
+	}
+}

@@ -1,0 +1,75 @@
+// Command hammerhead-keygen generates a committee configuration and one
+// private-key file per validator, ready for cmd/hammerhead-node.
+//
+//	hammerhead-keygen -n 4 -scheme ed25519 -host 127.0.0.1 -base-port 9000 -out ./testnet
+//
+// produces ./testnet/committee.json and ./testnet/validator-<i>.key.
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hammerhead/internal/genesis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hammerhead-keygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hammerhead-keygen", flag.ContinueOnError)
+	n := fs.Int("n", 4, "committee size")
+	scheme := fs.String("scheme", "ed25519", "signature scheme (ed25519|insecure)")
+	host := fs.String("host", "127.0.0.1", "host for validator addresses")
+	basePort := fs.Int("base-port", 9000, "first validator port (validator i gets base-port+i)")
+	out := fs.String("out", ".", "output directory")
+	seedHex := fs.String("seed", "", "32-byte hex cluster seed (default: random)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("committee size must be >= 1")
+	}
+
+	var seed [32]byte
+	if *seedHex != "" {
+		raw, err := hex.DecodeString(*seedHex)
+		if err != nil || len(raw) != 32 {
+			return fmt.Errorf("seed must be 32 bytes of hex")
+		}
+		copy(seed[:], raw)
+	} else {
+		if _, err := rand.Read(seed[:]); err != nil {
+			return fmt.Errorf("generating seed: %w", err)
+		}
+	}
+
+	file, pairs, err := genesis.Generate(*scheme, seed, *n, *host, *basePort)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	committeePath := filepath.Join(*out, "committee.json")
+	if err := file.Save(committeePath); err != nil {
+		return err
+	}
+	fmt.Println("wrote", committeePath)
+	for i, kp := range pairs {
+		keyPath := filepath.Join(*out, fmt.Sprintf("validator-%d.key", i))
+		if err := genesis.WriteKeyFile(keyPath, kp.Private); err != nil {
+			return err
+		}
+		fmt.Println("wrote", keyPath)
+	}
+	return nil
+}

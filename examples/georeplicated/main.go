@@ -1,0 +1,55 @@
+// Command georeplicated runs a 50-validator deployment across the simulated
+// 13-region AWS network (the paper's §5 testbed shape) and reports the
+// region layout, per-link RTTs and a Figure-1-style measurement point,
+// demonstrating direct use of the simulation cluster API.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"hammerhead"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "georeplicated:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 50
+	geo := hammerhead.NewGeoLatency(n)
+
+	fmt.Println("region assignment (round-robin across the 13 AWS regions):")
+	counts := map[string]int{}
+	for v := 0; v < n; v++ {
+		counts[geo.RegionName(v)]++
+	}
+	for v := 0; v < 13 && v < n; v++ {
+		fmt.Printf("  %-16s %d validators\n", geo.RegionName(v), counts[geo.RegionName(v)])
+	}
+	fmt.Printf("\nsample modeled RTTs: v0(%s)<->v1(%s) = %v, v0<->v10(%s) = %v\n\n",
+		geo.RegionName(0), geo.RegionName(1), geo.RTT(0, 1),
+		geo.RegionName(10), geo.RTT(0, 10))
+
+	// One Figure-1-style point: faultless, 1,000 tx/s offered.
+	s := hammerhead.NewScenario(hammerhead.HammerHead, n, 0, 1000)
+	s.Duration = 60 * time.Second
+	s.Warmup = 20 * time.Second
+	fmt.Println("running 60s simulated deployment at 1,000 tx/s ...")
+	start := time.Now()
+	res, err := hammerhead.RunExperiment(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done in %v wall time (%d simulated events)\n\n", time.Since(start).Round(time.Millisecond), res.SimEvents)
+	fmt.Printf("throughput: %.0f tx/s\n", res.ThroughputTxPerSec)
+	fmt.Printf("latency:    mean %.2fs, p50 %.2fs, p95 %.2fs (stddev %.2fs)\n",
+		res.Latency.Mean.Seconds(), res.Latency.P50.Seconds(),
+		res.Latency.P95.Seconds(), res.Latency.StdDev.Seconds())
+	fmt.Printf("consensus:  %d commits, last ordered round %d\n", res.Commits, res.LastOrderedRound)
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package hammerhead is the public API of this repository: a from-scratch Go
+// implementation of HammerHead — reputation-based dynamic leader scheduling
+// for DAG BFT (Tsimos, Kichidis, Sonnino, Kokoris-Kogias; ICDCS 2024) — on
+// top of a complete Narwhal/Bullshark consensus stack.
+//
+// Three entry points cover the common uses:
+//
+//   - StartLocalCluster boots an in-process committee over channel
+//     transports — the quickest way to see transactions reach finality.
+//   - RunExperiment executes a simulated deployment (13-region geo network,
+//     crash faults, open-loop load) and returns the latency/throughput
+//     measurements behind the paper's figures.
+//   - NewNode / transports build a real validator over TCP with WAL
+//     crash-recovery and metrics.
+//
+// The exported names alias the internal packages, so downstream users work
+// entirely through this package.
+package hammerhead
+
+import (
+	"hammerhead/internal/bullshark"
+	"hammerhead/internal/core"
+	"hammerhead/internal/crypto"
+	"hammerhead/internal/engine"
+	"hammerhead/internal/experiment"
+	"hammerhead/internal/leader"
+	"hammerhead/internal/metrics"
+	"hammerhead/internal/node"
+	"hammerhead/internal/simnet"
+	"hammerhead/internal/transport"
+	"hammerhead/internal/types"
+)
+
+// ---- basic types ----
+
+// Core vocabulary, aliased from internal/types.
+type (
+	// Transaction is a client transaction.
+	Transaction = types.Transaction
+	// Batch groups transactions inside one vertex.
+	Batch = types.Batch
+	// ValidatorID identifies a committee member.
+	ValidatorID = types.ValidatorID
+	// Round is a DAG round.
+	Round = types.Round
+	// Stake is voting power.
+	Stake = types.Stake
+	// Committee is the validator set with stake-weighted quorum arithmetic.
+	Committee = types.Committee
+	// Authority describes one committee member.
+	Authority = types.Authority
+	// CommittedSubDAG is one commit: an anchor and its newly ordered causal
+	// history.
+	CommittedSubDAG = bullshark.CommittedSubDAG
+)
+
+// NewCommittee builds a committee from explicit authorities.
+var NewCommittee = types.NewCommittee
+
+// NewEqualStakeCommittee builds an n-validator, equal-stake committee (the
+// paper's evaluation configuration).
+var NewEqualStakeCommittee = types.NewEqualStakeCommittee
+
+// ---- scheduling ----
+
+// Scheduler configuration, aliased from internal/core (the paper's
+// contribution) and internal/leader (the baseline).
+type (
+	// SchedulerConfig parameterizes HammerHead's reputation scheduler.
+	SchedulerConfig = core.Config
+	// ScoringRule selects the reputation scoring rule.
+	ScoringRule = core.ScoringRule
+	// EpochPolicy selects rounds- or commits-based schedule epochs.
+	EpochPolicy = core.EpochPolicy
+	// SwapDecision records one schedule recomputation.
+	SwapDecision = core.SwapDecision
+	// ReputationManager is the HammerHead scheduler (leader.Scheduler).
+	ReputationManager = core.Manager
+	// Schedule maps anchor rounds to leaders.
+	Schedule = leader.Schedule
+)
+
+// Scheduling constants, re-exported.
+const (
+	// ScoringVotes is the paper's rule: one point per committed vote for the
+	// previous round's leader.
+	ScoringVotes = core.ScoringVotes
+	// ScoringShoal is the Shoal-style commit/skip rule (ablation).
+	ScoringShoal = core.ScoringShoal
+	// EpochByRounds switches schedules every T rounds (paper Algorithm 2).
+	EpochByRounds = core.EpochByRounds
+	// EpochByCommits switches schedules every C commits (the paper's
+	// evaluation and the Sui deployment).
+	EpochByCommits = core.EpochByCommits
+)
+
+// DefaultSchedulerConfig matches the paper's evaluation settings.
+var DefaultSchedulerConfig = core.DefaultConfig
+
+// ---- engine / node ----
+
+// Validator-node building blocks, aliased from internal packages.
+type (
+	// EngineConfig holds protocol pacing and batching parameters.
+	EngineConfig = engine.Config
+	// Message is the wire envelope between validators.
+	Message = engine.Message
+	// Node is a running validator on the real runtime.
+	Node = node.Node
+	// NodeConfig assembles a validator node.
+	NodeConfig = node.Config
+	// CommitHandler observes ordered sub-DAGs.
+	CommitHandler = node.CommitHandler
+	// KeyPair holds a validator's signing keys.
+	KeyPair = crypto.KeyPair
+	// MetricsRegistry exposes Prometheus-style metrics.
+	MetricsRegistry = metrics.Registry
+)
+
+// DefaultEngineConfig returns production-shaped engine defaults.
+var DefaultEngineConfig = engine.DefaultConfig
+
+// NewNode builds a validator node over the given transport.
+var NewNode = node.New
+
+// NewMetricsRegistry creates an empty metrics registry.
+var NewMetricsRegistry = metrics.NewRegistry
+
+// GenerateKeys derives the committee's key pairs deterministically from a
+// cluster seed: element i belongs to validator i. The second return value
+// lists every validator's public key in ID order (the input to NodeConfig).
+func GenerateKeys(schemeName string, clusterSeed [32]byte, n int) ([]KeyPair, []crypto.PublicKey, error) {
+	scheme, err := crypto.SchemeByName(schemeName)
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs := make([]crypto.KeyPair, n)
+	pubs := make([]crypto.PublicKey, n)
+	for i := 0; i < n; i++ {
+		kp, err := crypto.NewKeyPair(scheme, clusterSeed, uint32(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		pairs[i] = kp
+		pubs[i] = kp.Public
+	}
+	return pairs, pubs, nil
+}
+
+// ---- transports ----
+
+// Transport implementations, aliased from internal/transport.
+type (
+	// Transport moves messages between validators.
+	Transport = transport.Transport
+	// ChannelNetwork is the in-process transport fabric.
+	ChannelNetwork = transport.ChannelNetwork
+	// TCPConfig configures a TCP endpoint.
+	TCPConfig = transport.TCPConfig
+	// TCPTransport is the TCP implementation.
+	TCPTransport = transport.TCPTransport
+)
+
+// NewChannelNetwork creates an in-process transport fabric.
+var NewChannelNetwork = transport.NewChannelNetwork
+
+// NewTCPTransport binds a TCP endpoint.
+var NewTCPTransport = transport.NewTCP
+
+// ---- experiments / simulation ----
+
+// Experiment machinery, aliased from internal/experiment and internal/simnet.
+type (
+	// Scenario describes one simulated experiment.
+	Scenario = experiment.Scenario
+	// ExperimentResult is a scenario's measurements.
+	ExperimentResult = experiment.Result
+	// Mechanism selects Bullshark or HammerHead.
+	Mechanism = experiment.Mechanism
+	// LatencyStats summarizes latency samples.
+	LatencyStats = experiment.LatencyStats
+	// SimCluster is a simulated deployment (advanced use).
+	SimCluster = simnet.Cluster
+	// SimClusterConfig assembles a simulated deployment.
+	SimClusterConfig = simnet.ClusterConfig
+	// GeoLatency is the 13-region AWS-like network model.
+	GeoLatency = simnet.Geo
+)
+
+// Mechanisms, re-exported.
+const (
+	// Bullshark is the static round-robin baseline.
+	Bullshark = experiment.Bullshark
+	// HammerHead is the reputation-based dynamic schedule.
+	HammerHead = experiment.HammerHead
+)
+
+// NewScenario returns a calibrated scenario mirroring the paper's setup.
+var NewScenario = experiment.NewScenario
+
+// RunExperiment executes a scenario and returns its measurements.
+var RunExperiment = experiment.Run
+
+// NewSimCluster assembles a simulated deployment (advanced use; most callers
+// want RunExperiment).
+var NewSimCluster = simnet.NewCluster
+
+// NewGeoLatency spreads n validators over the 13-region latency model.
+var NewGeoLatency = simnet.NewGeo

@@ -1,0 +1,113 @@
+package hammerhead_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hammerhead"
+)
+
+func TestGenerateKeysPublicAPI(t *testing.T) {
+	var seed [32]byte
+	pairs, pubs, err := hammerhead.GenerateKeys("ed25519", seed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 4 || len(pubs) != 4 {
+		t.Fatalf("got %d pairs, %d pubs", len(pairs), len(pubs))
+	}
+	sig, err := pairs[2].Sign([]byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairs[2].Scheme.Verify(pubs[2], []byte("msg"), sig) {
+		t.Fatal("signature round trip failed")
+	}
+	if _, _, err := hammerhead.GenerateKeys("unknown", seed, 1); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestLocalClusterEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	committed := 0
+	done := make(chan struct{})
+	var once sync.Once
+
+	cluster, err := hammerhead.StartLocalCluster(4,
+		hammerhead.WithHammerHead(nil),
+		hammerhead.WithWALDir(t.TempDir()),
+		hammerhead.WithCommitObserver(func(id hammerhead.ValidatorID, sub hammerhead.CommittedSubDAG, replayed bool) {
+			if id != 0 || replayed {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			committed += sub.TxCount()
+			if committed >= 20 {
+				once.Do(func() { close(done) })
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	if cluster.Committee.Size() != 4 {
+		t.Fatalf("committee size = %d", cluster.Committee.Size())
+	}
+	for i := 0; i < 20; i++ {
+		if err := cluster.Submit(hammerhead.ValidatorID(i%4), hammerhead.Transaction{ID: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for finality")
+	}
+	if err := cluster.Submit(99, hammerhead.Transaction{ID: 1}); err == nil {
+		t.Fatal("submit to unknown validator must fail")
+	}
+}
+
+func TestRunExperimentPublicAPI(t *testing.T) {
+	s := hammerhead.NewScenario(hammerhead.HammerHead, 4, 1, 50)
+	s.Duration = 20 * time.Second
+	s.Warmup = 8 * time.Second
+	res, err := hammerhead.RunExperiment(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed == 0 || res.Commits == 0 {
+		t.Fatalf("no progress: %+v", res)
+	}
+	if res.Latency.Mean <= 0 {
+		t.Fatal("no latency samples")
+	}
+	// Validation surfaces through the public entry point.
+	bad := s
+	bad.Faults = 3 // > f for n=4
+	if _, err := hammerhead.RunExperiment(bad); err == nil {
+		t.Fatal("invalid scenario must be rejected")
+	}
+}
+
+func TestDefaultConfigsExported(t *testing.T) {
+	sc := hammerhead.DefaultSchedulerConfig()
+	if sc.EpochCommits != 10 || sc.Scoring != hammerhead.ScoringVotes {
+		t.Fatalf("scheduler defaults = %+v, want the paper's evaluation settings", sc)
+	}
+	ec := hammerhead.DefaultEngineConfig()
+	if err := ec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	committee, err := hammerhead.NewEqualStakeCommittee(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committee.MaxFaultyStake() != 33 {
+		t.Fatalf("f = %d for n=100, want 33", committee.MaxFaultyStake())
+	}
+}

@@ -1,0 +1,155 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var _schemes = []Scheme{Ed25519{}, Insecure{}}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	for _, s := range _schemes {
+		t.Run(s.Name(), func(t *testing.T) {
+			priv, pub, err := s.GenerateKey([32]byte{1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("anchor round 42")
+			sig, err := s.Sign(priv, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.Verify(pub, msg, sig) {
+				t.Fatal("valid signature must verify")
+			}
+			if s.Verify(pub, []byte("tampered"), sig) {
+				t.Fatal("signature over different message must not verify")
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	for _, s := range _schemes {
+		t.Run(s.Name(), func(t *testing.T) {
+			priv1, _, err := s.GenerateKey([32]byte{1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, pub2, err := s.GenerateKey([32]byte{2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("hello")
+			sig, err := s.Sign(priv1, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Verify(pub2, msg, sig) {
+				t.Fatal("signature must not verify under another validator's key")
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsMalformedInputs(t *testing.T) {
+	for _, s := range _schemes {
+		t.Run(s.Name(), func(t *testing.T) {
+			if s.Verify(nil, []byte("m"), nil) {
+				t.Fatal("nil key/sig must not verify")
+			}
+			if s.Verify(PublicKey("short"), []byte("m"), Signature("short")) {
+				t.Fatal("malformed key/sig must not verify")
+			}
+		})
+	}
+}
+
+func TestGenerateKeyDeterministic(t *testing.T) {
+	for _, s := range _schemes {
+		t.Run(s.Name(), func(t *testing.T) {
+			p1, pub1, err := s.GenerateKey([32]byte{7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, pub2, err := s.GenerateKey([32]byte{7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(p1, p2) || !bytes.Equal(pub1, pub2) {
+				t.Fatal("same seed must yield same key pair")
+			}
+		})
+	}
+}
+
+func TestSeedForValidatorDistinct(t *testing.T) {
+	cluster := [32]byte{9}
+	seen := make(map[[32]byte]uint32)
+	for i := uint32(0); i < 256; i++ {
+		s := SeedForValidator(cluster, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("validators %d and %d derived the same seed", prev, i)
+		}
+		seen[s] = i
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	for _, s := range _schemes {
+		t.Run(s.Name(), func(t *testing.T) {
+			priv, pub, err := s.GenerateKey([32]byte{3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(msg []byte) bool {
+				sig, err := s.Sign(priv, msg)
+				if err != nil {
+					return false
+				}
+				return s.Verify(pub, msg, sig)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range []string{"ed25519", "insecure"} {
+		s, err := SchemeByName(name)
+		if err != nil {
+			t.Fatalf("SchemeByName(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("SchemeByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := SchemeByName("rsa"); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestKeyPairSign(t *testing.T) {
+	kp, err := NewKeyPair(Ed25519{}, [32]byte{5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := kp.Sign([]byte("vote"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kp.Scheme.Verify(kp.Public, []byte("vote"), sig) {
+		t.Fatal("key pair signature must verify")
+	}
+}
+
+func TestSignRejectsBadKeySize(t *testing.T) {
+	for _, s := range _schemes {
+		if _, err := s.Sign(PrivateKey("tiny"), []byte("m")); err == nil {
+			t.Fatalf("%s: Sign with malformed key must error", s.Name())
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package dag implements the round-structured vertex store shared by the
+// Bullshark committer and the HammerHead scheduler.
+//
+// A vertex corresponds to a certified block (a Narwhal certificate): one per
+// (round, source), carrying edges to at least a quorum of vertices in the
+// previous round. Edges always point one round back, so every path in the
+// DAG strictly decreases in round — path queries are therefore bounded
+// downward traversals over the causal history of the start vertex.
+package dag
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"hammerhead/internal/types"
+)
+
+// Vertex is a node of the DAG. Vertices are immutable once inserted.
+type Vertex struct {
+	// Round is the DAG round of the vertex.
+	Round types.Round
+	// Source is the validator that produced the vertex.
+	Source types.ValidatorID
+	// Edges are digests of vertices in Round-1 (empty only at round 0).
+	// They represent the "votes" of Source for the previous round, and in
+	// particular the parent link to the previous round's leader is what
+	// HammerHead's reputation scoring counts.
+	Edges []types.Digest
+	// BatchDigest commits to the transaction payload carried by the vertex.
+	BatchDigest types.Digest
+	// Batch is the payload. It may be nil for vertices whose payload was
+	// fetched lazily or pruned; the committer only needs it at delivery.
+	Batch *types.Batch
+	// CreatedNanos is the producer's clock when the vertex was proposed.
+	// Used for observability only — never for protocol decisions.
+	CreatedNanos int64
+
+	digest types.Digest
+}
+
+// ComputeDigest derives the content address of a vertex from its immutable
+// identity fields (round, source, edges, payload digest).
+func ComputeDigest(round types.Round, source types.ValidatorID, edges []types.Digest, batchDigest types.Digest) types.Digest {
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[:8], uint64(round))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(source))
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(edges)))
+	parts := make([][]byte, 0, 2+len(edges))
+	parts = append(parts, hdr[:])
+	for i := range edges {
+		parts = append(parts, edges[i][:])
+	}
+	parts = append(parts, batchDigest[:])
+	return types.HashBytes(parts...)
+}
+
+// NewVertex builds a vertex and seals its digest.
+func NewVertex(round types.Round, source types.ValidatorID, edges []types.Digest, batch *types.Batch, createdNanos int64) *Vertex {
+	var batchDigest types.Digest
+	if batch != nil && len(batch.Transactions) > 0 {
+		// Commit to transaction IDs; payload bytes are committed by the
+		// mempool layer when real payload dissemination is in use.
+		buf := make([]byte, 8*len(batch.Transactions))
+		for i := range batch.Transactions {
+			binary.BigEndian.PutUint64(buf[i*8:], batch.Transactions[i].ID)
+		}
+		batchDigest = types.HashBytes(buf)
+	}
+	v := &Vertex{
+		Round:        round,
+		Source:       source,
+		Edges:        append([]types.Digest(nil), edges...),
+		BatchDigest:  batchDigest,
+		Batch:        batch,
+		CreatedNanos: createdNanos,
+	}
+	v.digest = ComputeDigest(v.Round, v.Source, v.Edges, v.BatchDigest)
+	return v
+}
+
+// NewVertexPrecomputed builds a vertex from digests the caller already
+// holds (the certificate pipeline computes them once per header and reuses
+// them at every hop). The caller is responsible for digest consistency;
+// protocol code derives both values from the same header.
+func NewVertexPrecomputed(round types.Round, source types.ValidatorID, edges []types.Digest, batch *types.Batch, createdNanos int64, batchDigest, digest types.Digest) *Vertex {
+	return &Vertex{
+		Round:        round,
+		Source:       source,
+		Edges:        append([]types.Digest(nil), edges...),
+		BatchDigest:  batchDigest,
+		Batch:        batch,
+		CreatedNanos: createdNanos,
+		digest:       digest,
+	}
+}
+
+// Digest returns the vertex's content address.
+func (v *Vertex) Digest() types.Digest { return v.digest }
+
+// String implements fmt.Stringer.
+func (v *Vertex) String() string {
+	return fmt.Sprintf("vertex{r=%d src=%s %s}", v.Round, v.Source, v.digest)
+}
+
+// Errors returned by DAG operations.
+var (
+	ErrMissingParents = errors.New("dag: vertex references parents not in the DAG")
+	ErrSlotOccupied   = errors.New("dag: a different vertex already occupies this (round, source) slot")
+	ErrBadEdgeRound   = errors.New("dag: edges must reference vertices exactly one round back")
+	ErrPruned         = errors.New("dag: round already pruned")
+)
+
+// DAG is the local store of one validator. It is not safe for concurrent
+// use; the engine runs single-threaded per validator (the simulator is a
+// single-threaded event loop and the real node serializes on one goroutine).
+type DAG struct {
+	committee *types.Committee
+	byDigest  map[types.Digest]*Vertex
+	byRound   map[types.Round]map[types.ValidatorID]*Vertex
+	highest   types.Round
+	prunedTo  types.Round // all rounds < prunedTo were dropped
+}
+
+// New creates an empty DAG for the committee.
+func New(committee *types.Committee) *DAG {
+	return &DAG{
+		committee: committee,
+		byDigest:  make(map[types.Digest]*Vertex),
+		byRound:   make(map[types.Round]map[types.ValidatorID]*Vertex),
+	}
+}
+
+// Committee returns the committee the DAG was built for.
+func (d *DAG) Committee() *types.Committee { return d.committee }
+
+// HighestRound returns the highest round containing at least one vertex.
+func (d *DAG) HighestRound() types.Round { return d.highest }
+
+// Insert adds a vertex. All parents must already be present (callers buffer
+// out-of-order arrivals; see engine's pending set). Inserting the same
+// vertex twice is a no-op; inserting a *different* vertex into an occupied
+// (round, source) slot fails, which in the crash-fault model can only arise
+// from corruption.
+func (d *DAG) Insert(v *Vertex) error {
+	if v.Round < d.prunedTo {
+		return fmt.Errorf("%w: round %d < pruned floor %d", ErrPruned, v.Round, d.prunedTo)
+	}
+	if existing, ok := d.byRound[v.Round][v.Source]; ok {
+		if existing.Digest() == v.Digest() {
+			return nil
+		}
+		return fmt.Errorf("%w: round %d source %s", ErrSlotOccupied, v.Round, v.Source)
+	}
+	if v.Round > 0 && v.Round-1 >= d.prunedTo {
+		for _, e := range v.Edges {
+			parent, ok := d.byDigest[e]
+			if !ok {
+				return fmt.Errorf("%w: %s misses parent %s", ErrMissingParents, v, e)
+			}
+			if parent.Round != v.Round-1 {
+				return fmt.Errorf("%w: %s references %s at round %d", ErrBadEdgeRound, v, e, parent.Round)
+			}
+		}
+	}
+	round := d.byRound[v.Round]
+	if round == nil {
+		round = make(map[types.ValidatorID]*Vertex, d.committee.Size())
+		d.byRound[v.Round] = round
+	}
+	round[v.Source] = v
+	d.byDigest[v.Digest()] = v
+	if v.Round > d.highest {
+		d.highest = v.Round
+	}
+	return nil
+}
+
+// MissingParents returns the digests in edges that are absent from the DAG.
+func (d *DAG) MissingParents(edges []types.Digest) []types.Digest {
+	var missing []types.Digest
+	for _, e := range edges {
+		if _, ok := d.byDigest[e]; !ok {
+			missing = append(missing, e)
+		}
+	}
+	return missing
+}
+
+// Get returns the vertex produced by source at round, if present.
+func (d *DAG) Get(round types.Round, source types.ValidatorID) (*Vertex, bool) {
+	v, ok := d.byRound[round][source]
+	return v, ok
+}
+
+// ByDigest returns the vertex with the given digest, if present.
+func (d *DAG) ByDigest(digest types.Digest) (*Vertex, bool) {
+	v, ok := d.byDigest[digest]
+	return v, ok
+}
+
+// RoundVertices returns the vertices of a round sorted by source ID.
+func (d *DAG) RoundVertices(round types.Round) []*Vertex {
+	m := d.byRound[round]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]*Vertex, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// RoundStake returns the total stake of the sources present at round.
+func (d *DAG) RoundStake(round types.Round) types.Stake {
+	var total types.Stake
+	for id := range d.byRound[round] {
+		total += d.committee.Stake(id)
+	}
+	return total
+}
+
+// HasQuorumAt reports whether round holds vertices worth a write quorum.
+func (d *DAG) HasQuorumAt(round types.Round) bool {
+	return d.RoundStake(round) >= d.committee.QuorumThreshold()
+}
+
+// HasEdge reports whether v directly references target (a one-hop vote).
+func (d *DAG) HasEdge(v *Vertex, target types.Digest) bool {
+	for _, e := range v.Edges {
+		if e == target {
+			return true
+		}
+	}
+	return false
+}
+
+// Path reports whether there is a directed path from v down to u
+// (v.Round >= u.Round; equality only when v == u). The traversal explores
+// only rounds in [u.Round, v.Round], so cost is bounded by the causal
+// history between the two vertices.
+func (d *DAG) Path(v, u *Vertex) bool {
+	if v == nil || u == nil {
+		return false
+	}
+	if v.Digest() == u.Digest() {
+		return true
+	}
+	if v.Round <= u.Round {
+		return false
+	}
+	target := u.Digest()
+	visited := map[types.Digest]struct{}{v.Digest(): {}}
+	frontier := []*Vertex{v}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, w := range frontier {
+			for _, e := range w.Edges {
+				if e == target {
+					return true
+				}
+				if _, seen := visited[e]; seen {
+					continue
+				}
+				visited[e] = struct{}{}
+				parent, ok := d.byDigest[e]
+				if !ok || parent.Round < u.Round {
+					continue
+				}
+				next = append(next, parent)
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// CausalHistory returns every vertex reachable from v (v included) with
+// round >= minRound, sorted by (round, source) so all validators iterate
+// identically. The skip predicate, when non-nil, prunes the walk: vertices
+// for which skip returns true are neither visited nor returned (used to
+// exclude already-ordered sub-DAGs).
+func (d *DAG) CausalHistory(v *Vertex, minRound types.Round, skip func(*Vertex) bool) []*Vertex {
+	if v == nil || v.Round < minRound || (skip != nil && skip(v)) {
+		return nil
+	}
+	visited := map[types.Digest]struct{}{v.Digest(): {}}
+	out := []*Vertex{v}
+	frontier := []*Vertex{v}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, w := range frontier {
+			for _, e := range w.Edges {
+				if _, seen := visited[e]; seen {
+					continue
+				}
+				visited[e] = struct{}{}
+				parent, ok := d.byDigest[e]
+				if !ok || parent.Round < minRound {
+					continue
+				}
+				if skip != nil && skip(parent) {
+					continue
+				}
+				out = append(out, parent)
+				next = append(next, parent)
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Round != out[j].Round {
+			return out[i].Round < out[j].Round
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// Prune drops all rounds strictly below floor, releasing memory for
+// long-running deployments. Callers must only prune below the lowest round
+// still needed by the committer (i.e. at or below the last ordered round
+// minus any sync slack).
+func (d *DAG) Prune(floor types.Round) {
+	if floor <= d.prunedTo {
+		return
+	}
+	for r := d.prunedTo; r < floor; r++ {
+		for _, v := range d.byRound[r] {
+			delete(d.byDigest, v.Digest())
+		}
+		delete(d.byRound, r)
+	}
+	d.prunedTo = floor
+}
+
+// PrunedTo returns the lowest retained round.
+func (d *DAG) PrunedTo() types.Round { return d.prunedTo }
+
+// VertexCount returns the number of stored vertices (post-pruning).
+func (d *DAG) VertexCount() int { return len(d.byDigest) }

@@ -1,0 +1,149 @@
+package dag_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hammerhead/internal/dag"
+	"hammerhead/internal/dag/dagtest"
+	"hammerhead/internal/types"
+)
+
+// randomDAG grows a random but protocol-valid DAG from a seed.
+func randomDAG(seed uint64) (*dagtest.Builder, *rand.Rand) {
+	rng := rand.New(rand.NewSource(int64(seed))) //nolint:gosec // test determinism
+	n := rng.Intn(8) + 4
+	committee, err := types.NewEqualStakeCommittee(n)
+	if err != nil {
+		panic(err)
+	}
+	b := dagtest.NewBuilder(committee)
+	rounds := types.Round(rng.Intn(12) + 4)
+	crashed := map[types.ValidatorID]bool{}
+	if f := (n - 1) / 3; f > 0 && rng.Intn(2) == 0 {
+		crashed[types.ValidatorID(rng.Intn(n))] = true
+	}
+	b.GrowRandom(rng, 1, rounds, crashed)
+	return b, rng
+}
+
+func randomVertex(b *dagtest.Builder, rng *rand.Rand) *dag.Vertex {
+	for {
+		r := types.Round(rng.Intn(int(b.DAG.HighestRound()) + 1))
+		vs := b.DAG.RoundVertices(r)
+		if len(vs) > 0 {
+			return vs[rng.Intn(len(vs))]
+		}
+	}
+}
+
+// TestPathRespectsRounds: a path never goes upward in rounds, and is
+// reflexive exactly on identical vertices.
+func TestPathRespectsRounds(t *testing.T) {
+	property := func(seed uint64) bool {
+		b, rng := randomDAG(seed)
+		for i := 0; i < 20; i++ {
+			v, u := randomVertex(b, rng), randomVertex(b, rng)
+			has := b.DAG.Path(v, u)
+			if has && v.Round < u.Round {
+				return false
+			}
+			if v == u && !has {
+				return false
+			}
+			if v.Round == u.Round && v != u && has {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathTransitive: path(a,b) && path(b,c) => path(a,c).
+func TestPathTransitive(t *testing.T) {
+	property := func(seed uint64) bool {
+		b, rng := randomDAG(seed)
+		for i := 0; i < 15; i++ {
+			a, bb, c := randomVertex(b, rng), randomVertex(b, rng), randomVertex(b, rng)
+			if b.DAG.Path(a, bb) && b.DAG.Path(bb, c) && !b.DAG.Path(a, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathAgreesWithEdges: a direct edge implies a path, and a one-round
+// path implies a direct edge.
+func TestPathAgreesWithEdges(t *testing.T) {
+	property := func(seed uint64) bool {
+		b, rng := randomDAG(seed)
+		for i := 0; i < 20; i++ {
+			v := randomVertex(b, rng)
+			if v.Round == 0 {
+				continue
+			}
+			for _, e := range v.Edges {
+				parent, ok := b.DAG.ByDigest(e)
+				if !ok || !b.DAG.Path(v, parent) {
+					return false
+				}
+			}
+			// One-round paths are exactly the edge set.
+			for _, u := range b.DAG.RoundVertices(v.Round - 1) {
+				if b.DAG.Path(v, u) != b.DAG.HasEdge(v, u.Digest()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCausalHistoryClosure: the causal history of v down to minRound is
+// downward closed — every parent (>= minRound) of a member is a member —
+// and every member is reachable from v.
+func TestCausalHistoryClosure(t *testing.T) {
+	property := func(seed uint64) bool {
+		b, rng := randomDAG(seed)
+		v := randomVertex(b, rng)
+		minRound := types.Round(rng.Intn(int(v.Round) + 1))
+		hist := b.DAG.CausalHistory(v, minRound, nil)
+		inHist := make(map[types.Digest]bool, len(hist))
+		for _, u := range hist {
+			inHist[u.Digest()] = true
+		}
+		if !inHist[v.Digest()] {
+			return false
+		}
+		for _, u := range hist {
+			if u.Round < minRound {
+				return false
+			}
+			if !b.DAG.Path(v, u) {
+				return false
+			}
+			if u.Round > minRound {
+				for _, e := range u.Edges {
+					if parent, ok := b.DAG.ByDigest(e); ok && parent.Round >= minRound && !inHist[e] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

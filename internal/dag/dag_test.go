@@ -1,0 +1,269 @@
+package dag_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hammerhead/internal/dag"
+	"hammerhead/internal/dag/dagtest"
+	"hammerhead/internal/types"
+)
+
+func newCommittee(t *testing.T, n int) *types.Committee {
+	t.Helper()
+	c, err := types.NewEqualStakeCommittee(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInsertAndGet(t *testing.T) {
+	c := newCommittee(t, 4)
+	b := dagtest.NewBuilder(c)
+	b.AddFullRound(1, nil)
+
+	v, ok := b.DAG.Get(1, 2)
+	if !ok {
+		t.Fatal("vertex (1, v2) must exist")
+	}
+	if v.Round != 1 || v.Source != 2 {
+		t.Fatalf("got %v", v)
+	}
+	byDigest, ok := b.DAG.ByDigest(v.Digest())
+	if !ok || byDigest != v {
+		t.Fatal("ByDigest must return the same vertex")
+	}
+	if _, ok := b.DAG.Get(1, 99); ok {
+		t.Fatal("unknown source must not resolve")
+	}
+}
+
+func TestInsertIdempotent(t *testing.T) {
+	c := newCommittee(t, 4)
+	b := dagtest.NewBuilder(c)
+	v, _ := b.DAG.Get(0, 0)
+	if err := b.DAG.Insert(v); err != nil {
+		t.Fatalf("re-inserting the same vertex must be a no-op, got %v", err)
+	}
+}
+
+func TestInsertRejectsMissingParents(t *testing.T) {
+	c := newCommittee(t, 4)
+	d := dag.New(c)
+	ghost := types.HashBytes([]byte("ghost"))
+	v := dag.NewVertex(1, 0, []types.Digest{ghost}, nil, 0)
+	if err := d.Insert(v); !errors.Is(err, dag.ErrMissingParents) {
+		t.Fatalf("err = %v, want ErrMissingParents", err)
+	}
+}
+
+func TestInsertRejectsSlotConflict(t *testing.T) {
+	c := newCommittee(t, 4)
+	b := dagtest.NewBuilder(c)
+	// A different round-0 vertex for validator 0 (different payload digest).
+	v2 := dag.NewVertex(0, 0, nil, &types.Batch{Transactions: []types.Transaction{{ID: 999}}}, 0)
+	if err := b.DAG.Insert(v2); !errors.Is(err, dag.ErrSlotOccupied) {
+		t.Fatalf("err = %v, want ErrSlotOccupied", err)
+	}
+}
+
+func TestInsertRejectsSkippingEdges(t *testing.T) {
+	c := newCommittee(t, 4)
+	b := dagtest.NewBuilder(c)
+	b.AddFullRound(1, nil)
+	// Edge from round 3 directly to round 1 is invalid.
+	parent := b.Vertex(1, 0)
+	v := dag.NewVertex(3, 0, []types.Digest{parent.Digest()}, nil, 0)
+	if err := b.DAG.Insert(v); !errors.Is(err, dag.ErrBadEdgeRound) {
+		t.Fatalf("err = %v, want ErrBadEdgeRound", err)
+	}
+}
+
+func TestRoundStakeAndQuorum(t *testing.T) {
+	c := newCommittee(t, 4)
+	b := dagtest.NewBuilder(c)
+	b.AddFullRound(1, []types.ValidatorID{0, 1})
+	if b.DAG.HasQuorumAt(1) {
+		t.Fatal("2 of 4 must not be a quorum")
+	}
+	b.AddVertex(1, 2, []types.ValidatorID{0, 1, 2, 3})
+	if !b.DAG.HasQuorumAt(1) {
+		t.Fatal("3 of 4 must be a quorum")
+	}
+	if got := b.DAG.RoundStake(1); got != 3 {
+		t.Fatalf("RoundStake = %d, want 3", got)
+	}
+}
+
+func TestPathDirectAndTransitive(t *testing.T) {
+	c := newCommittee(t, 4)
+	b := dagtest.NewBuilder(c)
+	b.AddFullRound(1, nil)
+	b.AddFullRound(2, nil)
+
+	v2 := b.Vertex(2, 0)
+	v1 := b.Vertex(1, 3)
+	v0 := b.Vertex(0, 2)
+	if !b.DAG.Path(v2, v1) {
+		t.Fatal("one-hop path must exist")
+	}
+	if !b.DAG.Path(v2, v0) {
+		t.Fatal("two-hop path must exist")
+	}
+	if !b.DAG.Path(v2, v2) {
+		t.Fatal("reflexive path must hold")
+	}
+	if b.DAG.Path(v1, v2) {
+		t.Fatal("paths must not go up in rounds")
+	}
+}
+
+func TestPathAbsentWhenAvoided(t *testing.T) {
+	c := newCommittee(t, 4)
+	b := dagtest.NewBuilder(c)
+	// Round 1: everyone avoids validator 3's round-0 vertex.
+	b.AddRoundAvoiding(1, nil, map[types.ValidatorID]bool{3: true})
+	b.AddFullRound(2, nil)
+
+	from := b.Vertex(2, 1)
+	to := b.Vertex(0, 3)
+	if b.DAG.Path(from, to) {
+		t.Fatal("no path may exist to an avoided vertex")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	c := newCommittee(t, 4)
+	b := dagtest.NewBuilder(c)
+	b.AddVertex(1, 0, []types.ValidatorID{0, 1, 2})
+	v := b.Vertex(1, 0)
+	if !b.DAG.HasEdge(v, b.Vertex(0, 1).Digest()) {
+		t.Fatal("edge to referenced parent must exist")
+	}
+	if b.DAG.HasEdge(v, b.Vertex(0, 3).Digest()) {
+		t.Fatal("edge to unreferenced parent must not exist")
+	}
+}
+
+func TestCausalHistoryOrderAndBound(t *testing.T) {
+	c := newCommittee(t, 4)
+	b := dagtest.NewBuilder(c)
+	b.AddFullRound(1, nil)
+	b.AddFullRound(2, nil)
+
+	v := b.Vertex(2, 0)
+	hist := b.DAG.CausalHistory(v, 1, nil)
+	// Rounds 1 (4 vertices) and 2 (just v): 5 total, sorted by (round, source).
+	if len(hist) != 5 {
+		t.Fatalf("history size = %d, want 5", len(hist))
+	}
+	for i := 1; i < len(hist); i++ {
+		prev, cur := hist[i-1], hist[i]
+		if prev.Round > cur.Round || (prev.Round == cur.Round && prev.Source >= cur.Source) {
+			t.Fatalf("history not sorted at %d: %v then %v", i, prev, cur)
+		}
+	}
+	if hist[len(hist)-1] != v {
+		t.Fatal("history must include the start vertex last")
+	}
+}
+
+func TestCausalHistorySkipPredicate(t *testing.T) {
+	c := newCommittee(t, 4)
+	b := dagtest.NewBuilder(c)
+	b.AddFullRound(1, nil)
+	b.AddFullRound(2, nil)
+
+	v := b.Vertex(2, 0)
+	skipped := b.Vertex(1, 1)
+	hist := b.DAG.CausalHistory(v, 0, func(u *dag.Vertex) bool { return u == skipped })
+	for _, u := range hist {
+		if u == skipped {
+			t.Fatal("skip predicate must exclude the vertex")
+		}
+	}
+	// Everything else must still be reachable (round 0 via other parents).
+	if len(hist) != 1+4+4-1 {
+		t.Fatalf("history size = %d, want 8", len(hist))
+	}
+}
+
+func TestPrune(t *testing.T) {
+	c := newCommittee(t, 4)
+	b := dagtest.NewBuilder(c)
+	for r := types.Round(1); r <= 6; r++ {
+		b.AddFullRound(r, nil)
+	}
+	before := b.DAG.VertexCount()
+	b.DAG.Prune(3)
+	if got := b.DAG.PrunedTo(); got != 3 {
+		t.Fatalf("PrunedTo = %d, want 3", got)
+	}
+	if got := b.DAG.VertexCount(); got != before-3*4 {
+		t.Fatalf("VertexCount = %d, want %d", got, before-3*4)
+	}
+	if _, ok := b.DAG.Get(2, 0); ok {
+		t.Fatal("pruned vertex must be gone")
+	}
+	// Inserting below the floor fails.
+	v := dag.NewVertex(1, 0, nil, nil, 0)
+	if err := b.DAG.Insert(v); !errors.Is(err, dag.ErrPruned) {
+		t.Fatalf("err = %v, want ErrPruned", err)
+	}
+	// Pruning backwards is a no-op.
+	b.DAG.Prune(1)
+	if got := b.DAG.PrunedTo(); got != 3 {
+		t.Fatalf("PrunedTo after backwards prune = %d, want 3", got)
+	}
+}
+
+func TestGrowRandomMaintainsQuorums(t *testing.T) {
+	c := newCommittee(t, 7)
+	b := dagtest.NewBuilder(c)
+	rng := rand.New(rand.NewSource(42))
+	b.GrowRandom(rng, 1, 10, map[types.ValidatorID]bool{6: true})
+	for r := types.Round(1); r <= 10; r++ {
+		if !b.DAG.HasQuorumAt(r) {
+			t.Fatalf("round %d lacks quorum", r)
+		}
+		if _, ok := b.DAG.Get(r, 6); ok {
+			t.Fatalf("crashed validator produced a vertex at round %d", r)
+		}
+		for _, v := range b.DAG.RoundVertices(r) {
+			var acc types.Stake
+			for _, e := range v.Edges {
+				p, ok := b.DAG.ByDigest(e)
+				if !ok {
+					t.Fatalf("dangling edge at round %d", r)
+				}
+				acc += c.Stake(p.Source)
+			}
+			if acc < c.QuorumThreshold() {
+				t.Fatalf("vertex %v references < quorum stake (%d)", v, acc)
+			}
+		}
+	}
+}
+
+func TestComputeDigestSensitivity(t *testing.T) {
+	e1 := types.HashBytes([]byte("a"))
+	e2 := types.HashBytes([]byte("b"))
+	base := dag.ComputeDigest(4, 1, []types.Digest{e1, e2}, types.ZeroDigest)
+	if base == dag.ComputeDigest(5, 1, []types.Digest{e1, e2}, types.ZeroDigest) {
+		t.Fatal("digest must depend on round")
+	}
+	if base == dag.ComputeDigest(4, 2, []types.Digest{e1, e2}, types.ZeroDigest) {
+		t.Fatal("digest must depend on source")
+	}
+	if base == dag.ComputeDigest(4, 1, []types.Digest{e2, e1}, types.ZeroDigest) {
+		t.Fatal("digest must depend on edge order")
+	}
+	if base == dag.ComputeDigest(4, 1, []types.Digest{e1}, types.ZeroDigest) {
+		t.Fatal("digest must depend on edge set")
+	}
+	if base == dag.ComputeDigest(4, 1, []types.Digest{e1, e2}, types.HashBytes([]byte("p"))) {
+		t.Fatal("digest must depend on payload digest")
+	}
+}

@@ -1,0 +1,154 @@
+// Package dagtest builds synthetic DAGs for tests and property checks. It
+// lets tests declare, per round, which validators produce vertices and which
+// previous-round vertices each references, so committer and scheduler tests
+// can construct precise vote patterns (leader supported, leader skipped,
+// crashed validators, equivocation-free partial views).
+package dagtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hammerhead/internal/dag"
+	"hammerhead/internal/types"
+)
+
+// Builder incrementally grows a DAG round by round.
+type Builder struct {
+	Committee *types.Committee
+	DAG       *dag.DAG
+	// Rounds[r][source] is the vertex produced by source at round r.
+	Rounds map[types.Round]map[types.ValidatorID]*dag.Vertex
+
+	nextTxID uint64
+}
+
+// NewBuilder creates a builder with an empty DAG and a full genesis round 0
+// (every validator has a round-0 vertex, as in Narwhal's genesis).
+func NewBuilder(committee *types.Committee) *Builder {
+	b := &Builder{
+		Committee: committee,
+		DAG:       dag.New(committee),
+		Rounds:    make(map[types.Round]map[types.ValidatorID]*dag.Vertex),
+	}
+	b.Rounds[0] = make(map[types.ValidatorID]*dag.Vertex)
+	for _, id := range committee.ValidatorIDs() {
+		v := dag.NewVertex(0, id, nil, b.batch(1), 0)
+		if err := b.DAG.Insert(v); err != nil {
+			panic(fmt.Sprintf("dagtest: inserting genesis vertex: %v", err))
+		}
+		b.Rounds[0][id] = v
+	}
+	return b
+}
+
+func (b *Builder) batch(n int) *types.Batch {
+	txs := make([]types.Transaction, n)
+	for i := range txs {
+		b.nextTxID++
+		txs[i] = types.Transaction{ID: b.nextTxID}
+	}
+	return &types.Batch{Transactions: txs}
+}
+
+// AddVertex creates and inserts a vertex for source at round, referencing
+// the given parents' vertices (which must exist at round-1). It returns the
+// new vertex.
+func (b *Builder) AddVertex(round types.Round, source types.ValidatorID, parents []types.ValidatorID) *dag.Vertex {
+	edges := make([]types.Digest, 0, len(parents))
+	for _, p := range parents {
+		pv, ok := b.Rounds[round-1][p]
+		if !ok {
+			panic(fmt.Sprintf("dagtest: parent %s missing at round %d", p, round-1))
+		}
+		edges = append(edges, pv.Digest())
+	}
+	v := dag.NewVertex(round, source, edges, b.batch(1), int64(round))
+	if err := b.DAG.Insert(v); err != nil {
+		panic(fmt.Sprintf("dagtest: inserting vertex: %v", err))
+	}
+	if b.Rounds[round] == nil {
+		b.Rounds[round] = make(map[types.ValidatorID]*dag.Vertex)
+	}
+	b.Rounds[round][source] = v
+	return v
+}
+
+// AddFullRound adds a vertex for every listed producer at round, each
+// referencing every vertex present at round-1. If producers is nil, the full
+// committee produces.
+func (b *Builder) AddFullRound(round types.Round, producers []types.ValidatorID) {
+	parents := b.producersAt(round - 1)
+	if producers == nil {
+		producers = b.Committee.ValidatorIDs()
+	}
+	for _, p := range producers {
+		b.AddVertex(round, p, parents)
+	}
+}
+
+// AddRoundAvoiding adds a round where every producer references every
+// previous-round vertex EXCEPT those from the avoid set — used to construct
+// "nobody voted for the leader" patterns.
+func (b *Builder) AddRoundAvoiding(round types.Round, producers []types.ValidatorID, avoid map[types.ValidatorID]bool) {
+	parents := b.producersAt(round - 1)
+	kept := parents[:0:0]
+	for _, p := range parents {
+		if !avoid[p] {
+			kept = append(kept, p)
+		}
+	}
+	if producers == nil {
+		producers = b.Committee.ValidatorIDs()
+	}
+	for _, p := range producers {
+		b.AddVertex(round, p, kept)
+	}
+}
+
+// producersAt lists validators with a vertex at round, ascending.
+func (b *Builder) producersAt(round types.Round) []types.ValidatorID {
+	m := b.Rounds[round]
+	ids := make([]types.ValidatorID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return types.SortValidatorIDs(ids)
+}
+
+// GrowRandom extends the DAG by `rounds` rounds of random but valid
+// structure: in each round, every non-crashed validator produces a vertex
+// referencing a random quorum-sized subset (at least QuorumThreshold stake)
+// of the previous round. Deterministic under the given rng.
+func (b *Builder) GrowRandom(rng *rand.Rand, fromRound, rounds types.Round, crashed map[types.ValidatorID]bool) {
+	for r := fromRound; r < fromRound+rounds; r++ {
+		parents := b.producersAt(r - 1)
+		for _, id := range b.Committee.ValidatorIDs() {
+			if crashed[id] {
+				continue
+			}
+			// Random order, then take a prefix reaching quorum stake.
+			shuffled := append([]types.ValidatorID(nil), parents...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			var chosen []types.ValidatorID
+			acc := types.NewStakeAccumulator(b.Committee)
+			for _, p := range shuffled {
+				chosen = append(chosen, p)
+				if acc.Add(p); acc.ReachedQuorum() {
+					break
+				}
+			}
+			b.AddVertex(r, id, chosen)
+		}
+	}
+}
+
+// Vertex returns the vertex of source at round, panicking if absent (tests
+// construct exactly what they assert on).
+func (b *Builder) Vertex(round types.Round, source types.ValidatorID) *dag.Vertex {
+	v, ok := b.Rounds[round][source]
+	if !ok {
+		panic(fmt.Sprintf("dagtest: no vertex for %s at round %d", source, round))
+	}
+	return v
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config holds the engine's protocol parameters. Zero value is invalid; use
+// DefaultConfig as a base.
+type Config struct {
+	// MinRoundDelay paces header proposals: a validator does not propose
+	// round r+1 earlier than MinRoundDelay after proposing round r, bounding
+	// the round rate and batching transactions (Narwhal's max_header_delay
+	// counterpart).
+	MinRoundDelay time.Duration
+	// LeaderTimeout bounds the wait for the anchor certificate when leaving
+	// an anchor round. This is the cost a crashed leader inflicts per anchor
+	// round — the quantity HammerHead's scheduling removes.
+	LeaderTimeout time.Duration
+	// ResyncInterval paces re-requests for still-missing parent certificates.
+	ResyncInterval time.Duration
+	// MaxBatchTx caps transactions per header; together with the round rate
+	// it bounds per-validator throughput capacity.
+	MaxBatchTx int
+	// VerifySignatures enables full signature verification on headers,
+	// votes and certificates. Simulations of crash-only deployments disable
+	// it (see internal/crypto).
+	VerifySignatures bool
+	// GCDepth is how many rounds below the committer's floor are retained
+	// before pruning. Pruning runs after every GCEvery commits.
+	GCDepth uint64
+	GCEvery uint64
+	// MaxSyncBatch caps certificates per CertResponse.
+	MaxSyncBatch int
+}
+
+// DefaultConfig returns production-shaped defaults; the experiment harness
+// overrides the pacing knobs per scenario.
+func DefaultConfig() Config {
+	return Config{
+		MinRoundDelay:    250 * time.Millisecond,
+		LeaderTimeout:    2 * time.Second,
+		ResyncInterval:   time.Second,
+		MaxBatchTx:       500,
+		VerifySignatures: true,
+		GCDepth:          50,
+		GCEvery:          16,
+		MaxSyncBatch:     512,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MinRoundDelay < 0 || c.LeaderTimeout <= 0 || c.ResyncInterval <= 0 {
+		return fmt.Errorf("engine: delays must be positive (round=%v leader=%v resync=%v)",
+			c.MinRoundDelay, c.LeaderTimeout, c.ResyncInterval)
+	}
+	if c.MaxBatchTx < 1 {
+		return fmt.Errorf("engine: MaxBatchTx must be >= 1, got %d", c.MaxBatchTx)
+	}
+	if c.GCEvery == 0 || c.GCDepth == 0 {
+		return fmt.Errorf("engine: GCEvery and GCDepth must be positive")
+	}
+	if c.MaxSyncBatch < 1 {
+		return fmt.Errorf("engine: MaxSyncBatch must be >= 1, got %d", c.MaxSyncBatch)
+	}
+	return nil
+}
+
+// TimerKind discriminates engine timers.
+type TimerKind uint8
+
+// Timer kinds. Start at 1 so the zero value is invalid.
+const (
+	// TimerLeader fires when the leader-wait at an anchor round expires.
+	TimerLeader TimerKind = iota + 1
+	// TimerRoundDelay fires when MinRoundDelay since the last proposal has
+	// elapsed, allowing the next header.
+	TimerRoundDelay
+	// TimerResync fires periodically while parent certificates are missing.
+	TimerResync
+	// TimerHeaderRetry re-broadcasts the current header if it has not
+	// certified yet (lost broadcast, peers restarting, recovery replay).
+	TimerHeaderRetry
+	// TimerProgress periodically checks for round progress; when none
+	// happened since the previous firing, the engine pulls the certificate
+	// frontier from a rotating peer (RoundRequest).
+	TimerProgress
+)
+
+// String implements fmt.Stringer.
+func (k TimerKind) String() string {
+	switch k {
+	case TimerLeader:
+		return "leader"
+	case TimerRoundDelay:
+		return "round-delay"
+	case TimerResync:
+		return "resync"
+	case TimerHeaderRetry:
+		return "header-retry"
+	case TimerProgress:
+		return "progress"
+	default:
+		return fmt.Sprintf("timer(%d)", uint8(k))
+	}
+}
+
+// Timer is a request to be called back after Delay. Round scopes leader and
+// round-delay timers to the round they were armed for, so stale firings are
+// ignored.
+type Timer struct {
+	Kind  TimerKind
+	Round uint64
+	Delay time.Duration
+}

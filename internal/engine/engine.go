@@ -1,0 +1,726 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"hammerhead/internal/bullshark"
+	"hammerhead/internal/crypto"
+	"hammerhead/internal/dag"
+	"hammerhead/internal/leader"
+	"hammerhead/internal/types"
+)
+
+// BatchProvider supplies the transaction batch for the next header. The
+// mempool implements it; tests use stubs.
+type BatchProvider interface {
+	// NextBatch returns at most maxTx transactions, or nil for an empty
+	// header. Returned transactions are considered in-flight.
+	NextBatch(nowNanos int64, maxTx int) *types.Batch
+}
+
+// Unicast is a message addressed to one validator.
+type Unicast struct {
+	To  types.ValidatorID
+	Msg *Message
+}
+
+// Output collects everything one engine step wants the runtime to do.
+// Runtimes must dispatch Unicasts/Broadcasts, arm Timers, and hand Commits
+// to execution, in any order (the engine assumes nothing about scheduling).
+type Output struct {
+	Unicasts   []Unicast
+	Broadcasts []*Message
+	Timers     []Timer
+	Commits    []bullshark.CommittedSubDAG
+	// InsertedCerts are certificates accepted into the DAG during this step,
+	// in insertion (parents-first) order. Real nodes persist them to the WAL
+	// so a restart can replay them (internal/storage); simulations ignore
+	// them.
+	InsertedCerts []*Certificate
+}
+
+func (o *Output) unicast(to types.ValidatorID, msg *Message) {
+	o.Unicasts = append(o.Unicasts, Unicast{To: to, Msg: msg})
+}
+
+func (o *Output) broadcast(msg *Message) {
+	o.Broadcasts = append(o.Broadcasts, msg)
+}
+
+func (o *Output) timer(t Timer) {
+	o.Timers = append(o.Timers, t)
+}
+
+// Stats are cumulative engine counters.
+type Stats struct {
+	HeadersProposed uint64
+	VotesSent       uint64
+	CertsFormed     uint64
+	CertsReceived   uint64
+	CertsPended     uint64
+	LeaderTimeouts  uint64
+	SyncRequests    uint64
+	SyncResponses   uint64
+	InvalidMessages uint64
+}
+
+type voteKey struct {
+	origin types.ValidatorID
+	round  types.Round
+}
+
+// minRetainer is implemented by schedulers (core.Manager) whose score scans
+// constrain DAG pruning.
+type minRetainer interface {
+	MinRetainedRound() types.Round
+}
+
+// Engine is the per-validator protocol state machine. All methods must be
+// called from a single goroutine (or the simulator's event loop); time is
+// passed in explicitly so simulated and wall-clock runs share every line of
+// protocol logic.
+type Engine struct {
+	config    Config
+	committee *types.Committee
+	self      types.ValidatorID
+	keys      crypto.KeyPair
+	pubKeys   []crypto.PublicKey
+	batches   BatchProvider
+
+	dagStore  *dag.DAG
+	committer *bullshark.Committer
+	scheduler leader.Scheduler
+
+	round            types.Round
+	curHeader        *Header
+	curHeaderDigest  types.Digest
+	votes            map[types.ValidatorID]crypto.Signature
+	ownCertFormed    bool
+	lastProposeNanos int64
+	roundDelayOK     bool
+	leaderTimerArmed map[types.Round]bool
+	leaderTimedOut   map[types.Round]bool
+
+	votedFor  map[voteKey]types.Digest
+	certStore map[types.Digest]*Certificate
+
+	pendingCerts     map[types.Digest]*Certificate
+	pendingByMissing map[types.Digest][]types.Digest
+	requested        map[types.Digest]bool
+	resyncArmed      bool
+
+	commitsSinceGC    uint64
+	progressLastRound types.Round
+	progressTarget    uint32
+	maxPendingRound   types.Round
+	lastRangeReqFloor types.Round
+	lastRangeReqNanos int64
+	stats             Stats
+}
+
+// Params bundles the engine's construction dependencies.
+type Params struct {
+	Config    Config
+	Committee *types.Committee
+	Self      types.ValidatorID
+	Keys      crypto.KeyPair
+	// PublicKeys holds each validator's verification key, indexed by ID.
+	PublicKeys []crypto.PublicKey
+	Batches    BatchProvider
+	// Scheduler selects leaders: leader.RoundRobin for the baseline,
+	// core.Manager for HammerHead.
+	Scheduler leader.Scheduler
+	// DAG is the validator's vertex store; the scheduler must have been
+	// built over the same store.
+	DAG *dag.DAG
+}
+
+// New constructs an engine. Call Init before feeding messages.
+func New(p Params) (*Engine, error) {
+	if err := p.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Committee == nil || p.Scheduler == nil || p.DAG == nil || p.Batches == nil {
+		return nil, fmt.Errorf("engine: missing dependency (committee/scheduler/dag/batches)")
+	}
+	if _, ok := p.Committee.Authority(p.Self); !ok {
+		return nil, fmt.Errorf("engine: self %s not in committee", p.Self)
+	}
+	if p.Config.VerifySignatures && len(p.PublicKeys) != p.Committee.Size() {
+		return nil, fmt.Errorf("engine: have %d public keys for %d validators", len(p.PublicKeys), p.Committee.Size())
+	}
+	// Seed the genesis round immediately (one implicit certificate per
+	// validator, known to all without communication), so messages that
+	// arrive before Init — possible on real-runtime nodes whose transports
+	// come up first — can never observe a DAG missing genesis parents.
+	for _, id := range p.Committee.ValidatorIDs() {
+		v := dag.NewVertex(0, id, nil, nil, 0)
+		if err := p.DAG.Insert(v); err != nil {
+			return nil, fmt.Errorf("engine: inserting genesis vertex: %w", err)
+		}
+	}
+	return &Engine{
+		config:           p.Config,
+		committee:        p.Committee,
+		self:             p.Self,
+		keys:             p.Keys,
+		pubKeys:          p.PublicKeys,
+		batches:          p.Batches,
+		dagStore:         p.DAG,
+		committer:        bullshark.New(p.Committee, p.DAG, p.Scheduler),
+		scheduler:        p.Scheduler,
+		votes:            make(map[types.ValidatorID]crypto.Signature),
+		leaderTimerArmed: make(map[types.Round]bool),
+		leaderTimedOut:   make(map[types.Round]bool),
+		votedFor:         make(map[voteKey]types.Digest),
+		certStore:        make(map[types.Digest]*Certificate),
+		pendingCerts:     make(map[types.Digest]*Certificate),
+		pendingByMissing: make(map[types.Digest][]types.Digest),
+		requested:        make(map[types.Digest]bool),
+	}, nil
+}
+
+// Init goes live: unlocks proposing (gated until now so that recovery can
+// replay certificates quietly first) and proposes the next header.
+func (e *Engine) Init(nowNanos int64) *Output {
+	out := &Output{}
+	e.ownCertFormed = true
+	e.roundDelayOK = true
+	e.lastProposeNanos = nowNanos - e.config.MinRoundDelay.Nanoseconds()
+	e.tryAdvance(nowNanos, out)
+	// The progress watchdog runs for the engine's lifetime: a committee can
+	// wedge at one round if certificate broadcasts are lost (nothing later
+	// ever references them), so a stalled engine pulls the frontier.
+	out.timer(Timer{Kind: TimerProgress, Delay: 2 * e.config.ResyncInterval})
+	return out
+}
+
+// Round returns the round of the engine's latest proposal.
+func (e *Engine) Round() types.Round { return e.round }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Committer exposes the underlying committer (read-only use: stats, last
+// ordered round).
+func (e *Engine) Committer() *bullshark.Committer { return e.committer }
+
+// Scheduler exposes the leader scheduler.
+func (e *Engine) Scheduler() leader.Scheduler { return e.scheduler }
+
+// DAG exposes the vertex store (read-only use).
+func (e *Engine) DAG() *dag.DAG { return e.dagStore }
+
+// OnMessage processes one protocol message.
+func (e *Engine) OnMessage(from types.ValidatorID, msg *Message, nowNanos int64) *Output {
+	out := &Output{}
+	if _, ok := e.committee.Authority(from); !ok {
+		e.stats.InvalidMessages++
+		return out
+	}
+	switch msg.Kind {
+	case KindHeader:
+		e.onHeader(from, msg.Header, out)
+	case KindVote:
+		e.onVote(msg.Vote, nowNanos, out)
+	case KindCertificate:
+		e.onCertificate(msg.Cert, nowNanos, out)
+	case KindCertRequest:
+		e.onCertRequest(from, msg.CertRequest, out)
+	case KindCertResponse:
+		for _, c := range msg.CertResponse.Certs {
+			e.onCertificate(c, nowNanos, out)
+		}
+		e.stats.SyncResponses++
+		// Batched catch-up: if we are still far behind after this response,
+		// immediately pull the next range from the same peer. Each
+		// round-trip advances MaxSyncBatch certificates, so a recovering
+		// validator outpaces the live frontier instead of crawling one
+		// round per resync interval.
+		e.maybeRangeSync(from, nowNanos, out)
+	case KindRoundRequest:
+		e.onRoundRequest(from, msg.RoundRequest, out)
+	default:
+		e.stats.InvalidMessages++
+	}
+	return out
+}
+
+// OnTimer processes a timer callback previously requested via Output.Timers.
+func (e *Engine) OnTimer(t Timer, nowNanos int64) *Output {
+	out := &Output{}
+	switch t.Kind {
+	case TimerLeader:
+		if e.round == types.Round(t.Round) {
+			e.leaderTimedOut[types.Round(t.Round)] = true
+			e.stats.LeaderTimeouts++
+			e.tryAdvance(nowNanos, out)
+		}
+	case TimerRoundDelay:
+		if e.round == types.Round(t.Round) {
+			e.roundDelayOK = true
+			e.tryAdvance(nowNanos, out)
+		}
+	case TimerResync:
+		e.resyncArmed = false
+		e.resync(out)
+	case TimerHeaderRetry:
+		if e.round == types.Round(t.Round) && !e.ownCertFormed && e.curHeader != nil {
+			out.broadcast(&Message{Kind: KindHeader, Header: e.curHeader})
+			out.timer(Timer{Kind: TimerHeaderRetry, Round: t.Round, Delay: e.config.ResyncInterval})
+		}
+	case TimerProgress:
+		if e.round == e.progressLastRound {
+			// No progress since the last check: pull the certificate
+			// frontier from a rotating peer.
+			n := uint32(e.committee.Size())
+			if n > 1 {
+				e.progressTarget++
+				target := types.ValidatorID(e.progressTarget % n)
+				if target == e.self {
+					e.progressTarget++
+					target = types.ValidatorID(e.progressTarget % n)
+				}
+				e.stats.SyncRequests++
+				from := e.committer.LastOrderedRound()
+				out.unicast(target, &Message{Kind: KindRoundRequest, RoundRequest: &RoundRequest{FromRound: from}})
+			}
+		}
+		e.progressLastRound = e.round
+		out.timer(Timer{Kind: TimerProgress, Delay: 2 * e.config.ResyncInterval})
+	}
+	return out
+}
+
+// ---- header / vote / certificate handling ----
+
+func (e *Engine) onHeader(from types.ValidatorID, h *Header, out *Output) {
+	if h == nil || h.Source != from || h.Round < 1 {
+		e.stats.InvalidMessages++
+		return
+	}
+	digest := h.Digest()
+	if e.config.VerifySignatures &&
+		!e.keys.Scheme.Verify(e.pubKeys[h.Source], digest[:], h.Signature) {
+		e.stats.InvalidMessages++
+		return
+	}
+	key := voteKey{origin: h.Source, round: h.Round}
+	if prev, voted := e.votedFor[key]; voted && prev != digest {
+		// Conflicting header for an already-voted slot: equivocation.
+		// Crash-fault deployments never hit this; refuse the second vote.
+		e.stats.InvalidMessages++
+		return
+	}
+	e.votedFor[key] = digest
+	sig, err := e.keys.Sign(digest[:])
+	if err != nil {
+		e.stats.InvalidMessages++
+		return
+	}
+	e.stats.VotesSent++
+	out.unicast(h.Source, &Message{Kind: KindVote, Vote: &Vote{
+		HeaderDigest: digest,
+		Round:        h.Round,
+		Origin:       h.Source,
+		Voter:        e.self,
+		Signature:    sig,
+	}})
+}
+
+func (e *Engine) onVote(v *Vote, nowNanos int64, out *Output) {
+	if v == nil || v.Origin != e.self || e.curHeader == nil {
+		return
+	}
+	if v.Round != e.round || v.HeaderDigest != e.curHeaderDigest || e.ownCertFormed {
+		return // stale or already certified
+	}
+	if e.config.VerifySignatures &&
+		!e.keys.Scheme.Verify(e.pubKeys[v.Voter], v.HeaderDigest[:], v.Signature) {
+		e.stats.InvalidMessages++
+		return
+	}
+	if _, dup := e.votes[v.Voter]; dup {
+		return
+	}
+	e.votes[v.Voter] = v.Signature
+
+	acc := types.NewStakeAccumulator(e.committee)
+	for voter := range e.votes {
+		acc.Add(voter)
+	}
+	if !acc.ReachedQuorum() {
+		return
+	}
+	cert := &Certificate{Header: *e.curHeader}
+	for _, id := range e.committee.ValidatorIDs() {
+		if sig, ok := e.votes[id]; ok {
+			cert.Votes = append(cert.Votes, VoteSig{Voter: id, Signature: sig})
+		}
+	}
+	e.ownCertFormed = true
+	e.stats.CertsFormed++
+	out.broadcast(&Message{Kind: KindCertificate, Cert: cert})
+	e.onCertificate(cert, nowNanos, out)
+}
+
+func (e *Engine) onCertificate(c *Certificate, nowNanos int64, out *Output) {
+	if c == nil {
+		return
+	}
+	digest := c.Digest()
+	if _, have := e.dagStore.ByDigest(digest); have {
+		return
+	}
+	if _, pend := e.pendingCerts[digest]; pend {
+		return
+	}
+	if !e.validCertificate(c, digest) {
+		e.stats.InvalidMessages++
+		return
+	}
+	e.stats.CertsReceived++
+
+	if missing := e.unknownParents(c); len(missing) > 0 {
+		e.stats.CertsPended++
+		e.pendingCerts[digest] = c
+		if c.Header.Round > e.maxPendingRound {
+			e.maxPendingRound = c.Header.Round
+		}
+		e.maybeRangeSync(c.Header.Source, nowNanos, out)
+		var toRequest []types.Digest
+		for _, m := range missing {
+			e.pendingByMissing[m] = append(e.pendingByMissing[m], digest)
+			if !e.requested[m] {
+				e.requested[m] = true
+				toRequest = append(toRequest, m)
+			}
+		}
+		if len(toRequest) > 0 {
+			e.stats.SyncRequests++
+			out.unicast(c.Header.Source, &Message{Kind: KindCertRequest, CertRequest: &CertRequest{Digests: toRequest}})
+		}
+		if !e.resyncArmed {
+			e.resyncArmed = true
+			out.timer(Timer{Kind: TimerResync, Delay: e.config.ResyncInterval})
+		}
+		return
+	}
+	e.insertCert(c, nowNanos, out)
+	e.tryAdvance(nowNanos, out)
+}
+
+// validCertificate checks quorum voting stake and, when enabled, signatures.
+func (e *Engine) validCertificate(c *Certificate, digest types.Digest) bool {
+	if c.Header.Round < 1 {
+		return false
+	}
+	if _, ok := e.committee.Authority(c.Header.Source); !ok {
+		return false
+	}
+	acc := types.NewStakeAccumulator(e.committee)
+	for _, vs := range c.Votes {
+		if e.config.VerifySignatures &&
+			!e.keys.Scheme.Verify(e.pubKeys[vs.Voter], digest[:], vs.Signature) {
+			continue
+		}
+		acc.Add(vs.Voter)
+	}
+	return acc.ReachedQuorum()
+}
+
+// unknownParents lists edge digests absent from both the DAG and the
+// pending set (pending parents will insert on their own).
+func (e *Engine) unknownParents(c *Certificate) []types.Digest {
+	var missing []types.Digest
+	for _, m := range e.dagStore.MissingParents(c.Header.Edges) {
+		missing = append(missing, m)
+	}
+	return missing
+}
+
+// insertCert inserts a certificate whose parents are all in the DAG, runs
+// the committer, and cascades any pending certificates this unblocked.
+func (e *Engine) insertCert(c *Certificate, nowNanos int64, out *Output) {
+	queue := []*Certificate{c}
+	for len(queue) > 0 {
+		cert := queue[0]
+		queue = queue[1:]
+		digest := cert.Digest()
+		if _, have := e.dagStore.ByDigest(digest); have {
+			continue
+		}
+		if len(e.dagStore.MissingParents(cert.Header.Edges)) > 0 {
+			// Still blocked (multiple missing parents): back to pending.
+			e.pendingCerts[digest] = cert
+			continue
+		}
+		vertex := cert.Header.Vertex()
+		if err := e.dagStore.Insert(vertex); err != nil {
+			e.stats.InvalidMessages++
+			continue
+		}
+		e.certStore[digest] = cert
+		delete(e.pendingCerts, digest)
+		delete(e.requested, digest)
+		out.InsertedCerts = append(out.InsertedCerts, cert)
+
+		commits := e.committer.ProcessVertex(vertex)
+		if len(commits) > 0 {
+			out.Commits = append(out.Commits, commits...)
+			e.commitsSinceGC += uint64(len(commits))
+			if e.commitsSinceGC >= e.config.GCEvery {
+				e.commitsSinceGC = 0
+				e.garbageCollect()
+			}
+		}
+
+		// Unblock children waiting on this digest.
+		for _, childDigest := range e.pendingByMissing[digest] {
+			if child, ok := e.pendingCerts[childDigest]; ok {
+				delete(e.pendingCerts, childDigest)
+				queue = append(queue, child)
+			}
+		}
+		delete(e.pendingByMissing, digest)
+	}
+}
+
+func (e *Engine) onCertRequest(from types.ValidatorID, req *CertRequest, out *Output) {
+	if req == nil {
+		return
+	}
+	resp := &CertResponse{}
+	for _, d := range req.Digests {
+		if len(resp.Certs) >= e.config.MaxSyncBatch {
+			break
+		}
+		if c, ok := e.certStore[d]; ok {
+			resp.Certs = append(resp.Certs, c)
+		}
+	}
+	if len(resp.Certs) > 0 {
+		out.unicast(from, &Message{Kind: KindCertResponse, CertResponse: resp})
+	}
+}
+
+// maybeRangeSync pulls a batch of certificates by round when the pending
+// frontier is far above our DAG (one-digest-at-a-time parent chasing cannot
+// outrun a live committee). Rate-limited: re-request only after our frontier
+// moved or the resync interval elapsed.
+func (e *Engine) maybeRangeSync(target types.ValidatorID, nowNanos int64, out *Output) {
+	const gapThreshold = 8
+	floor := e.dagStore.HighestRound()
+	if e.maxPendingRound <= floor+gapThreshold {
+		return
+	}
+	if floor == e.lastRangeReqFloor &&
+		nowNanos-e.lastRangeReqNanos < e.config.ResyncInterval.Nanoseconds() {
+		return
+	}
+	e.lastRangeReqFloor = floor
+	e.lastRangeReqNanos = nowNanos
+	e.stats.SyncRequests++
+	if target == e.self {
+		target = types.ValidatorID((uint32(e.self) + 1) % uint32(e.committee.Size()))
+	}
+	out.unicast(target, &Message{Kind: KindRoundRequest, RoundRequest: &RoundRequest{FromRound: floor}})
+}
+
+// onRoundRequest serves the certificate frontier: every retained cert from
+// the requested round on, oldest rounds first so the requester can insert
+// parents-first, capped at MaxSyncBatch.
+func (e *Engine) onRoundRequest(from types.ValidatorID, req *RoundRequest, out *Output) {
+	if req == nil {
+		return
+	}
+	certs := make([]*Certificate, 0, e.config.MaxSyncBatch)
+	for _, c := range e.certStore {
+		if c.Header.Round >= req.FromRound {
+			certs = append(certs, c)
+		}
+	}
+	sort.Slice(certs, func(i, j int) bool {
+		if certs[i].Header.Round != certs[j].Header.Round {
+			return certs[i].Header.Round < certs[j].Header.Round
+		}
+		return certs[i].Header.Source < certs[j].Header.Source
+	})
+	if len(certs) > e.config.MaxSyncBatch {
+		certs = certs[:e.config.MaxSyncBatch]
+	}
+	if len(certs) > 0 {
+		out.unicast(from, &Message{Kind: KindCertResponse, CertResponse: &CertResponse{Certs: certs}})
+	}
+}
+
+// resync re-requests every still-missing parent, rotating targets across the
+// committee so a crashed original source does not wedge synchronization.
+func (e *Engine) resync(out *Output) {
+	if len(e.pendingByMissing) == 0 {
+		return
+	}
+	digests := make([]types.Digest, 0, len(e.pendingByMissing))
+	for m := range e.pendingByMissing {
+		digests = append(digests, m)
+	}
+	// Sort for determinism (map iteration order would make simulation runs
+	// unreproducible), then spread requests over peers by digest prefix so a
+	// crashed original source cannot wedge synchronization.
+	sort.Slice(digests, func(i, j int) bool {
+		return bytes.Compare(digests[i][:], digests[j][:]) < 0
+	})
+	n := uint32(e.committee.Size())
+	perTarget := make(map[types.ValidatorID][]types.Digest, n)
+	for _, d := range digests {
+		target := types.ValidatorID(uint32(d[0]) % n)
+		if target == e.self {
+			target = types.ValidatorID((uint32(d[0]) + 1) % n)
+		}
+		perTarget[target] = append(perTarget[target], d)
+	}
+	for _, target := range e.committee.ValidatorIDs() {
+		ds, ok := perTarget[target]
+		if !ok {
+			continue
+		}
+		e.stats.SyncRequests++
+		out.unicast(target, &Message{Kind: KindCertRequest, CertRequest: &CertRequest{Digests: ds}})
+	}
+	e.resyncArmed = true
+	out.timer(Timer{Kind: TimerResync, Delay: e.config.ResyncInterval})
+}
+
+// ---- round advancement ----
+
+// tryAdvance proposes the next header when the current round is complete:
+// quorum of certificates, our own certificate (or the network has visibly
+// moved past us), the pacing delay elapsed, and — leaving an anchor round —
+// the leader's certificate arrived or timed out (Bullshark's leader-wait,
+// the mechanism that makes crashed leaders expensive for the baseline).
+func (e *Engine) tryAdvance(nowNanos int64, out *Output) {
+	for {
+		// Catch-up jump: when the DAG is far ahead of our proposing round
+		// (post-recovery, post-partition), skip straight to the highest
+		// round holding a quorum — headers for long-gone rounds are useless.
+		// The gap threshold keeps ordinary jitter (a peer briefly a round or
+		// two ahead) on the paced path.
+		if frontier := e.dagStore.HighestRound(); frontier > e.round+4 {
+			for r := frontier; r > e.round; r-- {
+				if e.dagStore.HasQuorumAt(r) {
+					e.round = r
+					e.ownCertFormed = true // our slot in skipped rounds is forfeited
+					e.roundDelayOK = true
+					break
+				}
+			}
+		}
+		if !e.dagStore.HasQuorumAt(e.round) {
+			return
+		}
+		behind := e.dagStore.HighestRound() > e.round
+		if !e.ownCertFormed && !behind {
+			return
+		}
+		if !e.roundDelayOK {
+			return
+		}
+		if e.round.IsAnchorRound() && e.round > 0 && !behind && !e.leaderTimedOut[e.round] {
+			leaderID := e.scheduler.LeaderAt(e.round)
+			if leaderID != e.self && leaderID != types.NoValidator {
+				if _, haveLeader := e.dagStore.Get(e.round, leaderID); !haveLeader {
+					if !e.leaderTimerArmed[e.round] {
+						e.leaderTimerArmed[e.round] = true
+						out.timer(Timer{Kind: TimerLeader, Round: uint64(e.round), Delay: e.config.LeaderTimeout})
+					}
+					return
+				}
+			}
+		}
+		e.propose(e.round+1, nowNanos, out)
+	}
+}
+
+func (e *Engine) propose(round types.Round, nowNanos int64, out *Output) {
+	parents := e.dagStore.RoundVertices(round - 1)
+	edges := make([]types.Digest, len(parents))
+	for i, p := range parents {
+		edges[i] = p.Digest()
+	}
+	header := &Header{
+		Round:        round,
+		Source:       e.self,
+		Edges:        edges,
+		Batch:        e.batches.NextBatch(nowNanos, e.config.MaxBatchTx),
+		CreatedNanos: nowNanos,
+	}
+	digest := header.Digest()
+	sig, err := e.keys.Sign(digest[:])
+	if err != nil {
+		// Unreachable with well-formed keys; drop the proposal and let the
+		// round delay retry.
+		e.stats.InvalidMessages++
+		return
+	}
+	header.Signature = sig
+
+	e.round = round
+	e.curHeader = header
+	e.curHeaderDigest = digest
+	e.votes = make(map[types.ValidatorID]crypto.Signature)
+	e.votes[e.self] = sig // self-vote
+	e.ownCertFormed = false
+	e.roundDelayOK = false
+	e.lastProposeNanos = nowNanos
+	e.votedFor[voteKey{origin: e.self, round: round}] = digest
+	e.stats.HeadersProposed++
+
+	out.broadcast(&Message{Kind: KindHeader, Header: header})
+	out.timer(Timer{Kind: TimerRoundDelay, Round: uint64(round), Delay: e.config.MinRoundDelay})
+	out.timer(Timer{Kind: TimerHeaderRetry, Round: uint64(round), Delay: e.config.ResyncInterval})
+
+	// A lone validator committee (n=1) certifies immediately on self-vote.
+	acc := types.NewStakeAccumulator(e.committee)
+	acc.Add(e.self)
+	if acc.ReachedQuorum() && !e.ownCertFormed {
+		cert := &Certificate{Header: *header, Votes: []VoteSig{{Voter: e.self, Signature: sig}}}
+		e.ownCertFormed = true
+		e.stats.CertsFormed++
+		out.broadcast(&Message{Kind: KindCertificate, Cert: cert})
+		e.onCertificate(cert, nowNanos, out)
+	}
+}
+
+// garbageCollect prunes DAG rounds, certificates and vote records no longer
+// needed by the committer or the scheduler's score scans.
+func (e *Engine) garbageCollect() {
+	floor := e.committer.LastOrderedRound()
+	if mr, ok := e.scheduler.(minRetainer); ok {
+		if m := mr.MinRetainedRound(); m < floor {
+			floor = m
+		}
+	}
+	if floor <= types.Round(e.config.GCDepth) {
+		return
+	}
+	floor -= types.Round(e.config.GCDepth)
+	e.committer.Prune(floor)
+	for d, c := range e.certStore {
+		if c.Header.Round < floor {
+			delete(e.certStore, d)
+		}
+	}
+	for k := range e.votedFor {
+		if k.round < floor {
+			delete(e.votedFor, k)
+		}
+	}
+	for r := range e.leaderTimedOut {
+		if r < floor {
+			delete(e.leaderTimedOut, r)
+			delete(e.leaderTimerArmed, r)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package engine implements the networked validator protocol as a
+// deterministic state machine: Narwhal-style vertex certification (header →
+// votes → certificate), round pacing with the Bullshark leader-wait rule,
+// causal-history synchronization, and commit delivery through the Bullshark
+// committer. The same engine is driven by the discrete-event simulator
+// (internal/simnet) for paper-scale experiments and by the real node
+// (internal/node) over TCP.
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hammerhead/internal/crypto"
+	"hammerhead/internal/dag"
+	"hammerhead/internal/types"
+)
+
+// MessageKind discriminates protocol messages.
+type MessageKind uint8
+
+// Message kinds. Start at 1 so the zero value is invalid.
+const (
+	KindHeader MessageKind = iota + 1
+	KindVote
+	KindCertificate
+	KindCertRequest
+	KindCertResponse
+	KindRoundRequest
+)
+
+// String implements fmt.Stringer.
+func (k MessageKind) String() string {
+	switch k {
+	case KindHeader:
+		return "header"
+	case KindVote:
+		return "vote"
+	case KindCertificate:
+		return "certificate"
+	case KindCertRequest:
+		return "cert-request"
+	case KindCertResponse:
+		return "cert-response"
+	case KindRoundRequest:
+		return "round-request"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Header is a proposed vertex: the block a validator offers for round r,
+// referencing a quorum of round r-1 certificates.
+type Header struct {
+	Round        types.Round
+	Source       types.ValidatorID
+	Edges        []types.Digest
+	Batch        *types.Batch
+	CreatedNanos int64
+	// Signature covers the header digest.
+	Signature crypto.Signature
+
+	// Digest memos: headers are immutable once signed, and their digests
+	// are requested on every hop (vote checks, certificate validation,
+	// vertex construction). The memo fields are unexported, so gob skips
+	// them and each process computes at most once per header copy.
+	digestMemo  types.Digest
+	digestOK    bool
+	batchMemo   types.Digest
+	batchMemoOK bool
+}
+
+// Digest returns the content address of the header, shared with the
+// certificate and DAG vertex it becomes.
+func (h *Header) Digest() types.Digest {
+	if !h.digestOK {
+		h.digestMemo = dag.ComputeDigest(h.Round, h.Source, h.Edges, h.batchDigest())
+		h.digestOK = true
+	}
+	return h.digestMemo
+}
+
+func (h *Header) batchDigest() types.Digest {
+	if h.batchMemoOK {
+		return h.batchMemo
+	}
+	if h.Batch == nil || len(h.Batch.Transactions) == 0 {
+		h.batchMemo = types.ZeroDigest
+	} else {
+		buf := make([]byte, 8*len(h.Batch.Transactions))
+		for i := range h.Batch.Transactions {
+			binary.BigEndian.PutUint64(buf[i*8:], h.Batch.Transactions[i].ID)
+		}
+		h.batchMemo = types.HashBytes(buf)
+	}
+	h.batchMemoOK = true
+	return h.batchMemo
+}
+
+// Vertex converts the header into the DAG vertex its certificate certifies,
+// reusing the memoized digests.
+func (h *Header) Vertex() *dag.Vertex {
+	return dag.NewVertexPrecomputed(h.Round, h.Source, h.Edges, h.Batch, h.CreatedNanos, h.batchDigest(), h.Digest())
+}
+
+// EncodedSize approximates the wire size in bytes, used by the simulator's
+// bandwidth model.
+func (h *Header) EncodedSize() int {
+	n := 8 + 4 + 8 + len(h.Signature) + len(h.Edges)*types.DigestSize
+	if h.Batch != nil {
+		n += h.Batch.EncodedSize()
+	}
+	return n
+}
+
+// Vote endorses a header. One vote per (source, round) per voter.
+type Vote struct {
+	HeaderDigest types.Digest
+	Round        types.Round
+	Origin       types.ValidatorID // the header's source
+	Voter        types.ValidatorID
+	Signature    crypto.Signature
+}
+
+// EncodedSize approximates the wire size in bytes.
+func (v *Vote) EncodedSize() int {
+	return types.DigestSize + 8 + 4 + 4 + len(v.Signature)
+}
+
+// VoteSig is one voter's signature inside a certificate.
+type VoteSig struct {
+	Voter     types.ValidatorID
+	Signature crypto.Signature
+}
+
+// Certificate proves a quorum endorsed the header; it is the unit inserted
+// into the DAG.
+type Certificate struct {
+	Header Header
+	Votes  []VoteSig
+}
+
+// Digest returns the certified vertex digest.
+func (c *Certificate) Digest() types.Digest { return c.Header.Digest() }
+
+// EncodedSize approximates the wire size in bytes.
+func (c *Certificate) EncodedSize() int {
+	n := c.Header.EncodedSize()
+	for i := range c.Votes {
+		n += 4 + len(c.Votes[i].Signature)
+	}
+	return n
+}
+
+// CertRequest asks a peer for certificates by digest (causal-history sync).
+type CertRequest struct {
+	Digests []types.Digest
+}
+
+// EncodedSize approximates the wire size in bytes.
+func (r *CertRequest) EncodedSize() int { return 8 + len(r.Digests)*types.DigestSize }
+
+// RoundRequest asks a peer for every certificate it holds from FromRound on
+// — the anti-deadlock pull: when a validator observes no round progress for
+// a while (lost certificate broadcasts can stall a whole committee at one
+// round with nothing referencing the lost certs), it asks a rotating peer
+// for the frontier. Narwhal's certificate fetcher plays the same role.
+type RoundRequest struct {
+	FromRound types.Round
+}
+
+// EncodedSize approximates the wire size in bytes.
+func (r *RoundRequest) EncodedSize() int { return 8 }
+
+// CertResponse returns requested certificates.
+type CertResponse struct {
+	Certs []*Certificate
+}
+
+// EncodedSize approximates the wire size in bytes.
+func (r *CertResponse) EncodedSize() int {
+	n := 8
+	for _, c := range r.Certs {
+		n += c.EncodedSize()
+	}
+	return n
+}
+
+// Message is the transport envelope: exactly one payload field is set,
+// matching Kind. A flat struct keeps encoding trivial (encoding/gob) and
+// runtime dispatch a single switch.
+type Message struct {
+	Kind         MessageKind
+	Header       *Header
+	Vote         *Vote
+	Cert         *Certificate
+	CertRequest  *CertRequest
+	CertResponse *CertResponse
+	RoundRequest *RoundRequest
+}
+
+// EncodedSize approximates the wire size in bytes.
+func (m *Message) EncodedSize() int {
+	n := 1
+	switch m.Kind {
+	case KindHeader:
+		n += m.Header.EncodedSize()
+	case KindVote:
+		n += m.Vote.EncodedSize()
+	case KindCertificate:
+		n += m.Cert.EncodedSize()
+	case KindCertRequest:
+		n += m.CertRequest.EncodedSize()
+	case KindCertResponse:
+		n += m.CertResponse.EncodedSize()
+	case KindRoundRequest:
+		n += m.RoundRequest.EncodedSize()
+	}
+	return n
+}
+
+// String implements fmt.Stringer for logs.
+func (m *Message) String() string {
+	switch m.Kind {
+	case KindHeader:
+		return fmt.Sprintf("header{r=%d src=%s}", m.Header.Round, m.Header.Source)
+	case KindVote:
+		return fmt.Sprintf("vote{r=%d origin=%s voter=%s}", m.Vote.Round, m.Vote.Origin, m.Vote.Voter)
+	case KindCertificate:
+		return fmt.Sprintf("cert{r=%d src=%s}", m.Cert.Header.Round, m.Cert.Header.Source)
+	case KindCertRequest:
+		return fmt.Sprintf("cert-request{%d digests}", len(m.CertRequest.Digests))
+	case KindCertResponse:
+		return fmt.Sprintf("cert-response{%d certs}", len(m.CertResponse.Certs))
+	case KindRoundRequest:
+		return fmt.Sprintf("round-request{from=%d}", m.RoundRequest.FromRound)
+	default:
+		return m.Kind.String()
+	}
+}

@@ -1,0 +1,230 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"hammerhead/internal/bullshark"
+	"hammerhead/internal/core"
+	"hammerhead/internal/dag"
+	"hammerhead/internal/leader"
+	"hammerhead/internal/simnet"
+	"hammerhead/internal/types"
+)
+
+// Result is the outcome of one scenario run: the numbers the paper's
+// figures plot plus protocol-level counters.
+type Result struct {
+	Scenario Scenario
+
+	// Submitted and Executed count transactions offered and finalized
+	// (executed at the observer validator) within the run window.
+	Submitted uint64
+	Executed  uint64
+	// ThroughputTxPerSec is Executed divided by the run duration — the
+	// y-axis... x-axis of Figures 1-2.
+	ThroughputTxPerSec float64
+	// Latency is submission-to-execution latency at the observer.
+	Latency LatencyStats
+
+	// WindowLatencies holds per-window latency stats when Scenario.Windows
+	// is set (len(Windows)+1 entries, by submit time). Window samples ignore
+	// the warmup cut — the windows themselves define the periods of
+	// interest.
+	WindowLatencies []LatencyStats
+
+	// Protocol counters (observer validator).
+	Commits          uint64
+	SkippedAnchors   uint64
+	LeaderTimeouts   uint64
+	ScheduleSwitches int
+	Excluded         []types.ValidatorID
+	LastOrderedRound types.Round
+	// SimEvents is the number of simulation events processed (cost metric).
+	SimEvents uint64
+}
+
+// observer is the validator where latency and throughput are measured. It
+// is never crashed (faults take the highest IDs).
+const observer = types.ValidatorID(0)
+
+// Run executes one scenario and returns its measurements.
+func Run(s Scenario) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	committee, err := types.NewEqualStakeCommittee(s.N)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiment: %w", err)
+	}
+
+	factory := func(c *types.Committee, d *dag.DAG) (leader.Scheduler, error) {
+		if s.Mechanism == Bullshark {
+			return leader.NewRoundRobin(c, uint64(s.Seed)), nil
+		}
+		cfg := s.CoreConfig()
+		if s.SwapFraction > 0 {
+			cfg.MaxSwapStake = types.Stake(s.SwapFraction * float64(c.TotalStake()))
+		}
+		return core.NewManager(c, d, cfg)
+	}
+
+	// Execution stage model: a FIFO server at the observer with service time
+	// ExecCostPerTx per transaction; latency is submit -> execution done.
+	execCost := s.ExecCostPerTx().Nanoseconds()
+	var execFreeAt int64
+	var executed, commits uint64
+	var latencies []time.Duration
+	warmupNanos := s.Warmup.Nanoseconds()
+	endNanos := s.Duration.Nanoseconds()
+	windowSamples := make([][]time.Duration, len(s.Windows)+1)
+	windowAt := func(submit int64) int {
+		for i, b := range s.Windows {
+			if submit < b.Nanoseconds() {
+				return i
+			}
+		}
+		return len(s.Windows)
+	}
+
+	hook := func(node types.ValidatorID, sub bullshark.CommittedSubDAG, now int64) {
+		if node != observer {
+			return
+		}
+		commits++
+		for _, v := range sub.Vertices {
+			if v.Batch == nil {
+				continue
+			}
+			for i := range v.Batch.Transactions {
+				tx := &v.Batch.Transactions[i]
+				start := now
+				if execFreeAt > start {
+					start = execFreeAt
+				}
+				done := start + execCost
+				execFreeAt = done
+				if done > endNanos {
+					continue // finalized after the measured run
+				}
+				if len(s.Windows) > 0 && tx.SubmitTimeNanos > 0 {
+					w := windowAt(tx.SubmitTimeNanos)
+					windowSamples[w] = append(windowSamples[w], time.Duration(done-tx.SubmitTimeNanos))
+				}
+				// Aggregate stats cover only the steady-state window:
+				// transactions submitted after warmup.
+				if tx.SubmitTimeNanos < warmupNanos {
+					continue
+				}
+				executed++
+				if tx.SubmitTimeNanos > 0 {
+					latencies = append(latencies, time.Duration(done-tx.SubmitTimeNanos))
+				}
+			}
+		}
+	}
+
+	cluster, err := simnet.NewCluster(simnet.ClusterConfig{
+		Committee:    committee,
+		Engine:       s.EngineConfig(),
+		Latency:      simnet.NewGeo(s.N),
+		NewScheduler: factory,
+		OnCommit:     hook,
+		Seed:         s.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Fault injection: the highest-ID validators crash at CrashAt and, for
+	// the reintegration experiment, recover at RecoverAt.
+	for i := 0; i < s.Faults; i++ {
+		id := types.ValidatorID(s.N - 1 - i)
+		cluster.CrashAt(id, s.CrashAt)
+		if s.RecoverAt > 0 {
+			cluster.Recover(id, s.RecoverAt)
+		}
+	}
+	// Incident injection: SlowCount validators (highest live IDs) degraded.
+	for i := 0; i < s.SlowCount; i++ {
+		id := types.ValidatorID(s.N - 1 - s.Faults - i)
+		cluster.SlowDown(id, s.SlowFactor, s.SlowFrom, s.SlowUntil)
+	}
+
+	submitted := startLoad(cluster, s)
+	cluster.Start()
+	cluster.Sim.RunFor(s.Duration)
+
+	res := Result{
+		Scenario:           s,
+		Submitted:          *submitted,
+		Executed:           executed,
+		ThroughputTxPerSec: float64(executed) / (s.Duration - s.Warmup).Seconds(),
+		Latency:            SummarizeLatencies(latencies),
+		Commits:            commits,
+		SimEvents:          cluster.Sim.Processed(),
+	}
+	if len(s.Windows) > 0 {
+		res.WindowLatencies = make([]LatencyStats, len(windowSamples))
+		for i, samples := range windowSamples {
+			res.WindowLatencies[i] = SummarizeLatencies(samples)
+		}
+	}
+	obs := cluster.Engine(observer)
+	cs := obs.Committer().Stats()
+	res.SkippedAnchors = cs.SkippedAnchors
+	res.LeaderTimeouts = obs.Stats().LeaderTimeouts
+	res.LastOrderedRound = obs.Committer().LastOrderedRound()
+	if m, ok := obs.Scheduler().(*core.Manager); ok {
+		res.ScheduleSwitches = m.SwitchCount()
+		res.Excluded = m.Excluded()
+	}
+	return res, nil
+}
+
+// startLoad schedules the open-loop client stream: total rate LoadTxPerSec,
+// spread round-robin over live validators; a client whose target is crashed
+// fails over to the next live one (the paper's load generators target live
+// validators). Returns a counter of submitted transactions.
+func startLoad(cluster *simnet.Cluster, s Scenario) *uint64 {
+	submitted := new(uint64)
+	if s.LoadTxPerSec <= 0 {
+		return submitted
+	}
+	interval := time.Duration(float64(time.Second) / s.LoadTxPerSec)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	payload := make([]byte, s.TxPayloadBytes)
+	n := s.N
+	var seq uint64
+	var tick func()
+	tick = func() {
+		if cluster.Sim.Now() >= s.Duration.Nanoseconds() {
+			return
+		}
+		seq++
+		tx := types.Transaction{ID: seq, Payload: payload}
+		// Round-robin with fail-over across the committee. The fail-over
+		// probe strides by a value coprime to n so that load aimed at a
+		// contiguous block of crashed validators spreads uniformly over the
+		// live ones instead of piling onto the first live neighbour.
+		stride := uint64(1)
+		for _, p := range []uint64{37, 31, 23, 17, 3} {
+			if uint64(n)%p != 0 {
+				stride = p
+				break
+			}
+		}
+		for attempt := uint64(0); attempt < uint64(n); attempt++ {
+			target := types.ValidatorID((seq + attempt*stride) % uint64(n))
+			if err := cluster.SubmitTx(target, tx); err == nil {
+				*submitted++
+				break
+			}
+		}
+		cluster.Sim.After(interval, tick)
+	}
+	cluster.Sim.After(interval, tick)
+	return submitted
+}

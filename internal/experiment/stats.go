@@ -1,0 +1,64 @@
+// Package experiment reproduces the paper's evaluation: it assembles
+// simulated deployments (internal/simnet), drives them with open-loop
+// transaction load, models the execution stage's capacity, and reports the
+// latency/throughput statistics behind every figure and table.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyStats summarizes a latency sample set.
+type LatencyStats struct {
+	Count  int
+	Mean   time.Duration
+	StdDev time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Max    time.Duration
+}
+
+// SummarizeLatencies computes stats over samples (which it sorts in place).
+func SummarizeLatencies(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum float64
+	for _, s := range samples {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(samples))
+	var sqDiff float64
+	for _, s := range samples {
+		d := float64(s) - mean
+		sqDiff += d * d
+	}
+	std := math.Sqrt(sqDiff / float64(len(samples)))
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(samples)-1))
+		return samples[idx]
+	}
+	return LatencyStats{
+		Count:  len(samples),
+		Mean:   time.Duration(mean),
+		StdDev: time.Duration(std),
+		P50:    pct(0.50),
+		P95:    pct(0.95),
+		P99:    pct(0.99),
+		Max:    samples[len(samples)-1],
+	}
+}
+
+// String renders the stats compactly for experiment tables.
+func (s LatencyStats) String() string {
+	if s.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("mean=%.2fs sd=%.2fs p50=%.2fs p95=%.2fs",
+		s.Mean.Seconds(), s.StdDev.Seconds(), s.P50.Seconds(), s.P95.Seconds())
+}

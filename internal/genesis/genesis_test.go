@@ -1,0 +1,111 @@
+package genesis
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"hammerhead/internal/crypto"
+)
+
+func TestGenerateSaveLoadRoundTrip(t *testing.T) {
+	var seed [32]byte
+	seed[0] = 9
+	f, pairs, err := Generate("ed25519", seed, 4, "127.0.0.1", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Validators) != 4 || len(pairs) != 4 {
+		t.Fatalf("generated %d validators, %d pairs", len(f.Validators), len(pairs))
+	}
+	path := filepath.Join(t.TempDir(), "committee.json")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Scheme != "ed25519" || len(loaded.Validators) != 4 {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	if loaded.Validators[2].Address != "127.0.0.1:9002" {
+		t.Fatalf("address = %s", loaded.Validators[2].Address)
+	}
+
+	committee, err := loaded.Committee()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committee.Size() != 4 || committee.TotalStake() != 4 {
+		t.Fatalf("committee = %d members, %d stake", committee.Size(), committee.TotalStake())
+	}
+	pubs, err := loaded.PublicKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pubs {
+		if !bytes.Equal(pubs[i], pairs[i].Public) {
+			t.Fatalf("public key %d does not round trip", i)
+		}
+	}
+}
+
+func TestKeyFileRoundTrip(t *testing.T) {
+	var seed [32]byte
+	kp, err := crypto.NewKeyPair(crypto.Ed25519{}, seed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "v3.key")
+	if err := WriteKeyFile(path, kp.Private); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadKeyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, kp.Private) {
+		t.Fatal("key does not round trip")
+	}
+}
+
+func TestValidateRejectsBadFiles(t *testing.T) {
+	tests := []struct {
+		name string
+		file File
+	}{
+		{"bad scheme", File{Scheme: "rsa", Validators: []ValidatorSpec{{Stake: 1, PublicKey: "aa"}}}},
+		{"empty", File{Scheme: "ed25519"}},
+		{"zero stake", File{Scheme: "ed25519", Validators: []ValidatorSpec{{Stake: 0, PublicKey: "aa"}}}},
+		{"no key", File{Scheme: "ed25519", Validators: []ValidatorSpec{{Stake: 1}}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.file.Validate(); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+}
+
+func TestPeerAddrsExcludesSelf(t *testing.T) {
+	var seed [32]byte
+	f, _, err := Generate("insecure", seed, 3, "h", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := f.PeerAddrs(1)
+	if len(peers) != 2 {
+		t.Fatalf("peers = %v", peers)
+	}
+	if _, hasSelf := peers[1]; hasSelf {
+		t.Fatal("self must be excluded")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,98 @@
+// Package mempool buffers client transactions until the consensus engine
+// drains them into header batches. It implements engine.BatchProvider.
+//
+// The pool is intentionally simple — a bounded FIFO — because the paper's
+// workload is a fixed-rate open-loop load of small transactions; fairness
+// and fee ordering are out of scope. Backpressure (ErrFull) is what turns
+// an overloaded validator into queueing latency in the experiments rather
+// than unbounded memory growth.
+package mempool
+
+import (
+	"errors"
+	"sync"
+
+	"hammerhead/internal/types"
+)
+
+// ErrFull is returned when the pool is at capacity; clients should back off.
+var ErrFull = errors.New("mempool: pool is full")
+
+// Stats are cumulative mempool counters.
+type Stats struct {
+	Submitted uint64
+	Rejected  uint64
+	Drained   uint64
+}
+
+// Pool is a bounded transaction queue. Safe for concurrent use: clients
+// submit from any goroutine while the engine drains from its own.
+type Pool struct {
+	mu      sync.Mutex
+	queue   []types.Transaction
+	head    int
+	maxSize int
+	stats   Stats
+}
+
+// New creates a pool holding at most maxSize transactions.
+func New(maxSize int) *Pool {
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	return &Pool{maxSize: maxSize}
+}
+
+// Submit enqueues a transaction, stamping SubmitTimeNanos if unset.
+func (p *Pool) Submit(tx types.Transaction) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pendingLocked() >= p.maxSize {
+		p.stats.Rejected++
+		return ErrFull
+	}
+	p.queue = append(p.queue, tx)
+	p.stats.Submitted++
+	return nil
+}
+
+// NextBatch implements engine.BatchProvider: it pops up to maxTx
+// transactions, returning nil when the pool is empty (empty headers are
+// valid and keep rounds advancing under low load).
+func (p *Pool) NextBatch(_ int64, maxTx int) *types.Batch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.pendingLocked()
+	if n == 0 {
+		return nil
+	}
+	if n > maxTx {
+		n = maxTx
+	}
+	txs := make([]types.Transaction, n)
+	copy(txs, p.queue[p.head:p.head+n])
+	p.head += n
+	p.stats.Drained += uint64(n)
+	// Compact once the dead prefix dominates, amortizing to O(1) per tx.
+	if p.head > len(p.queue)/2 && p.head > 1024 {
+		p.queue = append(p.queue[:0:0], p.queue[p.head:]...)
+		p.head = 0
+	}
+	return &types.Batch{Transactions: txs}
+}
+
+// Pending returns the number of queued transactions.
+func (p *Pool) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pendingLocked()
+}
+
+func (p *Pool) pendingLocked() int { return len(p.queue) - p.head }
+
+// Stats returns a copy of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -1,0 +1,115 @@
+package mempool
+
+import (
+	"sync"
+	"testing"
+
+	"hammerhead/internal/types"
+)
+
+func TestSubmitAndDrainFIFO(t *testing.T) {
+	p := New(100)
+	for i := uint64(1); i <= 5; i++ {
+		if err := p.Submit(types.Transaction{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := p.NextBatch(0, 3)
+	if b == nil || len(b.Transactions) != 3 {
+		t.Fatalf("batch = %v, want 3 txs", b)
+	}
+	for i, tx := range b.Transactions {
+		if tx.ID != uint64(i+1) {
+			t.Fatalf("tx %d has ID %d, want FIFO order", i, tx.ID)
+		}
+	}
+	if got := p.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	b2 := p.NextBatch(0, 10)
+	if len(b2.Transactions) != 2 {
+		t.Fatalf("second batch has %d txs, want 2", len(b2.Transactions))
+	}
+	if p.NextBatch(0, 10) != nil {
+		t.Fatal("empty pool must return nil batch")
+	}
+}
+
+func TestSubmitBackpressure(t *testing.T) {
+	p := New(2)
+	if err := p.Submit(types.Transaction{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(types.Transaction{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(types.Transaction{ID: 3}); err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	st := p.Stats()
+	if st.Submitted != 2 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 2 submitted 1 rejected", st)
+	}
+	// Draining frees capacity.
+	p.NextBatch(0, 1)
+	if err := p.Submit(types.Transaction{ID: 3}); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+func TestCompactionPreservesOrder(t *testing.T) {
+	p := New(100000)
+	const n = 5000
+	for i := uint64(1); i <= n; i++ {
+		if err := p.Submit(types.Transaction{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var next uint64 = 1
+	for {
+		b := p.NextBatch(0, 700)
+		if b == nil {
+			break
+		}
+		for _, tx := range b.Transactions {
+			if tx.ID != next {
+				t.Fatalf("got ID %d, want %d", tx.ID, next)
+			}
+			next++
+		}
+	}
+	if next != n+1 {
+		t.Fatalf("drained %d txs, want %d", next-1, n)
+	}
+}
+
+func TestConcurrentSubmitDrain(t *testing.T) {
+	p := New(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = p.Submit(types.Transaction{ID: uint64(g*1000 + i + 1)})
+			}
+		}(g)
+	}
+	var drained int
+	var dwg sync.WaitGroup
+	dwg.Add(1)
+	go func() {
+		defer dwg.Done()
+		for i := 0; i < 2000; i++ {
+			if b := p.NextBatch(0, 7); b != nil {
+				drained += len(b.Transactions)
+			}
+		}
+	}()
+	wg.Wait()
+	dwg.Wait()
+	total := drained + p.Pending()
+	if total != 4000 {
+		t.Fatalf("drained+pending = %d, want 4000", total)
+	}
+}

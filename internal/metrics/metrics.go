@@ -1,0 +1,215 @@
+// Package metrics is a minimal Prometheus-style metrics registry: counters,
+// gauges and histograms with text exposition over HTTP. It stands in for
+// the paper's Prometheus/Grafana monitoring stack (DESIGN.md §4) — the
+// HammerHead production rollout leaned heavily on continuous monitoring of
+// reputation scores, and hammerhead-node exposes the same signals.
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. Safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an arbitrary instantaneous value. Safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations in fixed upper-bound buckets (cumulative on
+// exposition, like Prometheus). Safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // scaled by 1e6 to keep integer atomics
+	total  atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	return &Histogram{
+		bounds: sorted,
+		counts: make([]atomic.Uint64, len(sorted)+1), // +inf bucket
+	}
+}
+
+// Observe records a sample.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	if v > 0 {
+		h.sum.Add(uint64(v * 1e6))
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return float64(h.sum.Load()) / 1e6 }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1) from
+// bucket boundaries; the top bucket returns +inf as its bound, reported as
+// the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry names and exposes metrics. The zero value is ready to use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Render writes the Prometheus text exposition of all metrics, sorted by
+// name for stable output.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name].Value())
+	}
+
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value())
+	}
+
+	names = names[:0]
+	for name := range r.histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.histograms[name]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, trimFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+		fmt.Fprintf(&b, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", f), "0"), ".")
+}
+
+// ServeHTTP implements http.Handler with the text exposition, so a registry
+// can be mounted directly at /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(r.Render()))
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hh_commits_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("hh_commits_total") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("hh_round")
+	g.Set(42)
+	g.Add(-2)
+	if g.Value() != 40 {
+		t.Fatalf("gauge = %d, want 40", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.5, 1, 5})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.05) // bucket le=0.1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(2) // bucket le=5
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 0.1 {
+		t.Fatalf("p50 = %g, want 0.1", got)
+	}
+	if got := h.Quantile(0.95); got != 5 {
+		t.Fatalf("p95 = %g, want 5", got)
+	}
+	wantSum := 90*0.05 + 10*2.0
+	if got := h.Sum(); got < wantSum-0.01 || got > wantSum+0.01 {
+		t.Fatalf("sum = %g, want %g", got, wantSum)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(100)
+	if got := h.Quantile(0.99); got != 1 {
+		t.Fatalf("overflow quantile = %g, want largest finite bound 1", got)
+	}
+}
+
+func TestRenderExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b_now").Set(-7)
+	h := r.Histogram("c_latency_seconds", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(0.7)
+	h.Observe(9)
+
+	out := r.Render()
+	for _, want := range []string{
+		"# TYPE a_total counter\na_total 3",
+		"# TYPE b_now gauge\nb_now -7",
+		`c_latency_seconds_bucket{le="0.5"} 1`,
+		`c_latency_seconds_bucket{le="1"} 2`,
+		`c_latency_seconds_bucket{le="+Inf"} 3`,
+		"c_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared_total").Inc()
+				r.Histogram("shared_hist", []float64{1, 10}).Observe(float64(i % 12))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared_hist", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,264 @@
+// Package rbc implements Bracha-style Byzantine reliable broadcast — the
+// building block HammerHead's model assumes (paper Definition 1).
+//
+// The production DAG path disseminates vertices through Narwhal-style
+// certificates (internal/engine), which subsume reliable broadcast for the
+// crash-fault evaluations; this package provides the primitive in its
+// classic echo/ready form, usable standalone and exercised by its own tests
+// and example, so the repository contains a faithful implementation of every
+// building block the paper states.
+//
+// The protocol, per (origin, round) instance:
+//
+//	broadcaster: send  <SEND, m>        to all
+//	on SEND from origin (first):  send <ECHO, m> to all
+//	on ECHO from 2f+1 stake (same digest), or READY from f+1 stake:
+//	      send <READY, digest> to all (once)
+//	on READY from 2f+1 stake (same digest) and payload known: deliver m
+//
+// The implementation is a deterministic state machine: inputs arrive via
+// Broadcast/OnMessage, outputs are returned as Outbound messages and
+// Delivery events. No goroutines, timers or sockets — runtimes supply those.
+package rbc
+
+import (
+	"fmt"
+
+	"hammerhead/internal/types"
+)
+
+// MessageType enumerates the three Bracha phases.
+type MessageType uint8
+
+// Message types. Start at 1 so the zero value is invalid.
+const (
+	TypeSend MessageType = iota + 1
+	TypeEcho
+	TypeReady
+)
+
+// String implements fmt.Stringer.
+func (t MessageType) String() string {
+	switch t {
+	case TypeSend:
+		return "SEND"
+	case TypeEcho:
+		return "ECHO"
+	case TypeReady:
+		return "READY"
+	default:
+		return fmt.Sprintf("rbc(%d)", uint8(t))
+	}
+}
+
+// Message is one RBC protocol message. Origin and Round identify the
+// broadcast instance; Payload travels in SEND and ECHO, READY carries only
+// the digest.
+type Message struct {
+	Type    MessageType
+	Origin  types.ValidatorID
+	Round   uint64
+	Digest  types.Digest
+	Payload []byte
+}
+
+// Outbound is a message to transmit to every other validator (RBC messages
+// are always all-to-all).
+type Outbound struct {
+	Message Message
+}
+
+// Delivery is an r_deliver event: Origin r_bcast Payload at Round.
+type Delivery struct {
+	Origin  types.ValidatorID
+	Round   uint64
+	Payload []byte
+}
+
+// instanceKey identifies one broadcast instance.
+type instanceKey struct {
+	origin types.ValidatorID
+	round  uint64
+}
+
+// instance is the per-(origin, round) state.
+type instance struct {
+	payload     []byte
+	digest      types.Digest
+	haveDigest  bool
+	echoes      map[types.ValidatorID]types.Digest
+	readies     map[types.ValidatorID]types.Digest
+	sentEcho    bool
+	sentReady   bool
+	delivered   bool
+	echoStake   map[types.Digest]types.Stake
+	readyStake  map[types.Digest]types.Stake
+	sendSeen    bool
+	deliverable types.Digest
+}
+
+// RBC is the reliable broadcast state machine for one validator. Not safe
+// for concurrent use; drive it from a single goroutine or event loop.
+type RBC struct {
+	committee *types.Committee
+	self      types.ValidatorID
+	instances map[instanceKey]*instance
+}
+
+// New creates the RBC state machine for validator self.
+func New(committee *types.Committee, self types.ValidatorID) *RBC {
+	return &RBC{
+		committee: committee,
+		self:      self,
+		instances: make(map[instanceKey]*instance),
+	}
+}
+
+func (r *RBC) instanceFor(origin types.ValidatorID, round uint64) *instance {
+	key := instanceKey{origin: origin, round: round}
+	in, ok := r.instances[key]
+	if !ok {
+		in = &instance{
+			echoes:     make(map[types.ValidatorID]types.Digest),
+			readies:    make(map[types.ValidatorID]types.Digest),
+			echoStake:  make(map[types.Digest]types.Stake),
+			readyStake: make(map[types.Digest]types.Stake),
+		}
+		r.instances[key] = in
+	}
+	return in
+}
+
+// Broadcast starts r_bcast(payload, round) as this validator. It returns the
+// SEND to transmit to all peers plus this validator's own immediate
+// reactions (a broadcaster also echoes its own message).
+func (r *RBC) Broadcast(round uint64, payload []byte) ([]Outbound, []Delivery) {
+	msg := Message{
+		Type:    TypeSend,
+		Origin:  r.self,
+		Round:   round,
+		Digest:  types.HashBytes(payload),
+		Payload: payload,
+	}
+	out := []Outbound{{Message: msg}}
+	more, deliveries := r.OnMessage(r.self, msg)
+	return append(out, more...), deliveries
+}
+
+// OnMessage processes one received message and returns messages to transmit
+// to all peers and any deliveries it unlocked. Malformed or duplicate
+// messages are ignored (crash model: equivocating echoes from the same peer
+// are dropped, first wins).
+func (r *RBC) OnMessage(from types.ValidatorID, msg Message) ([]Outbound, []Delivery) {
+	if _, ok := r.committee.Authority(from); !ok {
+		return nil, nil
+	}
+	in := r.instanceFor(msg.Origin, msg.Round)
+	var out []Outbound
+
+	switch msg.Type {
+	case TypeSend:
+		// Only the origin may SEND its own instance.
+		if from != msg.Origin || in.sendSeen {
+			return nil, nil
+		}
+		if types.HashBytes(msg.Payload) != msg.Digest {
+			return nil, nil
+		}
+		in.sendSeen = true
+		r.learnPayload(in, msg.Payload, msg.Digest)
+		if !in.sentEcho {
+			in.sentEcho = true
+			echo := msg
+			echo.Type = TypeEcho
+			out = append(out, Outbound{Message: echo})
+			more, deliveries := r.OnMessage(r.self, echo)
+			return append(out, more...), deliveries
+		}
+
+	case TypeEcho:
+		if _, dup := in.echoes[from]; dup {
+			return nil, nil
+		}
+		if types.HashBytes(msg.Payload) != msg.Digest {
+			return nil, nil
+		}
+		in.echoes[from] = msg.Digest
+		in.echoStake[msg.Digest] += r.committee.Stake(from)
+		r.learnPayload(in, msg.Payload, msg.Digest)
+		return r.maybeAdvance(in, msg.Origin, msg.Round)
+
+	case TypeReady:
+		if _, dup := in.readies[from]; dup {
+			return nil, nil
+		}
+		in.readies[from] = msg.Digest
+		in.readyStake[msg.Digest] += r.committee.Stake(from)
+		return r.maybeAdvance(in, msg.Origin, msg.Round)
+	}
+	return out, nil
+}
+
+// learnPayload records the payload bytes for later delivery. First write
+// wins; conflicting payloads for the same digest are impossible (digest is
+// the hash) and for different digests the quorum logic arbitrates.
+func (r *RBC) learnPayload(in *instance, payload []byte, digest types.Digest) {
+	if !in.haveDigest {
+		in.payload = append([]byte(nil), payload...)
+		in.digest = digest
+		in.haveDigest = true
+	}
+}
+
+// maybeAdvance fires the READY and deliver transitions.
+func (r *RBC) maybeAdvance(in *instance, origin types.ValidatorID, round uint64) ([]Outbound, []Delivery) {
+	var out []Outbound
+	var deliveries []Delivery
+
+	if !in.sentReady {
+		for digest, stake := range in.echoStake {
+			if stake >= r.committee.QuorumThreshold() {
+				in.sentReady = true
+				in.deliverable = digest
+				break
+			}
+		}
+		if !in.sentReady {
+			for digest, stake := range in.readyStake {
+				if stake >= r.committee.ValidityThreshold() {
+					in.sentReady = true
+					in.deliverable = digest
+					break
+				}
+			}
+		}
+		if in.sentReady {
+			ready := Message{Type: TypeReady, Origin: origin, Round: round, Digest: in.deliverable}
+			out = append(out, Outbound{Message: ready})
+			more, dels := r.OnMessage(r.self, ready)
+			out = append(out, more...)
+			deliveries = append(deliveries, dels...)
+		}
+	}
+
+	if !in.delivered {
+		for digest, stake := range in.readyStake {
+			if stake >= r.committee.QuorumThreshold() && in.haveDigest && in.digest == digest {
+				in.delivered = true
+				deliveries = append(deliveries, Delivery{
+					Origin:  origin,
+					Round:   round,
+					Payload: append([]byte(nil), in.payload...),
+				})
+				break
+			}
+		}
+	}
+	return out, deliveries
+}
+
+// Delivered reports whether the (origin, round) instance has delivered.
+func (r *RBC) Delivered(origin types.ValidatorID, round uint64) bool {
+	in, ok := r.instances[instanceKey{origin: origin, round: round}]
+	return ok && in.delivered
+}

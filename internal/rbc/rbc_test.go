@@ -1,0 +1,238 @@
+package rbc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hammerhead/internal/rbc"
+	"hammerhead/internal/types"
+)
+
+// cluster wires n RBC state machines through an in-memory message queue with
+// per-link drop rules, letting tests model lossy pre-GST behaviour.
+type cluster struct {
+	committee *types.Committee
+	nodes     []*rbc.RBC
+	// drop[from][to] suppresses direct transmission.
+	drop map[types.ValidatorID]map[types.ValidatorID]bool
+
+	queue      []queued
+	deliveries map[types.ValidatorID][]rbc.Delivery
+}
+
+type queued struct {
+	from, to types.ValidatorID
+	msg      rbc.Message
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	committee, err := types.NewEqualStakeCommittee(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &cluster{
+		committee:  committee,
+		drop:       make(map[types.ValidatorID]map[types.ValidatorID]bool),
+		deliveries: make(map[types.ValidatorID][]rbc.Delivery),
+	}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, rbc.New(committee, types.ValidatorID(i)))
+	}
+	return c
+}
+
+func (c *cluster) dropLink(from, to types.ValidatorID) {
+	if c.drop[from] == nil {
+		c.drop[from] = make(map[types.ValidatorID]bool)
+	}
+	c.drop[from][to] = true
+}
+
+func (c *cluster) enqueue(from types.ValidatorID, outs []rbc.Outbound) {
+	for _, o := range outs {
+		for _, to := range c.committee.ValidatorIDs() {
+			if to == from {
+				continue // self-handling is internal to the state machine
+			}
+			if c.drop[from][to] {
+				continue
+			}
+			c.queue = append(c.queue, queued{from: from, to: to, msg: o.Message})
+		}
+	}
+}
+
+func (c *cluster) broadcast(origin types.ValidatorID, round uint64, payload []byte) {
+	outs, dels := c.nodes[origin].Broadcast(round, payload)
+	c.deliveries[origin] = append(c.deliveries[origin], dels...)
+	c.enqueue(origin, outs)
+}
+
+// run drains the queue to quiescence.
+func (c *cluster) run() {
+	for len(c.queue) > 0 {
+		q := c.queue[0]
+		c.queue = c.queue[1:]
+		outs, dels := c.nodes[q.to].OnMessage(q.from, q.msg)
+		c.deliveries[q.to] = append(c.deliveries[q.to], dels...)
+		c.enqueue(q.to, outs)
+	}
+}
+
+func TestAllHonestDeliver(t *testing.T) {
+	c := newCluster(t, 4)
+	payload := []byte("block-1")
+	c.broadcast(0, 1, payload)
+	c.run()
+	for id, dels := range c.deliveries {
+		if len(dels) != 1 {
+			t.Fatalf("node %s delivered %d times, want 1", id, len(dels))
+		}
+		if !bytes.Equal(dels[0].Payload, payload) {
+			t.Fatalf("node %s delivered wrong payload", id)
+		}
+		if dels[0].Origin != 0 || dels[0].Round != 1 {
+			t.Fatalf("node %s delivered wrong instance: %+v", id, dels[0])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if !c.nodes[i].Delivered(0, 1) {
+			t.Fatalf("node %d Delivered() = false", i)
+		}
+	}
+}
+
+func TestIntegrityNoDoubleDeliver(t *testing.T) {
+	c := newCluster(t, 4)
+	c.broadcast(2, 7, []byte("x"))
+	c.run()
+	// Re-inject a stale READY from node 1 to node 0; it must not deliver again.
+	stale := rbc.Message{Type: rbc.TypeReady, Origin: 2, Round: 7, Digest: types.HashBytes([]byte("x"))}
+	outs, dels := c.nodes[0].OnMessage(1, stale)
+	if len(outs) != 0 || len(dels) != 0 {
+		t.Fatalf("duplicate READY produced outs=%d dels=%d, want none", len(outs), len(dels))
+	}
+}
+
+func TestDeliverDespiteDroppedSend(t *testing.T) {
+	// Node 3 never receives the broadcaster's SEND, but the echoes of the
+	// other nodes carry the payload: it must still deliver (Agreement).
+	c := newCluster(t, 4)
+	c.dropLink(0, 3)
+	c.broadcast(0, 1, []byte("resilient"))
+	c.run()
+	if got := len(c.deliveries[3]); got != 1 {
+		t.Fatalf("node 3 delivered %d times, want 1", got)
+	}
+}
+
+func TestReadyAmplification(t *testing.T) {
+	// Node 3 receives neither SEND nor any ECHO directly, only READYs plus a
+	// single late ECHO carrying the payload. f+1 READYs must make it send its
+	// own READY, and 2f+1 READYs + payload must deliver.
+	c := newCluster(t, 4)
+	payload := []byte("amplified")
+	digest := types.HashBytes(payload)
+
+	// Simulate three peers having completed echo phase elsewhere.
+	if outs, _ := c.nodes[3].OnMessage(0, rbc.Message{Type: rbc.TypeReady, Origin: 0, Round: 1, Digest: digest}); len(outs) != 0 {
+		t.Fatal("one READY (f) must not trigger amplification for n=4")
+	}
+	outs, dels := c.nodes[3].OnMessage(1, rbc.Message{Type: rbc.TypeReady, Origin: 0, Round: 1, Digest: digest})
+	if len(outs) != 1 || outs[0].Message.Type != rbc.TypeReady {
+		t.Fatalf("f+1 READYs must amplify to a READY, got %v", outs)
+	}
+	if len(dels) != 0 {
+		t.Fatal("must not deliver before knowing the payload")
+	}
+	// Third peer READY: now 2f+1 distinct READYs counting our own — but the
+	// payload is still unknown, so no delivery yet.
+	_, dels = c.nodes[3].OnMessage(2, rbc.Message{Type: rbc.TypeReady, Origin: 0, Round: 1, Digest: digest})
+	if len(dels) != 0 {
+		t.Fatal("must not deliver without the payload bytes")
+	}
+	// A late ECHO brings the payload; delivery fires.
+	_, dels = c.nodes[3].OnMessage(1, rbc.Message{Type: rbc.TypeEcho, Origin: 0, Round: 1, Digest: digest, Payload: payload})
+	if len(dels) != 1 || !bytes.Equal(dels[0].Payload, payload) {
+		t.Fatalf("late payload must unlock delivery, got %v", dels)
+	}
+}
+
+func TestRejectsForgedSend(t *testing.T) {
+	c := newCluster(t, 4)
+	// Node 1 claims a SEND for origin 0: must be ignored.
+	outs, dels := c.nodes[2].OnMessage(1, rbc.Message{
+		Type: rbc.TypeSend, Origin: 0, Round: 1,
+		Digest: types.HashBytes([]byte("forged")), Payload: []byte("forged"),
+	})
+	if len(outs) != 0 || len(dels) != 0 {
+		t.Fatal("SEND relayed by a non-origin must be ignored")
+	}
+}
+
+func TestRejectsDigestMismatch(t *testing.T) {
+	c := newCluster(t, 4)
+	outs, dels := c.nodes[2].OnMessage(0, rbc.Message{
+		Type: rbc.TypeSend, Origin: 0, Round: 1,
+		Digest: types.HashBytes([]byte("claimed")), Payload: []byte("actual"),
+	})
+	if len(outs) != 0 || len(dels) != 0 {
+		t.Fatal("payload/digest mismatch must be ignored")
+	}
+}
+
+func TestRejectsUnknownSender(t *testing.T) {
+	c := newCluster(t, 4)
+	outs, dels := c.nodes[0].OnMessage(99, rbc.Message{Type: rbc.TypeReady, Origin: 0, Round: 1})
+	if len(outs) != 0 || len(dels) != 0 {
+		t.Fatal("messages from unknown validators must be ignored")
+	}
+}
+
+func TestConcurrentInstancesIsolated(t *testing.T) {
+	c := newCluster(t, 4)
+	c.broadcast(0, 1, []byte("a"))
+	c.broadcast(1, 1, []byte("b"))
+	c.broadcast(0, 2, []byte("c"))
+	c.run()
+	for _, id := range c.committee.ValidatorIDs() {
+		if got := len(c.deliveries[id]); got != 3 {
+			t.Fatalf("node %s delivered %d instances, want 3", id, got)
+		}
+		seen := map[string]bool{}
+		for _, d := range c.deliveries[id] {
+			seen[string(d.Payload)] = true
+		}
+		for _, want := range []string{"a", "b", "c"} {
+			if !seen[want] {
+				t.Fatalf("node %s missing delivery %q", id, want)
+			}
+		}
+	}
+}
+
+func TestEquivocatingEchoFirstWins(t *testing.T) {
+	// A peer that echoes twice with different digests only has its first
+	// echo counted (crash model guards; Byzantine-proofing is certificates'
+	// job in the main stack).
+	c := newCluster(t, 4)
+	d1 := types.HashBytes([]byte("one"))
+	d2 := types.HashBytes([]byte("two"))
+	c.nodes[0].OnMessage(1, rbc.Message{Type: rbc.TypeEcho, Origin: 2, Round: 1, Digest: d1, Payload: []byte("one")})
+	outs, dels := c.nodes[0].OnMessage(1, rbc.Message{Type: rbc.TypeEcho, Origin: 2, Round: 1, Digest: d2, Payload: []byte("two")})
+	if len(outs) != 0 || len(dels) != 0 {
+		t.Fatal("second echo from the same peer must be ignored")
+	}
+}
+
+func TestLargeCommitteeDelivery(t *testing.T) {
+	c := newCluster(t, 31)
+	c.broadcast(5, 3, []byte("wide"))
+	c.run()
+	for _, id := range c.committee.ValidatorIDs() {
+		if len(c.deliveries[id]) != 1 {
+			t.Fatalf("node %s delivered %d, want 1", id, len(c.deliveries[id]))
+		}
+	}
+}

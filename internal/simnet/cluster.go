@@ -1,0 +1,284 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"hammerhead/internal/bullshark"
+	"hammerhead/internal/crypto"
+	"hammerhead/internal/dag"
+	"hammerhead/internal/engine"
+	"hammerhead/internal/leader"
+	"hammerhead/internal/mempool"
+	"hammerhead/internal/types"
+)
+
+// SchedulerFactory builds one validator's leader scheduler over its DAG.
+// Factories return leader.RoundRobin for the Bullshark baseline or a
+// core.Manager for HammerHead.
+type SchedulerFactory func(committee *types.Committee, d *dag.DAG) (leader.Scheduler, error)
+
+// CommitHook observes every commit on every validator, with the virtual
+// time it happened. The experiment harness hangs latency accounting here.
+type CommitHook func(node types.ValidatorID, sub bullshark.CommittedSubDAG, nowNanos int64)
+
+// ClusterConfig assembles a simulated deployment.
+type ClusterConfig struct {
+	// Committee of the deployment. Required.
+	Committee *types.Committee
+	// Engine is the per-validator protocol configuration.
+	Engine engine.Config
+	// Latency is the network model. Required.
+	Latency LatencyModel
+	// NewScheduler builds each validator's scheduler. Required.
+	NewScheduler SchedulerFactory
+	// MempoolSize bounds each validator's pool (default 1<<20).
+	MempoolSize int
+	// OnCommit observes commits (may be nil).
+	OnCommit CommitHook
+	// Seed drives all simulation randomness.
+	Seed int64
+	// DropRate silently discards this fraction of messages (0..1),
+	// exercising the engine's retransmission and causal-sync machinery.
+	// Reliable pairwise channels are part of the model after GST, so the
+	// paper's experiments run with 0; fault-injection tests raise it.
+	DropRate float64
+}
+
+// Cluster is a full simulated deployment: engines, mempools, network and
+// fault injection, all in virtual time.
+type Cluster struct {
+	Sim       *Simulator
+	Committee *types.Committee
+
+	engines []*engine.Engine
+	pools   []*mempool.Pool
+
+	crashedAt []int64 // -1 = never
+	slowFrom  []int64
+	slowUntil []int64
+	slowMul   []float64
+
+	latency  LatencyModel
+	onCommit CommitHook
+	dropRate float64
+
+	msgsSent    uint64
+	bytesSent   uint64
+	msgsDropped uint64
+}
+
+// NewCluster wires the deployment; call Start to boot the validators.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Committee == nil || cfg.Latency == nil || cfg.NewScheduler == nil {
+		return nil, fmt.Errorf("simnet: committee, latency and scheduler factory are required")
+	}
+	if cfg.MempoolSize == 0 {
+		cfg.MempoolSize = 1 << 20
+	}
+	n := cfg.Committee.Size()
+	c := &Cluster{
+		Sim:       New(cfg.Seed),
+		Committee: cfg.Committee,
+		crashedAt: make([]int64, n),
+		slowFrom:  make([]int64, n),
+		slowUntil: make([]int64, n),
+		slowMul:   make([]float64, n),
+		latency:   cfg.Latency,
+		onCommit:  cfg.OnCommit,
+		dropRate:  cfg.DropRate,
+	}
+	for i := range c.crashedAt {
+		c.crashedAt[i] = -1
+		c.slowMul[i] = 1
+	}
+
+	// Simulated deployments are crash-only (as is the paper's evaluation);
+	// use the insecure scheme and skip verification unless asked otherwise.
+	scheme := crypto.Scheme(crypto.Insecure{})
+	if cfg.Engine.VerifySignatures {
+		scheme = crypto.Ed25519{}
+	}
+	var clusterSeed [32]byte
+	clusterSeed[0] = byte(cfg.Seed)
+	pubKeys := make([]crypto.PublicKey, n)
+	keyPairs := make([]crypto.KeyPair, n)
+	for i := 0; i < n; i++ {
+		kp, err := crypto.NewKeyPair(scheme, clusterSeed, uint32(i))
+		if err != nil {
+			return nil, fmt.Errorf("simnet: generating keys: %w", err)
+		}
+		keyPairs[i] = kp
+		pubKeys[i] = kp.Public
+	}
+
+	for i := 0; i < n; i++ {
+		pool := mempool.New(cfg.MempoolSize)
+		d := dag.New(cfg.Committee)
+		sched, err := cfg.NewScheduler(cfg.Committee, d)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: building scheduler for v%d: %w", i, err)
+		}
+		eng, err := engine.New(engine.Params{
+			Config:     cfg.Engine,
+			Committee:  cfg.Committee,
+			Self:       types.ValidatorID(i),
+			Keys:       keyPairs[i],
+			PublicKeys: pubKeys,
+			Batches:    pool,
+			Scheduler:  sched,
+			DAG:        d,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("simnet: building engine for v%d: %w", i, err)
+		}
+		c.engines = append(c.engines, eng)
+		c.pools = append(c.pools, pool)
+	}
+	return c, nil
+}
+
+// Start boots every validator at the current virtual time.
+func (c *Cluster) Start() {
+	for i := range c.engines {
+		id := types.ValidatorID(i)
+		out := c.engines[i].Init(c.Sim.Now())
+		c.dispatch(id, out)
+	}
+}
+
+// Engine returns validator id's engine (read-only use: stats, committer).
+func (c *Cluster) Engine(id types.ValidatorID) *engine.Engine { return c.engines[id] }
+
+// Pool returns validator id's mempool.
+func (c *Cluster) Pool(id types.ValidatorID) *mempool.Pool { return c.pools[id] }
+
+// Size returns the committee size.
+func (c *Cluster) Size() int { return len(c.engines) }
+
+// MessagesSent returns the cumulative network message count.
+func (c *Cluster) MessagesSent() uint64 { return c.msgsSent }
+
+// BytesSent returns the cumulative network byte count.
+func (c *Cluster) BytesSent() uint64 { return c.bytesSent }
+
+// ---- fault injection ----
+
+// CrashAt stops a validator at the given virtual time: it processes no
+// events and its queued messages are dropped at delivery. CrashNow crashes
+// at the current time (use before Start for crash-from-genesis faults).
+func (c *Cluster) CrashAt(id types.ValidatorID, at time.Duration) {
+	c.crashedAt[id] = at.Nanoseconds()
+}
+
+// Recover un-crashes a validator at a future virtual time by scheduling its
+// revival: it rejoins with its pre-crash state (crash-recovery of in-memory
+// state is exercised separately in internal/storage tests; the simulated
+// revival models a process restart that restored state from its WAL).
+func (c *Cluster) Recover(id types.ValidatorID, at time.Duration) {
+	c.Sim.After(at-time.Duration(c.Sim.Now()), func() {
+		c.crashedAt[id] = -1
+		// Nudge the revived node: re-arm its pacing so it resumes proposing.
+		out := c.engines[id].OnTimer(engine.Timer{
+			Kind:  engine.TimerRoundDelay,
+			Round: uint64(c.engines[id].Round()),
+		}, c.Sim.Now())
+		c.dispatch(id, out)
+	})
+}
+
+// SlowDown multiplies all message latencies touching the validator by
+// factor within [from, until] — the §1 incident's "less responsive"
+// validators.
+func (c *Cluster) SlowDown(id types.ValidatorID, factor float64, from, until time.Duration) {
+	c.slowFrom[id] = from.Nanoseconds()
+	c.slowUntil[id] = until.Nanoseconds()
+	c.slowMul[id] = factor
+}
+
+func (c *Cluster) crashed(id types.ValidatorID, now int64) bool {
+	at := c.crashedAt[id]
+	return at >= 0 && now >= at
+}
+
+func (c *Cluster) slowFactor(id types.ValidatorID, now int64) float64 {
+	if c.slowMul[id] != 1 && now >= c.slowFrom[id] && now <= c.slowUntil[id] {
+		return c.slowMul[id]
+	}
+	return 1
+}
+
+// ---- client interface ----
+
+// SubmitTx hands a transaction to a validator's mempool, stamping the
+// submission time. Submitting to a crashed validator fails, mirroring a
+// client whose target is down (callers fail over).
+func (c *Cluster) SubmitTx(id types.ValidatorID, tx types.Transaction) error {
+	if c.crashed(id, c.Sim.Now()) {
+		return fmt.Errorf("simnet: validator %s is crashed", id)
+	}
+	if tx.SubmitTimeNanos == 0 {
+		tx.SubmitTimeNanos = c.Sim.Now()
+	}
+	return c.pools[id].Submit(tx)
+}
+
+// ---- event plumbing ----
+
+// dispatch routes one engine step's output into the simulation.
+func (c *Cluster) dispatch(from types.ValidatorID, out *engine.Output) {
+	now := c.Sim.Now()
+	for _, u := range out.Unicasts {
+		c.send(from, u.To, u.Msg, now)
+	}
+	for _, msg := range out.Broadcasts {
+		for i := range c.engines {
+			to := types.ValidatorID(i)
+			if to == from {
+				continue
+			}
+			c.send(from, to, msg, now)
+		}
+	}
+	for _, t := range out.Timers {
+		timer := t
+		c.Sim.After(t.Delay, func() {
+			if c.crashed(from, c.Sim.Now()) {
+				return
+			}
+			c.dispatch(from, c.engines[from].OnTimer(timer, c.Sim.Now()))
+		})
+	}
+	if c.onCommit != nil {
+		for _, sub := range out.Commits {
+			c.onCommit(from, sub, now)
+		}
+	}
+}
+
+// MessagesDropped returns the number of messages lost to DropRate.
+func (c *Cluster) MessagesDropped() uint64 { return c.msgsDropped }
+
+func (c *Cluster) send(from, to types.ValidatorID, msg *engine.Message, now int64) {
+	if c.crashed(from, now) {
+		return
+	}
+	if c.dropRate > 0 && c.Sim.Rand().Float64() < c.dropRate {
+		c.msgsDropped++
+		return
+	}
+	size := msg.EncodedSize()
+	c.msgsSent++
+	c.bytesSent += uint64(size)
+	delay := c.latency.Delay(int(from), int(to), size, c.Sim.Rand())
+	slow := c.slowFactor(from, now) * c.slowFactor(to, now)
+	if slow != 1 {
+		delay = time.Duration(float64(delay) * slow)
+	}
+	c.Sim.After(delay, func() {
+		if c.crashed(to, c.Sim.Now()) {
+			return
+		}
+		c.dispatch(to, c.engines[to].OnMessage(from, msg, c.Sim.Now()))
+	})
+}

@@ -1,0 +1,201 @@
+// Package storage persists a validator's certificates in an append-only
+// write-ahead log so a crashed process can rebuild its DAG, committer and
+// schedule state on restart.
+//
+// Only certificates need persisting: the DAG is exactly the cert set, and
+// both the commit sequence and the HammerHead schedule history are
+// deterministic functions of it (the same property that gives the protocol
+// Schedule Agreement gives the WAL its simplicity). The paper's
+// implementation persists through RocksDB; a CRC-framed log file is the
+// stdlib equivalent with the same contract (DESIGN.md §4).
+//
+// Record layout: 4-byte big-endian body length, 4-byte CRC32C of the body,
+// then the gob-encoded certificate. A torn tail (partial final record,
+// truncated file, CRC mismatch at the end) is tolerated on replay, as a
+// crash mid-append must not poison recovery.
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hammerhead/internal/engine"
+	"hammerhead/internal/types"
+)
+
+var _crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("storage: WAL is closed")
+
+// _maxRecordSize bounds a single record (a certificate with a full batch).
+const _maxRecordSize = 64 << 20
+
+// WAL is an append-only certificate log. Append is not safe for concurrent
+// use; the node serializes through its event loop.
+type WAL struct {
+	path   string
+	file   *os.File
+	writer *bufio.Writer
+	// SyncEveryAppend forces an fsync per record; off by default (the
+	// protocol tolerates losing the latest certificates — peers re-serve
+	// them through the sync path).
+	SyncEveryAppend bool
+
+	appended uint64
+	closed   bool
+}
+
+// OpenWAL opens (or creates) the log at path for appending.
+func OpenWAL(path string) (*WAL, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating WAL directory: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening WAL %s: %w", path, err)
+	}
+	return &WAL{path: path, file: f, writer: bufio.NewWriterSize(f, 1<<20)}, nil
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Appended returns the number of records appended in this session.
+func (w *WAL) Appended() uint64 { return w.appended }
+
+// Append writes one certificate record.
+func (w *WAL) Append(cert *engine.Certificate) error {
+	if w.closed {
+		return ErrClosed
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(cert); err != nil {
+		return fmt.Errorf("storage: encoding certificate: %w", err)
+	}
+	var header [8]byte
+	binary.BigEndian.PutUint32(header[:4], uint32(body.Len()))
+	binary.BigEndian.PutUint32(header[4:], crc32.Checksum(body.Bytes(), _crcTable))
+	if _, err := w.writer.Write(header[:]); err != nil {
+		return fmt.Errorf("storage: writing record header: %w", err)
+	}
+	if _, err := w.writer.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("storage: writing record body: %w", err)
+	}
+	if err := w.writer.Flush(); err != nil {
+		return fmt.Errorf("storage: flushing WAL: %w", err)
+	}
+	if w.SyncEveryAppend {
+		if err := w.file.Sync(); err != nil {
+			return fmt.Errorf("storage: syncing WAL: %w", err)
+		}
+	}
+	w.appended++
+	return nil
+}
+
+// Sync forces buffered records to stable storage.
+func (w *WAL) Sync() error {
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.writer.Flush(); err != nil {
+		return err
+	}
+	return w.file.Sync()
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.writer.Flush(); err != nil {
+		_ = w.file.Close()
+		return err
+	}
+	return w.file.Close()
+}
+
+// Replay streams every intact record to fn in append order. A torn or
+// corrupt tail ends replay silently (crash-consistent); corruption in the
+// middle also stops there — the protocol's sync path backfills anything
+// lost. fn returning an error aborts replay with that error.
+func Replay(path string, fn func(*engine.Certificate) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil // nothing to replay
+		}
+		return fmt.Errorf("storage: opening WAL for replay: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		var header [8]byte
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return nil // clean EOF or torn header: done
+		}
+		size := binary.BigEndian.Uint32(header[:4])
+		sum := binary.BigEndian.Uint32(header[4:])
+		if size == 0 || size > _maxRecordSize {
+			return nil // corrupt length: stop
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil // torn body: stop
+		}
+		if crc32.Checksum(body, _crcTable) != sum {
+			return nil // corrupt body: stop
+		}
+		var cert engine.Certificate
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&cert); err != nil {
+			return nil // undecodable body: stop
+		}
+		if err := fn(&cert); err != nil {
+			return err
+		}
+	}
+}
+
+// Compact rewrites the log keeping only certificates with round >= floor,
+// using a temp-file-and-rename so a crash mid-compaction leaves either the
+// old or the new log intact. The WAL must be closed by the caller first.
+func Compact(path string, floor types.Round) error {
+	tmp := path + ".compact"
+	out, err := OpenWAL(tmp)
+	if err != nil {
+		return err
+	}
+	replayErr := Replay(path, func(cert *engine.Certificate) error {
+		if cert.Header.Round < floor {
+			return nil
+		}
+		return out.Append(cert)
+	})
+	if replayErr != nil {
+		_ = out.Close()
+		_ = os.Remove(tmp)
+		return replayErr
+	}
+	if err := out.Sync(); err != nil {
+		_ = out.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

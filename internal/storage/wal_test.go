@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hammerhead/internal/engine"
+	"hammerhead/internal/types"
+)
+
+func testCert(round types.Round, source types.ValidatorID) *engine.Certificate {
+	return &engine.Certificate{
+		Header: engine.Header{
+			Round:  round,
+			Source: source,
+			Edges:  []types.Digest{types.HashBytes([]byte{byte(round)})},
+			Batch: &types.Batch{Transactions: []types.Transaction{
+				{ID: uint64(round)*100 + uint64(source), Payload: []byte("p")},
+			}},
+			Signature: []byte("sig"),
+		},
+		Votes: []engine.VoteSig{{Voter: 0, Signature: []byte("v0")}, {Voter: 1, Signature: []byte("v1")}},
+	}
+}
+
+func replayAll(t *testing.T, path string) []*engine.Certificate {
+	t.Helper()
+	var got []*engine.Certificate
+	if err := Replay(path, func(c *engine.Certificate) error {
+		got = append(got, c)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal", "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*engine.Certificate{testCert(1, 0), testCert(1, 1), testCert(2, 0)}
+	for _, c := range want {
+		if err := w.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Appended() != 3 {
+		t.Fatalf("Appended = %d", w.Appended())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Digest() != want[i].Digest() {
+			t.Fatalf("record %d digest mismatch", i)
+		}
+		if got[i].Header.Batch.Transactions[0].ID != want[i].Header.Batch.Transactions[0].ID {
+			t.Fatalf("record %d batch mangled", i)
+		}
+		if len(got[i].Votes) != 2 {
+			t.Fatalf("record %d votes mangled", i)
+		}
+	}
+}
+
+func TestReplayMissingFileIsEmpty(t *testing.T) {
+	if got := replayAll(t, filepath.Join(t.TempDir(), "nope.log")); len(got) != 0 {
+		t.Fatalf("replayed %d records from a missing file", len(got))
+	}
+}
+
+func TestReplayToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := types.Round(1); r <= 3; r++ {
+		if err := w.Append(testCert(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: chop 5 bytes off the file.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, path)
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records after torn tail, want 2", len(got))
+	}
+}
+
+func TestReplayStopsAtCorruptBody(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testCert(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testCert(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's body.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, path)
+	if len(got) != 1 {
+		t.Fatalf("replayed %d records with corrupt second record, want 1", len(got))
+	}
+}
+
+func TestReopenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testCert(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(testCert(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, path); len(got) != 2 {
+		t.Fatalf("replayed %d records after reopen, want 2", len(got))
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testCert(1, 0)); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestCompactDropsOldRounds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := types.Round(1); r <= 10; r++ {
+		if err := w.Append(testCert(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compact(path, 6); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, path)
+	if len(got) != 5 {
+		t.Fatalf("compacted log has %d records, want 5 (rounds 6..10)", len(got))
+	}
+	for _, c := range got {
+		if c.Header.Round < 6 {
+			t.Fatalf("round %d survived compaction below floor 6", c.Header.Round)
+		}
+	}
+	// The compacted log remains appendable.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(testCert(11, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, path); len(got) != 6 {
+		t.Fatalf("post-compaction append: %d records, want 6", len(got))
+	}
+}
+
+func TestSyncEveryAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SyncEveryAppend = true
+	if err := w.Append(testCert(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, path); len(got) != 1 {
+		t.Fatalf("replayed %d, want 1", len(got))
+	}
+}

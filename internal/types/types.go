@@ -1,0 +1,109 @@
+// Package types defines the basic vocabulary shared by every HammerHead
+// subsystem: validator identities, stake arithmetic, rounds, digests and
+// transactions. It has no dependencies beyond the standard library and is
+// imported by every other internal package.
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// ValidatorID identifies a validator by its index in the committee. IDs are
+// dense: a committee of n validators uses IDs 0..n-1.
+type ValidatorID uint32
+
+// String implements fmt.Stringer.
+func (v ValidatorID) String() string {
+	return fmt.Sprintf("v%d", uint32(v))
+}
+
+// NoValidator is a sentinel for "no validator" (e.g. an unassigned leader
+// slot). It is never a valid committee member.
+const NoValidator ValidatorID = ^ValidatorID(0)
+
+// Stake is the voting power of a validator. All quorum arithmetic in the
+// protocol is stake-weighted, matching the paper's model where validators
+// "vary in stake and thus leader election frequency".
+type Stake uint64
+
+// Round is a DAG round number. Round 0 is the genesis round. Anchor (leader)
+// rounds are the even rounds, matching Bullshark's two-round commit cadence.
+type Round uint64
+
+// IsAnchorRound reports whether r carries a leader whose vertex can be
+// committed (even rounds, per Bullshark).
+func (r Round) IsAnchorRound() bool { return r%2 == 0 }
+
+// DigestSize is the byte length of a Digest.
+const DigestSize = 32
+
+// Digest is a 32-byte content address (SHA-256) of a protocol object.
+type Digest [DigestSize]byte
+
+// ZeroDigest is the all-zero digest, used only as an explicit sentinel.
+var ZeroDigest Digest
+
+// String returns the first 8 hex characters, enough for logs.
+func (d Digest) String() string {
+	return hex.EncodeToString(d[:4])
+}
+
+// Hex returns the full hex encoding of the digest.
+func (d Digest) Hex() string {
+	return hex.EncodeToString(d[:])
+}
+
+// IsZero reports whether the digest is the zero sentinel.
+func (d Digest) IsZero() bool { return d == ZeroDigest }
+
+// HashBytes hashes an arbitrary byte string into a Digest.
+func HashBytes(parts ...[]byte) Digest {
+	h := sha256.New()
+	for _, p := range parts {
+		// Length-prefix every part so concatenation is unambiguous.
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Transaction is a client transaction flowing through the mempool into DAG
+// vertex payloads. SubmitTimeNanos records when the client handed it to a
+// validator (virtual time in simulations, wall clock on real nodes) and is
+// the basis for end-to-end latency measurements, mirroring the paper's
+// definition of latency as submission-to-finality time.
+type Transaction struct {
+	ID              uint64
+	SubmitTimeNanos int64
+	Payload         []byte
+}
+
+// EncodedSize returns the serialized size of the transaction in bytes,
+// used by the bandwidth model and batch caps.
+func (t *Transaction) EncodedSize() int {
+	return 8 + 8 + 8 + len(t.Payload)
+}
+
+// Batch is an ordered group of transactions carried by one vertex.
+type Batch struct {
+	Transactions []Transaction
+}
+
+// EncodedSize returns the serialized size of the batch in bytes.
+func (b *Batch) EncodedSize() int {
+	n := 8
+	for i := range b.Transactions {
+		n += b.Transactions[i].EncodedSize()
+	}
+	return n
+}
+
+// Len returns the number of transactions in the batch.
+func (b *Batch) Len() int { return len(b.Transactions) }

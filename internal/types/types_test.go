@@ -1,0 +1,200 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDigestString(t *testing.T) {
+	d := HashBytes([]byte("hello"))
+	if d.IsZero() {
+		t.Fatal("hash of non-empty input must not be zero")
+	}
+	if got := len(d.Hex()); got != 64 {
+		t.Fatalf("Hex() length = %d, want 64", got)
+	}
+	if got := len(d.String()); got != 8 {
+		t.Fatalf("String() length = %d, want 8", got)
+	}
+}
+
+func TestHashBytesLengthPrefixing(t *testing.T) {
+	// ("ab","c") and ("a","bc") must hash differently: parts are
+	// length-prefixed, not concatenated.
+	d1 := HashBytes([]byte("ab"), []byte("c"))
+	d2 := HashBytes([]byte("a"), []byte("bc"))
+	if d1 == d2 {
+		t.Fatal("length prefixing failed: distinct part splits collide")
+	}
+}
+
+func TestHashBytesDeterministic(t *testing.T) {
+	f := func(a, b []byte) bool {
+		return HashBytes(a, b) == HashBytes(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundIsAnchorRound(t *testing.T) {
+	cases := []struct {
+		round Round
+		want  bool
+	}{
+		{0, true}, {1, false}, {2, true}, {3, false}, {100, true}, {101, false},
+	}
+	for _, tc := range cases {
+		if got := tc.round.IsAnchorRound(); got != tc.want {
+			t.Errorf("Round(%d).IsAnchorRound() = %v, want %v", tc.round, got, tc.want)
+		}
+	}
+}
+
+func TestNewCommitteeValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		auths   []Authority
+		wantErr bool
+	}{
+		{"empty", nil, true},
+		{"zero stake", []Authority{{ID: 0, Stake: 0}}, true},
+		{"bad ids", []Authority{{ID: 1, Stake: 1}}, true},
+		{"ok", []Authority{{ID: 0, Stake: 1}, {ID: 1, Stake: 2}}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewCommittee(tc.auths)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("NewCommittee() error = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCommitteeThresholdsEqualStake(t *testing.T) {
+	tests := []struct {
+		n              int
+		wantFaulty     Stake
+		wantQuorum     Stake
+		wantValidity   Stake
+		wantTotalStake Stake
+	}{
+		{1, 0, 1, 1, 1},
+		{4, 1, 3, 2, 4},
+		{7, 2, 5, 3, 7},
+		{10, 3, 7, 4, 10},
+		{50, 16, 34, 17, 50},
+		{100, 33, 67, 34, 100},
+	}
+	for _, tc := range tests {
+		c, err := NewEqualStakeCommittee(tc.n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if got := c.MaxFaultyStake(); got != tc.wantFaulty {
+			t.Errorf("n=%d MaxFaultyStake = %d, want %d", tc.n, got, tc.wantFaulty)
+		}
+		if got := c.QuorumThreshold(); got != tc.wantQuorum {
+			t.Errorf("n=%d QuorumThreshold = %d, want %d", tc.n, got, tc.wantQuorum)
+		}
+		if got := c.ValidityThreshold(); got != tc.wantValidity {
+			t.Errorf("n=%d ValidityThreshold = %d, want %d", tc.n, got, tc.wantValidity)
+		}
+		if got := c.TotalStake(); got != tc.wantTotalStake {
+			t.Errorf("n=%d TotalStake = %d, want %d", tc.n, got, tc.wantTotalStake)
+		}
+	}
+}
+
+func TestCommitteeThresholdInvariants(t *testing.T) {
+	// Quorum intersection: two quorums overlap in more than f stake, i.e.
+	// 2*quorum - total > f. Checked for a range of weighted committees.
+	f := func(seed uint32) bool {
+		n := int(seed%30) + 1
+		auths := make([]Authority, n)
+		for i := range auths {
+			auths[i] = Authority{ID: ValidatorID(i), Stake: Stake(seed%7) + Stake(i%5) + 1}
+		}
+		c, err := NewCommittee(auths)
+		if err != nil {
+			return false
+		}
+		q, total, faulty := c.QuorumThreshold(), c.TotalStake(), c.MaxFaultyStake()
+		return 2*q > total+faulty && c.ValidityThreshold() > faulty
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStakeAccumulator(t *testing.T) {
+	c, err := NewEqualStakeCommittee(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewStakeAccumulator(c)
+	if acc.ReachedValidity() {
+		t.Fatal("empty accumulator must not reach validity")
+	}
+	acc.Add(0)
+	acc.Add(0) // duplicate: must not double count
+	if got := acc.Total(); got != 1 {
+		t.Fatalf("Total = %d, want 1 (duplicates must not count)", got)
+	}
+	acc.Add(1)
+	if !acc.ReachedValidity() {
+		t.Fatal("2 of 4 equal-stake validators must reach validity (f+1=2)")
+	}
+	if acc.ReachedQuorum() {
+		t.Fatal("2 of 4 must not reach quorum (2f+1=3)")
+	}
+	acc.Add(2)
+	if !acc.ReachedQuorum() {
+		t.Fatal("3 of 4 must reach quorum")
+	}
+	if got := acc.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+}
+
+func TestStakeOfCountsDistinct(t *testing.T) {
+	c, err := NewEqualStakeCommittee(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.StakeOf([]ValidatorID{0, 1, 1, 2, 2, 2})
+	if got != 3 {
+		t.Fatalf("StakeOf = %d, want 3", got)
+	}
+}
+
+func TestAuthorityLookup(t *testing.T) {
+	c, err := NewEqualStakeCommittee(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Authority(2); !ok {
+		t.Fatal("authority 2 must exist")
+	}
+	if _, ok := c.Authority(3); ok {
+		t.Fatal("authority 3 must not exist")
+	}
+	if got := c.Stake(99); got != 0 {
+		t.Fatalf("Stake(unknown) = %d, want 0", got)
+	}
+}
+
+func TestBatchEncodedSize(t *testing.T) {
+	b := Batch{Transactions: []Transaction{
+		{ID: 1, Payload: make([]byte, 100)},
+		{ID: 2, Payload: make([]byte, 50)},
+	}}
+	want := 8 + (8 + 8 + 8 + 100) + (8 + 8 + 8 + 50)
+	if got := b.EncodedSize(); got != want {
+		t.Fatalf("EncodedSize = %d, want %d", got, want)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+}

@@ -1,0 +1,166 @@
+package hammerhead
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"hammerhead/internal/engine"
+	"hammerhead/internal/node"
+	"hammerhead/internal/transport"
+	"hammerhead/internal/types"
+)
+
+// LocalClusterOption customizes StartLocalCluster.
+type LocalClusterOption func(*localClusterOptions)
+
+type localClusterOptions struct {
+	engineConfig    EngineConfig
+	hammerhead      *SchedulerConfig
+	walDir          string
+	scheme          string
+	onCommit        func(id ValidatorID, sub CommittedSubDAG, replayed bool)
+	metrics         *MetricsRegistry
+	metricsTargetID ValidatorID
+}
+
+// WithEngineConfig overrides the engine configuration for every node.
+func WithEngineConfig(cfg EngineConfig) LocalClusterOption {
+	return func(o *localClusterOptions) { o.engineConfig = cfg }
+}
+
+// WithHammerHead enables reputation scheduling (nil config means the paper's
+// evaluation defaults). Without this option the cluster runs the round-robin
+// Bullshark baseline.
+func WithHammerHead(cfg *SchedulerConfig) LocalClusterOption {
+	return func(o *localClusterOptions) {
+		if cfg == nil {
+			def := DefaultSchedulerConfig()
+			cfg = &def
+		}
+		o.hammerhead = cfg
+	}
+}
+
+// WithWALDir enables per-node persistence under dir (one WAL per validator).
+func WithWALDir(dir string) LocalClusterOption {
+	return func(o *localClusterOptions) { o.walDir = dir }
+}
+
+// WithCommitObserver registers a commit callback across all nodes.
+func WithCommitObserver(fn func(id ValidatorID, sub CommittedSubDAG, replayed bool)) LocalClusterOption {
+	return func(o *localClusterOptions) { o.onCommit = fn }
+}
+
+// WithMetrics attaches a metrics registry to one validator.
+func WithMetrics(reg *MetricsRegistry, id ValidatorID) LocalClusterOption {
+	return func(o *localClusterOptions) { o.metrics = reg; o.metricsTargetID = id }
+}
+
+// WithScheme selects the signature scheme ("ed25519" or "insecure").
+func WithScheme(name string) LocalClusterOption {
+	return func(o *localClusterOptions) { o.scheme = name }
+}
+
+// LocalCluster is an in-process committee wired over channel transports —
+// real goroutines, wall-clock timers and the full protocol stack, one
+// binary. Useful for development, tests and the quickstart example.
+type LocalCluster struct {
+	Committee *Committee
+	Nodes     []*Node
+
+	network *transport.ChannelNetwork
+}
+
+// StartLocalCluster boots an n-validator cluster and returns once all nodes
+// run. Callers must Stop it.
+func StartLocalCluster(n int, opts ...LocalClusterOption) (*LocalCluster, error) {
+	options := localClusterOptions{
+		engineConfig: DefaultEngineConfig(),
+		scheme:       "ed25519",
+	}
+	// Local clusters exchange messages in microseconds; production pacing
+	// would only slow examples down.
+	options.engineConfig.MinRoundDelay = 50 * 1e6 // 50ms
+	options.engineConfig.LeaderTimeout = 1e9      // 1s
+	for _, opt := range opts {
+		opt(&options)
+	}
+
+	committee, err := NewEqualStakeCommittee(n)
+	if err != nil {
+		return nil, err
+	}
+	var seed [32]byte
+	seed[0] = 0x42
+	pairs, pubs, err := GenerateKeys(options.scheme, seed, n)
+	if err != nil {
+		return nil, err
+	}
+
+	cluster := &LocalCluster{
+		Committee: committee,
+		network:   transport.NewChannelNetwork(1 << 14),
+	}
+	for i := 0; i < n; i++ {
+		id := types.ValidatorID(i)
+		cfg := node.Config{
+			Committee:    committee,
+			Self:         id,
+			Keys:         pairs[i],
+			PublicKeys:   pubs,
+			Engine:       options.engineConfig,
+			HammerHead:   options.hammerhead,
+			ScheduleSeed: 7,
+		}
+		if options.walDir != "" {
+			cfg.WALPath = filepath.Join(options.walDir, fmt.Sprintf("validator-%d.wal", i))
+		}
+		if options.onCommit != nil {
+			hook := options.onCommit
+			cfg.OnCommit = func(sub CommittedSubDAG, replayed bool) { hook(id, sub, replayed) }
+		}
+		if options.metrics != nil && options.metricsTargetID == id {
+			cfg.Metrics = options.metrics
+		}
+
+		var nd *node.Node
+		tr, err := cluster.network.Join(id, func(from types.ValidatorID, msg *engine.Message) {
+			nd.HandleMessage(from, msg)
+		})
+		if err != nil {
+			cluster.Stop()
+			return nil, err
+		}
+		nd, err = node.New(cfg, tr)
+		if err != nil {
+			_ = tr.Close()
+			cluster.Stop()
+			return nil, fmt.Errorf("hammerhead: building node %s: %w", id, err)
+		}
+		cluster.Nodes = append(cluster.Nodes, nd)
+	}
+	for _, nd := range cluster.Nodes {
+		if err := nd.Start(); err != nil {
+			cluster.Stop()
+			return nil, err
+		}
+	}
+	return cluster, nil
+}
+
+// Submit hands a transaction to the given validator's mempool.
+func (c *LocalCluster) Submit(to ValidatorID, tx Transaction) error {
+	if int(to) >= len(c.Nodes) {
+		return fmt.Errorf("hammerhead: no validator %s", to)
+	}
+	return c.Nodes[to].Submit(tx)
+}
+
+// Stop shuts every node down.
+func (c *LocalCluster) Stop() {
+	for _, nd := range c.Nodes {
+		if nd != nil {
+			_ = nd.Close()
+		}
+	}
+}
