@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -50,6 +51,9 @@ func run(args []string) error {
 	epochCommits := fs.Int("epoch-commits", 10, "commits per leader-reputation schedule")
 	minRoundDelay := fs.Duration("min-round-delay", 250*time.Millisecond, "header pacing")
 	leaderTimeout := fs.Duration("leader-timeout", 2*time.Second, "anchor-round leader wait")
+	verifyWorkers := fs.Int("verify-workers", 0, "signature-verification worker pool size (0 = one per CPU)")
+	mempoolSize := fs.Int("mempool-size", 0, "transaction pool capacity (0 = default 1<<20)")
+	mempoolShards := fs.Int("mempool-shards", 0, "transaction pool shard count, rounded to a power of two (0 = sized to the machine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +91,11 @@ func run(args []string) error {
 	engCfg := engine.DefaultConfig()
 	engCfg.MinRoundDelay = *minRoundDelay
 	engCfg.LeaderTimeout = *leaderTimeout
+	if *verifyWorkers > 0 {
+		engCfg.VerifyWorkers = *verifyWorkers
+	} else {
+		engCfg.VerifyWorkers = runtime.GOMAXPROCS(0)
+	}
 
 	var hh *core.Config
 	if !*baseline {
@@ -111,15 +120,17 @@ func run(args []string) error {
 
 	logger := log.New(os.Stdout, fmt.Sprintf("[%s] ", self), log.Ltime|log.Lmicroseconds)
 	nd, err = node.New(node.Config{
-		Committee:    committee,
-		Self:         self,
-		Keys:         keys,
-		PublicKeys:   pubs,
-		Engine:       engCfg,
-		HammerHead:   hh,
-		ScheduleSeed: file.ScheduleSeed,
-		WALPath:      *walPath,
-		Metrics:      reg,
+		Committee:     committee,
+		Self:          self,
+		Keys:          keys,
+		PublicKeys:    pubs,
+		Engine:        engCfg,
+		HammerHead:    hh,
+		ScheduleSeed:  file.ScheduleSeed,
+		WALPath:       *walPath,
+		MempoolSize:   *mempoolSize,
+		MempoolShards: *mempoolShards,
+		Metrics:       reg,
 		OnCommit: func(sub bullshark.CommittedSubDAG, replayed bool) {
 			if replayed {
 				return
@@ -163,9 +174,11 @@ func serve(nd *node.Node, tr transport.Transport, logger *log.Logger, reg *metri
 		case <-ticker.C:
 			st := nd.Engine().Stats()
 			cs := nd.Engine().Committer().Stats()
-			logger.Printf("round=%d commits=%d ordered_vertices=%d skipped=%d timeouts=%d pending_tx=%d",
+			pv := nd.PreVerifyStats()
+			logger.Printf("round=%d commits=%d ordered_vertices=%d skipped=%d timeouts=%d pending_tx=%d preverified=%d dropped=%d",
 				nd.Engine().Round(), cs.DirectCommits+cs.IndirectCommits,
-				cs.OrderedVertices, cs.SkippedAnchors, st.LeaderTimeouts, nd.Pool().Pending())
+				cs.OrderedVertices, cs.SkippedAnchors, st.LeaderTimeouts, nd.Pool().Pending(),
+				pv.Checked-pv.Dropped, pv.Dropped)
 		case s := <-sig:
 			logger.Printf("received %v, shutting down", s)
 			return nil

@@ -1,0 +1,3 @@
+module hammerhead
+
+go 1.24

@@ -198,6 +198,11 @@ const (
 // NewScenario returns a calibrated scenario mirroring the paper's setup.
 var NewScenario = experiment.NewScenario
 
+// NewHighLoadScenario returns a scenario tuned for ingress stress: tight
+// pacing, large headers, parallel signature verification and a sharded
+// mempool.
+var NewHighLoadScenario = experiment.NewHighLoadScenario
+
 // RunExperiment executes a scenario and returns its measurements.
 var RunExperiment = experiment.Run
 

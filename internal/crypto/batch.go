@@ -1,0 +1,155 @@
+package crypto
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// VerifyTask is one (public key, message, signature) tuple submitted to a
+// BatchVerifier.
+type VerifyTask struct {
+	Pub PublicKey
+	Msg []byte
+	Sig Signature
+}
+
+// BatchStats are cumulative BatchVerifier counters.
+type BatchStats struct {
+	// Batches counts Verify/VerifyAll calls.
+	Batches uint64
+	// Tasks counts individual signature checks across all batches.
+	Tasks uint64
+	// Failures counts tasks whose signature did not verify.
+	Failures uint64
+	// MaxBatch is the largest batch seen.
+	MaxBatch uint64
+}
+
+// BatchVerifier verifies many signature tuples concurrently under a bounded
+// worker budget. Certificate quorum checks are the protocol's hottest
+// public-key path — 2f+1 independent Ed25519 verifications per certificate —
+// and they are embarrassingly parallel, so fanning them across cores lifts
+// the per-certificate ceiling almost linearly.
+//
+// Workers are spawned per batch and bounded by the configured pool size:
+// small batches (or workers=1) verify inline on the caller's goroutine, so
+// the verifier has no lifecycle to manage, no idle goroutines between
+// batches, and callers can share one verifier or make one per engine freely.
+// Tasks are distributed by an atomic work-stealing cursor rather than fixed
+// chunks, so one slow verification (a long message, a cold cache) cannot
+// strand the rest of a worker's share.
+//
+// Safe for concurrent use.
+type BatchVerifier struct {
+	scheme  Scheme
+	workers int
+
+	batches  atomic.Uint64
+	tasks    atomic.Uint64
+	failures atomic.Uint64
+	maxBatch atomic.Uint64
+}
+
+// minParallelBatch is the batch size below which spawning workers costs more
+// than it saves (goroutine startup is ~1µs; an Ed25519 verify is ~50µs, but
+// the Insecure scheme's keyed hash is in the same microsecond range as the
+// spawn itself).
+const minParallelBatch = 4
+
+// NewBatchVerifier builds a verifier over scheme with the given worker
+// bound. workers <= 0 selects one worker per CPU.
+func NewBatchVerifier(scheme Scheme, workers int) *BatchVerifier {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &BatchVerifier{scheme: scheme, workers: workers}
+}
+
+// Workers returns the configured worker bound.
+func (v *BatchVerifier) Workers() int { return v.workers }
+
+// Scheme returns the underlying signature scheme.
+func (v *BatchVerifier) Scheme() Scheme { return v.scheme }
+
+// Stats returns a copy of the cumulative counters.
+func (v *BatchVerifier) Stats() BatchStats {
+	return BatchStats{
+		Batches:  v.batches.Load(),
+		Tasks:    v.tasks.Load(),
+		Failures: v.failures.Load(),
+		MaxBatch: v.maxBatch.Load(),
+	}
+}
+
+// Verify checks every task and returns per-task validity, in task order.
+func (v *BatchVerifier) Verify(tasks []VerifyTask) []bool {
+	v.record(len(tasks))
+	if len(tasks) == 0 {
+		return nil
+	}
+	results := make([]bool, len(tasks))
+	workers := v.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 || len(tasks) < minParallelBatch {
+		var failures uint64
+		for i := range tasks {
+			results[i] = v.scheme.Verify(tasks[i].Pub, tasks[i].Msg, tasks[i].Sig)
+			if !results[i] {
+				failures++
+			}
+		}
+		v.failures.Add(failures)
+		return results
+	}
+	var cursor atomic.Int64
+	var failures atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var failed uint64
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(tasks) {
+					break
+				}
+				results[i] = v.scheme.Verify(tasks[i].Pub, tasks[i].Msg, tasks[i].Sig)
+				if !results[i] {
+					failed++
+				}
+			}
+			if failed > 0 {
+				failures.Add(failed)
+			}
+		}()
+	}
+	wg.Wait()
+	v.failures.Add(failures.Load())
+	return results
+}
+
+// VerifyAll reports whether every task verifies. It is Verify with an
+// all-of reduction; per-task results are discarded.
+func (v *BatchVerifier) VerifyAll(tasks []VerifyTask) bool {
+	for _, ok := range v.Verify(tasks) {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *BatchVerifier) record(n int) {
+	v.batches.Add(1)
+	v.tasks.Add(uint64(n))
+	for {
+		max := v.maxBatch.Load()
+		if uint64(n) <= max || v.maxBatch.CompareAndSwap(max, uint64(n)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package crypto
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// makeTasks builds n valid tasks under distinct keys, corrupting the
+// signatures at the given indices.
+func makeTasks(t testing.TB, s Scheme, n int, corrupt map[int]bool) []VerifyTask {
+	t.Helper()
+	tasks := make([]VerifyTask, n)
+	for i := 0; i < n; i++ {
+		priv, pub, err := s.GenerateKey(SeedForValidator([32]byte{42}, uint32(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte(fmt.Sprintf("message %d", i))
+		sig, err := s.Sign(priv, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corrupt[i] {
+			sig = append(Signature(nil), sig...)
+			sig[0] ^= 0xFF
+		}
+		tasks[i] = VerifyTask{Pub: pub, Msg: msg, Sig: sig}
+	}
+	return tasks
+}
+
+func TestBatchVerifierMatchesSerial(t *testing.T) {
+	for _, s := range _schemes {
+		for _, workers := range []int{1, 2, 4, 7} {
+			t.Run(fmt.Sprintf("%s/workers=%d", s.Name(), workers), func(t *testing.T) {
+				corrupt := map[int]bool{0: true, 5: true, 12: true}
+				tasks := makeTasks(t, s, 17, corrupt)
+				v := NewBatchVerifier(s, workers)
+				got := v.Verify(tasks)
+				if len(got) != len(tasks) {
+					t.Fatalf("got %d results for %d tasks", len(got), len(tasks))
+				}
+				for i := range tasks {
+					want := s.Verify(tasks[i].Pub, tasks[i].Msg, tasks[i].Sig)
+					if got[i] != want {
+						t.Fatalf("task %d: batch says %v, serial says %v", i, got[i], want)
+					}
+					if got[i] == corrupt[i] {
+						t.Fatalf("task %d: corrupt=%v but verified=%v", i, corrupt[i], got[i])
+					}
+				}
+				st := v.Stats()
+				if st.Batches != 1 || st.Tasks != 17 || st.Failures != 3 || st.MaxBatch != 17 {
+					t.Fatalf("stats = %+v, want 1 batch / 17 tasks / 3 failures", st)
+				}
+			})
+		}
+	}
+}
+
+func TestBatchVerifierVerifyAll(t *testing.T) {
+	s := Insecure{}
+	v := NewBatchVerifier(s, 4)
+	good := makeTasks(t, s, 9, nil)
+	if !v.VerifyAll(good) {
+		t.Fatal("all-valid batch must pass VerifyAll")
+	}
+	bad := makeTasks(t, s, 9, map[int]bool{8: true})
+	if v.VerifyAll(bad) {
+		t.Fatal("batch with one bad signature must fail VerifyAll")
+	}
+}
+
+func TestBatchVerifierEmptyAndTiny(t *testing.T) {
+	v := NewBatchVerifier(Insecure{}, 8)
+	if got := v.Verify(nil); got != nil {
+		t.Fatalf("empty batch returned %v", got)
+	}
+	one := makeTasks(t, Insecure{}, 1, nil)
+	res := v.Verify(one)
+	if len(res) != 1 || !res[0] {
+		t.Fatalf("single-task batch = %v", res)
+	}
+}
+
+func TestBatchVerifierDefaultsWorkers(t *testing.T) {
+	if NewBatchVerifier(Insecure{}, 0).Workers() < 1 {
+		t.Fatal("workers<=0 must resolve to at least one worker")
+	}
+	if NewBatchVerifier(Insecure{}, -3).Workers() < 1 {
+		t.Fatal("negative workers must resolve to at least one worker")
+	}
+}
+
+// TestBatchVerifierConcurrentCallers exercises one shared verifier from many
+// goroutines (the node's pre-verify workers share one); run under -race.
+func TestBatchVerifierConcurrentCallers(t *testing.T) {
+	s := Insecure{}
+	v := NewBatchVerifier(s, 4)
+	tasks := makeTasks(t, s, 32, map[int]bool{3: true, 30: true})
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 25; iter++ {
+				res := v.Verify(tasks)
+				for i := range res {
+					if res[i] == (i == 3 || i == 30) {
+						errs <- fmt.Sprintf("task %d verified=%v", i, res[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	st := v.Stats()
+	if st.Batches != callers*25 || st.Tasks != callers*25*32 || st.Failures != callers*25*2 {
+		t.Fatalf("stats = %+v, want exact accounting under concurrency", st)
+	}
+}

@@ -68,7 +68,18 @@ type Header struct {
 	digestOK    bool
 	batchMemo   types.Digest
 	batchMemoOK bool
+
+	sigVerified bool
 }
+
+// MarkSigVerified records that the header's signature was already checked by
+// an upstream pre-verify stage, letting the engine skip the redundant
+// public-key operation. The mark is unexported state: gob never transmits
+// it, so it can only be set by local code that actually verified.
+func (h *Header) MarkSigVerified() { h.sigVerified = true }
+
+// SigVerified reports whether the header's signature was pre-verified.
+func (h *Header) SigVerified() bool { return h.sigVerified }
 
 // Digest returns the content address of the header, shared with the
 // certificate and DAG vertex it becomes.
@@ -120,7 +131,15 @@ type Vote struct {
 	Origin       types.ValidatorID // the header's source
 	Voter        types.ValidatorID
 	Signature    crypto.Signature
+
+	sigVerified bool
 }
+
+// MarkSigVerified records an upstream signature check (see Header).
+func (v *Vote) MarkSigVerified() { v.sigVerified = true }
+
+// SigVerified reports whether the vote's signature was pre-verified.
+func (v *Vote) SigVerified() bool { return v.sigVerified }
 
 // EncodedSize approximates the wire size in bytes.
 func (v *Vote) EncodedSize() int {
@@ -138,7 +157,16 @@ type VoteSig struct {
 type Certificate struct {
 	Header Header
 	Votes  []VoteSig
+
+	sigVerified bool
 }
+
+// MarkSigVerified records that a quorum of the certificate's vote signatures
+// was already checked by an upstream pre-verify stage (see Header).
+func (c *Certificate) MarkSigVerified() { c.sigVerified = true }
+
+// SigVerified reports whether the certificate's quorum was pre-verified.
+func (c *Certificate) SigVerified() bool { return c.sigVerified }
 
 // Digest returns the certified vertex digest.
 func (c *Certificate) Digest() types.Digest { return c.Header.Digest() }
@@ -197,6 +225,54 @@ type Message struct {
 	CertRequest  *CertRequest
 	CertResponse *CertResponse
 	RoundRequest *RoundRequest
+}
+
+// Clone returns a copy of the message whose mutable payload state — the
+// Header/Vote/Certificate structs, certificate vote lists and the
+// sig-verified marks — is private to the recipient. In-process transports
+// must deliver clones: recipients mark (and may strip votes from) payloads
+// during pre-verification, and the TCP wire naturally isolates recipients
+// by gob-decoding a fresh copy per peer. Marks are cleared, exactly as a
+// gob round-trip would: a clone is untrusted input to its receiver.
+// Immutable byte material (edges, batches, signatures) is shared.
+func (m *Message) Clone() *Message {
+	c := *m
+	switch m.Kind {
+	case KindHeader:
+		if m.Header != nil {
+			h := *m.Header
+			h.sigVerified = false
+			c.Header = &h
+		}
+	case KindVote:
+		if m.Vote != nil {
+			v := *m.Vote
+			v.sigVerified = false
+			c.Vote = &v
+		}
+	case KindCertificate:
+		c.Cert = m.Cert.clone()
+	case KindCertResponse:
+		if m.CertResponse != nil {
+			certs := make([]*Certificate, len(m.CertResponse.Certs))
+			for i, cert := range m.CertResponse.Certs {
+				certs[i] = cert.clone()
+			}
+			c.CertResponse = &CertResponse{Certs: certs}
+		}
+	}
+	// CertRequest / RoundRequest payloads are read-only; sharing is safe.
+	return &c
+}
+
+func (c *Certificate) clone() *Certificate {
+	if c == nil {
+		return nil
+	}
+	d := *c
+	d.sigVerified = false
+	d.Votes = append([]VoteSig(nil), c.Votes...)
+	return &d
 }
 
 // EncodedSize approximates the wire size in bytes.

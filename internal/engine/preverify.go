@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"hammerhead/internal/crypto"
+	"hammerhead/internal/types"
+)
+
+// PreVerifier validates message signatures before they reach the engine, so
+// the expensive public-key work happens off the single-threaded state
+// machine. The node runtime runs Check on a pool of goroutines between the
+// transport and the engine loop; the simulator runs it synchronously at
+// delivery when signature verification is enabled. Payloads that pass are
+// marked (Header/Vote/Certificate.MarkSigVerified), so the engine skips the
+// redundant re-verification; messages that fail should be dropped without
+// ever entering the engine.
+//
+// Check is safe for concurrent use as long as each *Message is handed to
+// one goroutine at a time (the node's workers each own the messages they
+// pull from the queue).
+type PreVerifier struct {
+	committee *types.Committee
+	pubKeys   []crypto.PublicKey
+	verifier  *crypto.BatchVerifier
+
+	checked atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// PreVerifyStats are cumulative PreVerifier counters.
+type PreVerifyStats struct {
+	// Checked counts messages inspected.
+	Checked uint64
+	// Dropped counts messages rejected for invalid signatures.
+	Dropped uint64
+}
+
+// NewPreVerifier builds a pre-verify stage for one validator. workers bounds
+// the underlying batch verifier's fan-out per certificate.
+func NewPreVerifier(scheme crypto.Scheme, committee *types.Committee, pubKeys []crypto.PublicKey, workers int) *PreVerifier {
+	if workers < 1 {
+		workers = 1
+	}
+	return &PreVerifier{
+		committee: committee,
+		pubKeys:   pubKeys,
+		verifier:  crypto.NewBatchVerifier(scheme, workers),
+	}
+}
+
+// Verifier exposes the underlying batch verifier (stats, reuse).
+func (pv *PreVerifier) Verifier() *crypto.BatchVerifier { return pv.verifier }
+
+// Stats returns a copy of the counters.
+func (pv *PreVerifier) Stats() PreVerifyStats {
+	return PreVerifyStats{Checked: pv.checked.Load(), Dropped: pv.dropped.Load()}
+}
+
+// NeedsCheck reports whether messages of this kind carry signatures.
+// Requests (cert/round) are unauthenticated pulls; serving them leaks no
+// state beyond what any committee member already replicates.
+func NeedsCheck(kind MessageKind) bool {
+	switch kind {
+	case KindHeader, KindVote, KindCertificate, KindCertResponse:
+		return true
+	default:
+		return false
+	}
+}
+
+// Check verifies every signature msg carries and marks the payloads that
+// pass. It returns false when the message should be dropped: a forged
+// header or vote, or a certificate whose valid-signature votes do not reach
+// quorum. Invalid votes inside an otherwise-quorate certificate are
+// stripped rather than fatal, matching the engine's tolerance.
+func (pv *PreVerifier) Check(msg *Message) bool {
+	pv.checked.Add(1)
+	ok := pv.check(msg)
+	if !ok {
+		pv.dropped.Add(1)
+	}
+	return ok
+}
+
+func (pv *PreVerifier) check(msg *Message) bool {
+	switch msg.Kind {
+	case KindHeader:
+		return pv.checkHeader(msg.Header)
+	case KindVote:
+		return pv.checkVote(msg.Vote)
+	case KindCertificate:
+		return pv.checkCertificate(msg.Cert)
+	case KindCertResponse:
+		if msg.CertResponse == nil {
+			return false
+		}
+		// A sync response is useful as long as something in it survives;
+		// invalid certificates are dropped from the batch, not fatal to it.
+		kept := msg.CertResponse.Certs[:0]
+		for _, c := range msg.CertResponse.Certs {
+			if pv.checkCertificate(c) {
+				kept = append(kept, c)
+			}
+		}
+		msg.CertResponse.Certs = kept
+		return len(kept) > 0
+	default:
+		return true
+	}
+}
+
+func (pv *PreVerifier) checkHeader(h *Header) bool {
+	if h == nil || int(h.Source) >= len(pv.pubKeys) {
+		return false
+	}
+	if h.SigVerified() {
+		return true
+	}
+	digest := h.Digest()
+	if !pv.verifier.Scheme().Verify(pv.pubKeys[h.Source], digest[:], h.Signature) {
+		return false
+	}
+	h.MarkSigVerified()
+	return true
+}
+
+func (pv *PreVerifier) checkVote(v *Vote) bool {
+	if v == nil || int(v.Voter) >= len(pv.pubKeys) {
+		return false
+	}
+	if v.SigVerified() {
+		return true
+	}
+	if !pv.verifier.Scheme().Verify(pv.pubKeys[v.Voter], v.HeaderDigest[:], v.Signature) {
+		return false
+	}
+	v.MarkSigVerified()
+	return true
+}
+
+func (pv *PreVerifier) checkCertificate(c *Certificate) bool {
+	if c == nil {
+		return false
+	}
+	if c.SigVerified() {
+		return true
+	}
+	kept, ok := verifyQuorumVotes(pv.verifier, pv.committee, pv.pubKeys, c)
+	if !ok {
+		return false
+	}
+	c.Votes = kept
+	c.MarkSigVerified()
+	return true
+}
+
+// verifyQuorumVotes fans a certificate's vote signatures across the batch
+// verifier and reports whether the valid ones reach quorum stake, returning
+// those valid votes. Shared by the engine's validCertificate and the
+// pre-verify stage, so the two paths cannot drift: votes from voters
+// outside the key set or with bad signatures are skipped (not fatal), and
+// only the surviving stake decides.
+func verifyQuorumVotes(verifier *crypto.BatchVerifier, committee *types.Committee, pubKeys []crypto.PublicKey, c *Certificate) ([]VoteSig, bool) {
+	digest := c.Digest()
+	tasks := make([]crypto.VerifyTask, 0, len(c.Votes))
+	idx := make([]int, 0, len(c.Votes))
+	for i, vs := range c.Votes {
+		if int(vs.Voter) >= len(pubKeys) {
+			continue // unknown voter: indexing pubKeys would panic
+		}
+		tasks = append(tasks, crypto.VerifyTask{Pub: pubKeys[vs.Voter], Msg: digest[:], Sig: vs.Signature})
+		idx = append(idx, i)
+	}
+	results := verifier.Verify(tasks)
+	acc := types.NewStakeAccumulator(committee)
+	kept := make([]VoteSig, 0, len(c.Votes))
+	for i, ok := range results {
+		if ok {
+			kept = append(kept, c.Votes[idx[i]])
+			acc.Add(c.Votes[idx[i]].Voter)
+		}
+	}
+	return kept, acc.ReachedQuorum()
+}

@@ -125,12 +125,13 @@ func Run(s Scenario) (Result, error) {
 	}
 
 	cluster, err := simnet.NewCluster(simnet.ClusterConfig{
-		Committee:    committee,
-		Engine:       s.EngineConfig(),
-		Latency:      simnet.NewGeo(s.N),
-		NewScheduler: factory,
-		OnCommit:     hook,
-		Seed:         s.Seed,
+		Committee:     committee,
+		Engine:        s.EngineConfig(),
+		Latency:       simnet.NewGeo(s.N),
+		NewScheduler:  factory,
+		MempoolShards: s.MempoolShards,
+		OnCommit:      hook,
+		Seed:          s.Seed,
 	})
 	if err != nil {
 		return Result{}, err

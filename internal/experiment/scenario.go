@@ -62,6 +62,17 @@ type Scenario struct {
 	MinRoundDelay time.Duration
 	LeaderTimeout time.Duration
 	MaxBatchTx    int
+	// VerifySignatures switches the simulated deployment to real Ed25519
+	// signing with pre-verification at delivery — the authenticated
+	// pipeline the TCP node runs. The paper's crash-only evaluation keeps
+	// it off (DESIGN.md §4); Byzantine-signer scenarios need it on.
+	VerifySignatures bool
+	// VerifyWorkers bounds each validator's signature-verification pool
+	// (0 keeps the engine default).
+	VerifyWorkers int
+	// MempoolShards is each validator's mempool shard count (0 sizes it to
+	// the machine).
+	MempoolShards int
 	// GCDepthRounds overrides the engine's DAG retention window (0 keeps
 	// the default). Recovery scenarios raise it so a validator rejoining
 	// after a long outage finds its missing history still retained by peers;
@@ -145,6 +156,23 @@ func batchCapFor(n int) int {
 	return int(cap + 0.5)
 }
 
+// NewHighLoadScenario returns a scenario tuned for ingress stress: tighter
+// round pacing, 4x the per-header transaction cap, and explicit
+// parallel-verification and mempool-sharding knobs. It models the
+// "production traffic" end of the roadmap — a committee drinking from a
+// firehose of client load — where the serial-verification and
+// single-mutex-mempool ceilings the pipeline removes would otherwise bind
+// first.
+func NewHighLoadScenario(m Mechanism, n, faults int, loadTxPerSec float64) Scenario {
+	s := NewScenario(m, n, faults, loadTxPerSec)
+	s.Name = fmt.Sprintf("%s-highload-n%d-f%d-load%.0f", m, n, faults, loadTxPerSec)
+	s.MinRoundDelay = 150 * time.Millisecond
+	s.MaxBatchTx = 4 * batchCapFor(n)
+	s.VerifyWorkers = 8
+	s.MempoolShards = 16
+	return s
+}
+
 // ExecCostPerTx returns the modeled execution service time per transaction.
 func (s Scenario) ExecCostPerTx() time.Duration {
 	return s.ExecBaseTxCost + time.Duration(s.N)*s.ExecPerValidatorCost
@@ -156,7 +184,12 @@ func (s Scenario) EngineConfig() engine.Config {
 	cfg.MinRoundDelay = s.MinRoundDelay
 	cfg.LeaderTimeout = s.LeaderTimeout
 	cfg.MaxBatchTx = s.MaxBatchTx
-	cfg.VerifySignatures = false // crash-only simulation (DESIGN.md §4)
+	// Crash-only simulation by default (DESIGN.md §4); Byzantine-signer
+	// scenarios opt in to the authenticated pipeline.
+	cfg.VerifySignatures = s.VerifySignatures
+	if s.VerifyWorkers > 0 {
+		cfg.VerifyWorkers = s.VerifyWorkers
+	}
 	if s.GCDepthRounds > 0 {
 		cfg.GCDepth = s.GCDepthRounds
 	}

@@ -1,16 +1,29 @@
 // Package mempool buffers client transactions until the consensus engine
 // drains them into header batches. It implements engine.BatchProvider.
 //
-// The pool is intentionally simple — a bounded FIFO — because the paper's
-// workload is a fixed-rate open-loop load of small transactions; fairness
-// and fee ordering are out of scope. Backpressure (ErrFull) is what turns
-// an overloaded validator into queueing latency in the experiments rather
-// than unbounded memory growth.
+// The pool is sharded: submissions are spread round-robin over a
+// power-of-two number of independently locked FIFO shards, so concurrent
+// clients (the node's transport goroutines, RPC handlers, load generators)
+// no longer serialize on one mutex. The engine drains round-robin across
+// shards, one transaction per shard visit, which preserves global FIFO
+// order for a single-threaded submitter — the simulator's determinism and
+// the seed tests' ordering expectations depend on it. Under concurrent
+// submitters only per-shard FIFO holds, which is all an async network ever
+// guaranteed anyway.
+//
+// Capacity is a pool-wide bound enforced by one atomic counter, so
+// backpressure semantics are unchanged from the single-queue pool:
+// Submit returns ErrFull exactly when maxSize transactions are pending,
+// which turns an overloaded validator into queueing latency in the
+// experiments rather than unbounded memory growth. Stats are exact,
+// maintained with atomics.
 package mempool
 
 import (
 	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hammerhead/internal/types"
 )
@@ -25,74 +38,143 @@ type Stats struct {
 	Drained   uint64
 }
 
-// Pool is a bounded transaction queue. Safe for concurrent use: clients
-// submit from any goroutine while the engine drains from its own.
-type Pool struct {
-	mu      sync.Mutex
-	queue   []types.Transaction
-	head    int
-	maxSize int
-	stats   Stats
+// shard is one independently locked FIFO queue. Padded to a cache line so
+// neighbouring shard locks do not false-share under concurrent submitters.
+type shard struct {
+	mu    sync.Mutex
+	queue []types.Transaction
+	head  int
+	_     [24]byte
 }
 
-// New creates a pool holding at most maxSize transactions.
-func New(maxSize int) *Pool {
+// pop removes and returns the oldest transaction, compacting the dead
+// prefix once it dominates (amortized O(1) per transaction).
+func (s *shard) pop() (types.Transaction, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.head >= len(s.queue) {
+		return types.Transaction{}, false
+	}
+	tx := s.queue[s.head]
+	s.head++
+	if s.head > len(s.queue)/2 && s.head > 256 {
+		s.queue = append(s.queue[:0:0], s.queue[s.head:]...)
+		s.head = 0
+	}
+	return tx, true
+}
+
+// Pool is a bounded, sharded transaction queue. Safe for concurrent use:
+// any number of clients submit while the engine drains from its own
+// goroutine.
+type Pool struct {
+	shards  []shard
+	mask    uint64
+	maxSize int64
+
+	pending   atomic.Int64
+	submitSeq atomic.Uint64
+	// drainAt is the next shard the drain scan starts from. Only the
+	// draining goroutine touches it; it is not part of the atomic state.
+	drainAt uint64
+
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	drained   atomic.Uint64
+}
+
+// New creates a pool holding at most maxSize transactions, with a shard
+// count sized to the machine.
+func New(maxSize int) *Pool { return NewSharded(maxSize, 0) }
+
+// NewSharded creates a pool with an explicit shard count, rounded up to a
+// power of two. shards <= 0 picks a default: GOMAXPROCS rounded up, capped
+// at 32 (beyond that, lock contention is no longer the bottleneck).
+func NewSharded(maxSize, shards int) *Pool {
 	if maxSize < 1 {
 		maxSize = 1
 	}
-	return &Pool{maxSize: maxSize}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards > 32 {
+			shards = 32
+		}
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &Pool{
+		shards:  make([]shard, n),
+		mask:    uint64(n - 1),
+		maxSize: int64(maxSize),
+	}
 }
 
-// Submit enqueues a transaction, stamping SubmitTimeNanos if unset.
+// ShardCount returns the number of shards (a power of two).
+func (p *Pool) ShardCount() int { return len(p.shards) }
+
+// Submit enqueues a transaction onto the next shard in round-robin order,
+// returning ErrFull when the pool-wide capacity is reached.
 func (p *Pool) Submit(tx types.Transaction) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.pendingLocked() >= p.maxSize {
-		p.stats.Rejected++
+	// Reserve capacity first: the atomic add-then-check keeps the bound
+	// exact under concurrent submitters without a global lock.
+	if p.pending.Add(1) > p.maxSize {
+		p.pending.Add(-1)
+		p.rejected.Add(1)
 		return ErrFull
 	}
-	p.queue = append(p.queue, tx)
-	p.stats.Submitted++
+	s := &p.shards[(p.submitSeq.Add(1)-1)&p.mask]
+	s.mu.Lock()
+	s.queue = append(s.queue, tx)
+	// Count while the shard is still locked: once unlocked the drainer can
+	// pop this tx, and Drained must never be observable above Submitted.
+	p.submitted.Add(1)
+	s.mu.Unlock()
 	return nil
 }
 
 // NextBatch implements engine.BatchProvider: it pops up to maxTx
-// transactions, returning nil when the pool is empty (empty headers are
-// valid and keep rounds advancing under low load).
+// transactions round-robin across shards, returning nil when the pool is
+// empty (empty headers are valid and keep rounds advancing under low load).
+// Intended for one draining goroutine (the engine's), as with the previous
+// single-queue pool.
 func (p *Pool) NextBatch(_ int64, maxTx int) *types.Batch {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	n := p.pendingLocked()
-	if n == 0 {
+	if maxTx < 1 || p.pending.Load() == 0 {
 		return nil
 	}
-	if n > maxTx {
-		n = maxTx
+	txs := make([]types.Transaction, 0, min(maxTx, int(p.pending.Load())))
+	n := uint64(len(p.shards))
+	emptyStreak := uint64(0)
+	for len(txs) < maxTx && emptyStreak < n {
+		tx, ok := p.shards[p.drainAt&p.mask].pop()
+		p.drainAt++
+		if !ok {
+			emptyStreak++
+			continue
+		}
+		emptyStreak = 0
+		txs = append(txs, tx)
 	}
-	txs := make([]types.Transaction, n)
-	copy(txs, p.queue[p.head:p.head+n])
-	p.head += n
-	p.stats.Drained += uint64(n)
-	// Compact once the dead prefix dominates, amortizing to O(1) per tx.
-	if p.head > len(p.queue)/2 && p.head > 1024 {
-		p.queue = append(p.queue[:0:0], p.queue[p.head:]...)
-		p.head = 0
+	if len(txs) == 0 {
+		return nil
 	}
+	p.pending.Add(int64(-len(txs)))
+	p.drained.Add(uint64(len(txs)))
 	return &types.Batch{Transactions: txs}
 }
 
 // Pending returns the number of queued transactions.
-func (p *Pool) Pending() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.pendingLocked()
-}
+func (p *Pool) Pending() int { return int(p.pending.Load()) }
 
-func (p *Pool) pendingLocked() int { return len(p.queue) - p.head }
-
-// Stats returns a copy of the counters.
+// Stats returns a copy of the counters. Drained is loaded before Submitted
+// so a concurrent reader can never observe Drained > Submitted (submits
+// racing between the two loads only inflate Submitted).
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	drained := p.drained.Load()
+	return Stats{
+		Submitted: p.submitted.Load(),
+		Rejected:  p.rejected.Load(),
+		Drained:   drained,
+	}
 }

@@ -47,6 +47,10 @@ type Config struct {
 	WALPath string
 	// MempoolSize bounds the transaction pool (default 1<<20).
 	MempoolSize int
+	// MempoolShards is the transaction pool's shard count, rounded up to a
+	// power of two (0 sizes it to the machine). Each shard has its own
+	// lock, so concurrent clients do not serialize on one mutex.
+	MempoolShards int
 	// OnCommit receives ordered sub-DAGs (may be nil).
 	OnCommit CommitHandler
 	// Metrics, when non-nil, receives node counters.
@@ -61,6 +65,14 @@ type Node struct {
 	trans transport.Transport
 	wal   *storage.WAL
 
+	// Pre-verify stage: inbound signature-bearing messages are validated by
+	// preWorkers goroutines pulling from preq, off the engine loop, before
+	// being enqueued into the single-threaded state machine. Nil prever
+	// disables the stage (signature verification off).
+	prever     *engine.PreVerifier
+	preq       chan inbound
+	preWorkers int
+
 	tasks   chan func()
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -71,6 +83,15 @@ type Node struct {
 	commitsMetric *metrics.Counter
 	txsMetric     *metrics.Counter
 	roundMetric   *metrics.Gauge
+	queueMetric   *metrics.Gauge
+	droppedMetric *metrics.Counter
+	batchHist     *metrics.Histogram
+}
+
+// inbound is one transport delivery awaiting pre-verification.
+type inbound struct {
+	from types.ValidatorID
+	msg  *engine.Message
 }
 
 // New builds a node bound to the given transport-joining function. Call
@@ -82,7 +103,7 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 	if cfg.MempoolSize == 0 {
 		cfg.MempoolSize = 1 << 20
 	}
-	pool := mempool.New(cfg.MempoolSize)
+	pool := mempool.NewSharded(cfg.MempoolSize, cfg.MempoolShards)
 	d := dag.New(cfg.Committee)
 
 	var sched leader.Scheduler
@@ -120,20 +141,122 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		tasks: make(chan func(), 4096),
 		done:  make(chan struct{}),
 	}
+	if cfg.Engine.VerifySignatures {
+		workers := cfg.Engine.VerifyWorkers
+		if workers < 1 {
+			workers = 1
+		}
+		// VerifyWorkers bounds TOTAL verification concurrency: parallelism
+		// comes from running `workers` pre-verify loops, each verifying its
+		// message's signatures inline (PreVerifier width 1). Nesting a
+		// per-certificate fan-out inside each loop would oversubscribe the
+		// budget quadratically.
+		n.preWorkers = workers
+		n.prever = engine.NewPreVerifier(cfg.Keys.Scheme, cfg.Committee, cfg.PublicKeys, 1)
+		n.preq = make(chan inbound, 4096)
+	}
 	if cfg.Metrics != nil {
 		n.commitsMetric = cfg.Metrics.Counter("hammerhead_commits_total")
 		n.txsMetric = cfg.Metrics.Counter("hammerhead_committed_txs_total")
 		n.roundMetric = cfg.Metrics.Gauge("hammerhead_round")
+		n.queueMetric = cfg.Metrics.Gauge("hammerhead_verify_queue_depth")
+		n.droppedMetric = cfg.Metrics.Counter("hammerhead_preverify_dropped_total")
+		n.batchHist = cfg.Metrics.Histogram("hammerhead_verify_batch_size",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 	}
 	return n, nil
 }
 
 // HandleMessage is the transport inbound hook; safe for concurrent use.
+// Signature-bearing messages detour through the pre-verify stage when it is
+// enabled; a full pre-verify queue blocks the transport reader, which is
+// exactly the backpressure an overloaded validator should exert on peers.
 func (n *Node) HandleMessage(from types.ValidatorID, msg *engine.Message) {
+	if n.prever != nil && engine.NeedsCheck(msg.Kind) {
+		select {
+		case n.preq <- inbound{from: from, msg: msg}:
+			if n.queueMetric != nil {
+				n.queueMetric.Set(int64(len(n.preq)))
+			}
+		case <-n.done:
+		}
+		return
+	}
 	n.enqueue(func() {
 		out := n.eng.OnMessage(from, msg, time.Now().UnixNano())
 		n.dispatch(out, true)
 	})
+}
+
+// preverifyLoop is one pre-verify worker: it validates signatures off the
+// engine goroutine and forwards only messages that pass. Workers may
+// reorder messages relative to each other; the engine tolerates arbitrary
+// reordering (the network provides none of its own ordering either).
+func (n *Node) preverifyLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case in := <-n.preq:
+			if n.queueMetric != nil {
+				n.queueMetric.Set(int64(len(n.preq)))
+			}
+			if n.batchHist != nil {
+				if size := sigCount(in.msg); size > 0 {
+					n.batchHist.Observe(float64(size))
+				}
+			}
+			if !n.prever.Check(in.msg) {
+				if n.droppedMetric != nil {
+					n.droppedMetric.Inc()
+				}
+				continue
+			}
+			n.enqueue(func() {
+				out := n.eng.OnMessage(in.from, in.msg, time.Now().UnixNano())
+				n.dispatch(out, true)
+			})
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// sigCount is the number of signatures a message carries — the batch size
+// the pre-verify stage hands the batch verifier.
+func sigCount(msg *engine.Message) int {
+	switch msg.Kind {
+	case engine.KindHeader, engine.KindVote:
+		return 1
+	case engine.KindCertificate:
+		// Nil payloads (a malformed frame whose Kind and payload disagree)
+		// must not crash the worker; the pre-verify check drops them next.
+		if msg.Cert == nil {
+			return 0
+		}
+		return len(msg.Cert.Votes)
+	case engine.KindCertResponse:
+		if msg.CertResponse == nil {
+			return 0
+		}
+		total := 0
+		for _, c := range msg.CertResponse.Certs {
+			if c != nil {
+				total += len(c.Votes)
+			}
+		}
+		return total
+	default:
+		return 0
+	}
+}
+
+// PreVerifyStats returns the pre-verify stage's counters (zero when the
+// stage is disabled).
+func (n *Node) PreVerifyStats() engine.PreVerifyStats {
+	if n.prever == nil {
+		return engine.PreVerifyStats{}
+	}
+	return n.prever.Stats()
 }
 
 // Start boots the node: replays the WAL (if any), initializes the engine
@@ -148,6 +271,12 @@ func (n *Node) Start() error {
 
 	n.wg.Add(1)
 	go n.loop()
+	if n.prever != nil {
+		for i := 0; i < n.preWorkers; i++ {
+			n.wg.Add(1)
+			go n.preverifyLoop()
+		}
+	}
 
 	var walErr error
 	startup := make(chan struct{})

@@ -3,6 +3,7 @@ package node_test
 import (
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -286,9 +287,15 @@ func TestNodeCrashRecoveryFromWAL(t *testing.T) {
 	// Restart v0 from its WAL under a fresh transport endpoint.
 	var replayedCommits int
 	var mu sync.Mutex
-	var restarted *node.Node
+	// The survivors broadcast into the rejoined endpoint as soon as Join
+	// returns, concurrently with node.New below; publish the node pointer
+	// atomically and drop deliveries that race the construction (a real
+	// process loses them while booting too — resync recovers them).
+	var restartedPtr atomic.Pointer[node.Node]
 	tr, err := tc.network.Join(0, func(from types.ValidatorID, msg *engine.Message) {
-		restarted.HandleMessage(from, msg)
+		if nd := restartedPtr.Load(); nd != nil {
+			nd.HandleMessage(from, msg)
+		}
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -307,7 +314,7 @@ func TestNodeCrashRecoveryFromWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	restarted, err = node.New(node.Config{
+	restarted, err := node.New(node.Config{
 		Committee:    committee,
 		Self:         0,
 		Keys:         kp,
@@ -330,6 +337,7 @@ func TestNodeCrashRecoveryFromWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	restartedPtr.Store(restarted)
 	if err := restarted.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -361,4 +369,49 @@ func TestNodeCrashRecoveryFromWAL(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+func TestNodePreVerifyDropsForgedMessages(t *testing.T) {
+	committee, err := types.NewEqualStakeCommittee(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{
+		committee: committee,
+		network:   transport.NewChannelNetwork(1 << 14),
+		commits:   make(map[types.ValidatorID][]types.Digest),
+		txSeen:    make(map[types.ValidatorID]int),
+	}
+	reg := metrics.NewRegistry()
+	tc.nodes = append(tc.nodes, buildNode(t, tc, 0, nil, "", reg))
+	for i := 1; i < 4; i++ {
+		tc.nodes = append(tc.nodes, buildNode(t, tc, types.ValidatorID(i), nil, "", nil))
+	}
+	tc.start(t)
+	tc.waitCommits(t, 1, 15*time.Second)
+
+	// Inject forged traffic straight into node 0's inbound hook: headers
+	// and votes with garbage signatures, claiming to come from validator 1.
+	for i := 0; i < 10; i++ {
+		h := &engine.Header{Round: 1, Source: 1, Signature: crypto.Signature("forged!")}
+		tc.nodes[0].HandleMessage(1, &engine.Message{Kind: engine.KindHeader, Header: h})
+		v := &engine.Vote{Round: 1, Origin: 0, Voter: 1, Signature: crypto.Signature("forged!")}
+		tc.nodes[0].HandleMessage(1, &engine.Message{Kind: engine.KindVote, Vote: v})
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for tc.nodes[0].PreVerifyStats().Dropped < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pre-verify dropped %d messages, want 20", tc.nodes[0].PreVerifyStats().Dropped)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if reg.Counter("hammerhead_preverify_dropped_total").Value() < 20 {
+		t.Fatal("dropped counter metric not updated")
+	}
+	// Liveness is unaffected: the cluster keeps committing past the attack.
+	tc.mu.Lock()
+	before := len(tc.commits[0])
+	tc.mu.Unlock()
+	tc.waitCommits(t, before+2, 15*time.Second)
 }

@@ -34,6 +34,9 @@ type ClusterConfig struct {
 	NewScheduler SchedulerFactory
 	// MempoolSize bounds each validator's pool (default 1<<20).
 	MempoolSize int
+	// MempoolShards is each pool's shard count, rounded up to a power of
+	// two (0 sizes it to the machine).
+	MempoolShards int
 	// OnCommit observes commits (may be nil).
 	OnCommit CommitHook
 	// Seed drives all simulation randomness.
@@ -53,11 +56,16 @@ type Cluster struct {
 
 	engines []*engine.Engine
 	pools   []*mempool.Pool
+	// prevers holds each validator's pre-verify stage when signature
+	// verification is enabled (nil otherwise). The simulator runs Check
+	// synchronously at delivery — same code as the node's async stage.
+	prevers []*engine.PreVerifier
 
 	crashedAt []int64 // -1 = never
 	slowFrom  []int64
 	slowUntil []int64
 	slowMul   []float64
+	badSigAt  []int64 // virtual time a validator starts corrupting; -1 = never
 
 	latency  LatencyModel
 	onCommit CommitHook
@@ -66,6 +74,7 @@ type Cluster struct {
 	msgsSent    uint64
 	bytesSent   uint64
 	msgsDropped uint64
+	preDropped  uint64
 }
 
 // NewCluster wires the deployment; call Start to boot the validators.
@@ -84,6 +93,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		slowFrom:  make([]int64, n),
 		slowUntil: make([]int64, n),
 		slowMul:   make([]float64, n),
+		badSigAt:  make([]int64, n),
 		latency:   cfg.Latency,
 		onCommit:  cfg.OnCommit,
 		dropRate:  cfg.DropRate,
@@ -91,6 +101,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	for i := range c.crashedAt {
 		c.crashedAt[i] = -1
 		c.slowMul[i] = 1
+		c.badSigAt[i] = -1
 	}
 
 	// Simulated deployments are crash-only (as is the paper's evaluation);
@@ -113,7 +124,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	for i := 0; i < n; i++ {
-		pool := mempool.New(cfg.MempoolSize)
+		pool := mempool.NewSharded(cfg.MempoolSize, cfg.MempoolShards)
 		d := dag.New(cfg.Committee)
 		sched, err := cfg.NewScheduler(cfg.Committee, d)
 		if err != nil {
@@ -134,6 +145,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.engines = append(c.engines, eng)
 		c.pools = append(c.pools, pool)
+	}
+	if cfg.Engine.VerifySignatures {
+		c.prevers = make([]*engine.PreVerifier, n)
+		for i := 0; i < n; i++ {
+			c.prevers[i] = engine.NewPreVerifier(scheme, cfg.Committee, pubKeys, cfg.Engine.VerifyWorkers)
+		}
 	}
 	return c, nil
 }
@@ -186,6 +203,20 @@ func (c *Cluster) Recover(id types.ValidatorID, at time.Duration) {
 		c.dispatch(id, out)
 	})
 }
+
+// CorruptSignatures makes a validator emit garbage signatures on every
+// header, vote and certificate it sends from the given virtual time on — a
+// Byzantine signer. Requires ClusterConfig.Engine.VerifySignatures; with
+// verification disabled the corruption goes undetected by construction
+// (crash-only model). Receivers' pre-verify stages must drop the traffic
+// without it ever reaching their engines.
+func (c *Cluster) CorruptSignatures(id types.ValidatorID, from time.Duration) {
+	c.badSigAt[id] = from.Nanoseconds()
+}
+
+// PreVerifyDropped returns the total number of messages rejected by the
+// validators' pre-verify stages.
+func (c *Cluster) PreVerifyDropped() uint64 { return c.preDropped }
 
 // SlowDown multiplies all message latencies touching the validator by
 // factor within [from, until] — the §1 incident's "less responsive"
@@ -267,6 +298,15 @@ func (c *Cluster) send(from, to types.ValidatorID, msg *engine.Message, now int6
 		c.msgsDropped++
 		return
 	}
+	if at := c.badSigAt[from]; at >= 0 && now >= at {
+		msg = corruptSignatures(msg) // clones internally
+	} else if c.prevers != nil {
+		// Each recipient owns its copy, as after a gob decode: the
+		// pre-verify stage marks (and may strip votes from) payloads, and
+		// neither the sender's state nor a sibling recipient's copy may be
+		// affected.
+		msg = msg.Clone()
+	}
 	size := msg.EncodedSize()
 	c.msgsSent++
 	c.bytesSent += uint64(size)
@@ -279,6 +319,45 @@ func (c *Cluster) send(from, to types.ValidatorID, msg *engine.Message, now int6
 		if c.crashed(to, c.Sim.Now()) {
 			return
 		}
+		if c.prevers != nil && engine.NeedsCheck(msg.Kind) && !c.prevers[to].Check(msg) {
+			c.preDropped++
+			return
+		}
 		c.dispatch(to, c.engines[to].OnMessage(from, msg, c.Sim.Now()))
 	})
+}
+
+// corruptSignatures returns a copy of msg with every signature replaced by
+// garbage of the same length, leaving the original (which the sender's own
+// state may reference) untouched.
+func corruptSignatures(msg *engine.Message) *engine.Message {
+	m := msg.Clone()
+	switch m.Kind {
+	case engine.KindHeader:
+		m.Header.Signature = mangle(m.Header.Signature)
+	case engine.KindVote:
+		m.Vote.Signature = mangle(m.Vote.Signature)
+	case engine.KindCertificate:
+		for i := range m.Cert.Votes {
+			m.Cert.Votes[i].Signature = mangle(m.Cert.Votes[i].Signature)
+		}
+	case engine.KindCertResponse:
+		for _, cert := range m.CertResponse.Certs {
+			for i := range cert.Votes {
+				cert.Votes[i].Signature = mangle(cert.Votes[i].Signature)
+			}
+		}
+	}
+	return m
+}
+
+func mangle(sig crypto.Signature) crypto.Signature {
+	if len(sig) == 0 {
+		return crypto.Signature{0xBA, 0xD5, 0x16}
+	}
+	out := append(crypto.Signature(nil), sig...)
+	for i := range out {
+		out[i] ^= 0xA5
+	}
+	return out
 }

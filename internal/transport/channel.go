@@ -109,7 +109,12 @@ func (t *ChannelTransport) deliverLoop(handler Handler) {
 }
 
 // enqueue delivers into this endpoint's inbox without blocking the sender.
+// The message is cloned so each recipient owns its payload, as it would
+// after gob-decoding from a TCP stream: pre-verify stages mark and mutate
+// payloads, and a broadcast must not let recipients observe each other's
+// (or the sender's) copies.
 func (t *ChannelTransport) enqueue(from types.ValidatorID, msg *engine.Message) {
+	msg = msg.Clone()
 	select {
 	case t.inbox <- envelope{from: from, msg: msg}:
 	case <-t.done:
