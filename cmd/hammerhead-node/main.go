@@ -52,6 +52,7 @@ func run(args []string) error {
 	minRoundDelay := fs.Duration("min-round-delay", 250*time.Millisecond, "header pacing")
 	leaderTimeout := fs.Duration("leader-timeout", 2*time.Second, "anchor-round leader wait")
 	verifyWorkers := fs.Int("verify-workers", 0, "signature-verification worker pool size (0 = one per CPU)")
+	pipelineDepth := fs.Int("pipeline-depth", engine.DefaultPipelineDepth, "order-stage queue depth; 0 runs the committer inline on the ingest path")
 	mempoolSize := fs.Int("mempool-size", 0, "transaction pool capacity (0 = default 1<<20)")
 	mempoolShards := fs.Int("mempool-shards", 0, "transaction pool shard count, rounded to a power of two (0 = sized to the machine)")
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +97,7 @@ func run(args []string) error {
 	} else {
 		engCfg.VerifyWorkers = runtime.GOMAXPROCS(0)
 	}
+	engCfg.PipelineDepth = *pipelineDepth
 
 	var hh *core.Config
 	if !*baseline {
@@ -173,7 +175,7 @@ func serve(nd *node.Node, tr transport.Transport, logger *log.Logger, reg *metri
 		select {
 		case <-ticker.C:
 			st := nd.Engine().Stats()
-			cs := nd.Engine().Committer().Stats()
+			cs := nd.Engine().CommitterStats()
 			pv := nd.PreVerifyStats()
 			logger.Printf("round=%d commits=%d ordered_vertices=%d skipped=%d timeouts=%d pending_tx=%d preverified=%d dropped=%d",
 				nd.Engine().Round(), cs.DirectCommits+cs.IndirectCommits,

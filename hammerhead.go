@@ -111,6 +111,9 @@ type (
 	NodeConfig = node.Config
 	// CommitHandler observes ordered sub-DAGs.
 	CommitHandler = node.CommitHandler
+	// CommitSink receives ordered sub-DAGs straight from an engine (advanced
+	// use; nodes adapt it to CommitHandler internally).
+	CommitSink = engine.CommitSink
 	// KeyPair holds a validator's signing keys.
 	KeyPair = crypto.KeyPair
 	// MetricsRegistry exposes Prometheus-style metrics.
@@ -202,6 +205,11 @@ var NewScenario = experiment.NewScenario
 // pacing, large headers, parallel signature verification and a sharded
 // mempool.
 var NewHighLoadScenario = experiment.NewHighLoadScenario
+
+// NewCatchUpScenario returns a scenario where crashed validators recover far
+// behind a loaded committee and must range-sync the gap — the catch-up burst
+// the engine's two-stage commit pipeline absorbs on real nodes.
+var NewCatchUpScenario = experiment.NewCatchUpScenario
 
 // RunExperiment executes a scenario and returns its measurements.
 var RunExperiment = experiment.Run

@@ -10,6 +10,13 @@
 // package's tests feed the same DAG to committers in different arrival
 // orders and assert prefix-consistent outputs, which is the paper's Total
 // Order + Schedule Agreement argument in executable form.
+//
+// That single driver may be the engine's ingest goroutine (serial mode) or
+// its order stage (engine.Config.PipelineDepth > 0): because ProcessVertex
+// is a pure function of the vertex sequence it is fed, draining the same
+// insertion order through a FIFO queue on another goroutine yields a
+// byte-identical commit stream — the contract the engine's pipeline
+// determinism tests pin down.
 package bullshark
 
 import (

@@ -206,8 +206,17 @@ func (m *Manager) OnAnchorOrdered(anchor leader.AnchorInfo) {
 	if m.config.Scoring == ScoringShoal {
 		if m.haveLastOrderedAnchor {
 			// Leaders of anchor rounds skipped between consecutive ordered
-			// anchors lose a point each.
-			for r := m.lastOrderedAnchor + 2; r < anchor.Round; r += 2 {
+			// anchors lose a point each — but only rounds the ACTIVE schedule
+			// covers. The walk from lastOrderedAnchor+2 can span a schedule
+			// switch (shoalScores was just reset for the new epoch); without
+			// the clamp, penalties earned under the old epoch's schedule land
+			// in the new epoch's fresh score map, so a leader skipped once
+			// near an epoch boundary would be punished twice.
+			start := m.lastOrderedAnchor + 2
+			if init := m.history.Active().InitialRound(); start < init {
+				start = init
+			}
+			for r := start; r < anchor.Round; r += 2 {
 				if id := m.history.LeaderAt(r); id != types.NoValidator {
 					m.shoalScores[id]--
 				}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"hammerhead/internal/types"
 )
@@ -112,10 +113,14 @@ var (
 	ErrPruned         = errors.New("dag: round already pruned")
 )
 
-// DAG is the local store of one validator. It is not safe for concurrent
-// use; the engine runs single-threaded per validator (the simulator is a
-// single-threaded event loop and the real node serializes on one goroutine).
+// DAG is the local store of one validator. It is safe for concurrent use:
+// the engine's ingest stage inserts while the order stage (the Bullshark
+// committer, which may run on its own goroutine when the engine pipeline is
+// enabled) traverses and prunes. Vertices are immutable once inserted, so
+// the lock only guards the index maps — traversals hold the read lock for
+// their duration, and insertion/pruning take the write lock.
 type DAG struct {
+	mu        sync.RWMutex
 	committee *types.Committee
 	byDigest  map[types.Digest]*Vertex
 	byRound   map[types.Round]map[types.ValidatorID]*Vertex
@@ -136,7 +141,11 @@ func New(committee *types.Committee) *DAG {
 func (d *DAG) Committee() *types.Committee { return d.committee }
 
 // HighestRound returns the highest round containing at least one vertex.
-func (d *DAG) HighestRound() types.Round { return d.highest }
+func (d *DAG) HighestRound() types.Round {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.highest
+}
 
 // Insert adds a vertex. All parents must already be present (callers buffer
 // out-of-order arrivals; see engine's pending set). Inserting the same
@@ -144,6 +153,8 @@ func (d *DAG) HighestRound() types.Round { return d.highest }
 // (round, source) slot fails, which in the crash-fault model can only arise
 // from corruption.
 func (d *DAG) Insert(v *Vertex) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if v.Round < d.prunedTo {
 		return fmt.Errorf("%w: round %d < pruned floor %d", ErrPruned, v.Round, d.prunedTo)
 	}
@@ -179,6 +190,8 @@ func (d *DAG) Insert(v *Vertex) error {
 
 // MissingParents returns the digests in edges that are absent from the DAG.
 func (d *DAG) MissingParents(edges []types.Digest) []types.Digest {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var missing []types.Digest
 	for _, e := range edges {
 		if _, ok := d.byDigest[e]; !ok {
@@ -190,18 +203,24 @@ func (d *DAG) MissingParents(edges []types.Digest) []types.Digest {
 
 // Get returns the vertex produced by source at round, if present.
 func (d *DAG) Get(round types.Round, source types.ValidatorID) (*Vertex, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	v, ok := d.byRound[round][source]
 	return v, ok
 }
 
 // ByDigest returns the vertex with the given digest, if present.
 func (d *DAG) ByDigest(digest types.Digest) (*Vertex, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	v, ok := d.byDigest[digest]
 	return v, ok
 }
 
 // RoundVertices returns the vertices of a round sorted by source ID.
 func (d *DAG) RoundVertices(round types.Round) []*Vertex {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	m := d.byRound[round]
 	if len(m) == 0 {
 		return nil
@@ -216,6 +235,12 @@ func (d *DAG) RoundVertices(round types.Round) []*Vertex {
 
 // RoundStake returns the total stake of the sources present at round.
 func (d *DAG) RoundStake(round types.Round) types.Stake {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.roundStakeLocked(round)
+}
+
+func (d *DAG) roundStakeLocked(round types.Round) types.Stake {
 	var total types.Stake
 	for id := range d.byRound[round] {
 		total += d.committee.Stake(id)
@@ -225,7 +250,9 @@ func (d *DAG) RoundStake(round types.Round) types.Stake {
 
 // HasQuorumAt reports whether round holds vertices worth a write quorum.
 func (d *DAG) HasQuorumAt(round types.Round) bool {
-	return d.RoundStake(round) >= d.committee.QuorumThreshold()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.roundStakeLocked(round) >= d.committee.QuorumThreshold()
 }
 
 // HasEdge reports whether v directly references target (a one-hop vote).
@@ -252,6 +279,8 @@ func (d *DAG) Path(v, u *Vertex) bool {
 	if v.Round <= u.Round {
 		return false
 	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	target := u.Digest()
 	visited := map[types.Digest]struct{}{v.Digest(): {}}
 	frontier := []*Vertex{v}
@@ -287,6 +316,8 @@ func (d *DAG) CausalHistory(v *Vertex, minRound types.Round, skip func(*Vertex) 
 	if v == nil || v.Round < minRound || (skip != nil && skip(v)) {
 		return nil
 	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	visited := map[types.Digest]struct{}{v.Digest(): {}}
 	out := []*Vertex{v}
 	frontier := []*Vertex{v}
@@ -325,6 +356,8 @@ func (d *DAG) CausalHistory(v *Vertex, minRound types.Round, skip func(*Vertex) 
 // still needed by the committer (i.e. at or below the last ordered round
 // minus any sync slack).
 func (d *DAG) Prune(floor types.Round) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if floor <= d.prunedTo {
 		return
 	}
@@ -338,7 +371,15 @@ func (d *DAG) Prune(floor types.Round) {
 }
 
 // PrunedTo returns the lowest retained round.
-func (d *DAG) PrunedTo() types.Round { return d.prunedTo }
+func (d *DAG) PrunedTo() types.Round {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.prunedTo
+}
 
 // VertexCount returns the number of stored vertices (post-pruning).
-func (d *DAG) VertexCount() int { return len(d.byDigest) }
+func (d *DAG) VertexCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byDigest)
+}

@@ -40,7 +40,28 @@ type Config struct {
 	GCEvery uint64
 	// MaxSyncBatch caps certificates per CertResponse.
 	MaxSyncBatch int
+	// MaxPendingCerts bounds the causal-sync pending set; above it, the
+	// pending certificate furthest above the DAG frontier is evicted (it can
+	// be re-fetched by round sync if it was genuine). 0 selects the default.
+	MaxPendingCerts int
+	// PipelineDepth selects the engine's execution mode. 0 runs stage 2
+	// inline: certificate insertion, the Bullshark committer walk and
+	// scheduler epoch logic all happen on the caller's goroutine — the mode
+	// the discrete-event simulator requires (virtual time cannot cross
+	// goroutines) and the default for tests. > 0 enables the two-stage
+	// pipeline: ingest (validate + DAG insert) returns to message processing
+	// immediately while an order stage consumes inserted vertices from a
+	// bounded queue of this depth, running the committer and delivering
+	// commits to the CommitSink asynchronously. Commit order is identical in
+	// both modes. Real nodes default to DefaultPipelineDepth.
+	PipelineDepth int
 }
+
+// DefaultPipelineDepth is the order-stage queue bound real nodes use: deep
+// enough that ingest never stalls on a committer walk during catch-up
+// bursts, shallow enough to bound memory and how far ingest outruns
+// execution.
+const DefaultPipelineDepth = 256
 
 // DefaultConfig returns production-shaped defaults; the experiment harness
 // overrides the pacing knobs per scenario.
@@ -55,6 +76,7 @@ func DefaultConfig() Config {
 		GCDepth:          50,
 		GCEvery:          16,
 		MaxSyncBatch:     512,
+		MaxPendingCerts:  8192,
 	}
 }
 
@@ -75,6 +97,12 @@ func (c Config) Validate() error {
 	}
 	if c.VerifyWorkers < 0 {
 		return fmt.Errorf("engine: VerifyWorkers must be >= 0, got %d", c.VerifyWorkers)
+	}
+	if c.MaxPendingCerts < 0 {
+		return fmt.Errorf("engine: MaxPendingCerts must be >= 0, got %d", c.MaxPendingCerts)
+	}
+	if c.PipelineDepth < 0 {
+		return fmt.Errorf("engine: PipelineDepth must be >= 0, got %d", c.PipelineDepth)
 	}
 	return nil
 }

@@ -27,17 +27,20 @@ type Unicast struct {
 }
 
 // Output collects everything one engine step wants the runtime to do.
-// Runtimes must dispatch Unicasts/Broadcasts, arm Timers, and hand Commits
-// to execution, in any order (the engine assumes nothing about scheduling).
+// Runtimes must dispatch Unicasts/Broadcasts and arm Timers, in any order
+// (the engine assumes nothing about scheduling). Commits are NOT part of the
+// output: they are delivered through the CommitSink registered at
+// construction — synchronously within the step when the pipeline is
+// disabled, asynchronously from the order stage when it is enabled.
 type Output struct {
 	Unicasts   []Unicast
 	Broadcasts []*Message
 	Timers     []Timer
-	Commits    []bullshark.CommittedSubDAG
 	// InsertedCerts are certificates accepted into the DAG during this step,
-	// in insertion (parents-first) order. Real nodes persist them to the WAL
-	// so a restart can replay them (internal/storage); simulations ignore
-	// them.
+	// in insertion (parents-first) order — an observability surface for
+	// tests and simulations (the simulator's determinism tap records it).
+	// WAL persistence does NOT read it: real nodes persist through the
+	// Params.Persist hook, which fires before a vertex can reach a commit.
 	InsertedCerts []*Certificate
 }
 
@@ -93,6 +96,12 @@ type Engine struct {
 	dagStore  *dag.DAG
 	committer *bullshark.Committer
 	scheduler leader.Scheduler
+	sink      CommitSink
+	persist   func(*Certificate)
+	// stage is the asynchronous order stage (stage 2 of the pipeline); nil
+	// when PipelineDepth == 0, in which case the committer runs inline on
+	// the ingest path.
+	stage *orderStage
 
 	round            types.Round
 	curHeader        *Header
@@ -106,13 +115,25 @@ type Engine struct {
 
 	votedFor  map[voteKey]types.Digest
 	certStore map[types.Digest]*Certificate
+	// certsByRound indexes certStore by round so serving a RoundRequest is
+	// proportional to the response batch, not the whole store; maxCertRound
+	// and certFloor bound the index scan.
+	certsByRound map[types.Round][]*Certificate
+	maxCertRound types.Round
+	certFloor    types.Round
 
 	pendingCerts     map[types.Digest]*Certificate
 	pendingByMissing map[types.Digest][]types.Digest
 	requested        map[types.Digest]bool
-	resyncArmed      bool
+	// pendingRounds counts pending certificates per round so the
+	// maxPendingRound high-water mark can be maintained without scanning
+	// pendingCerts: refreshing it on removal only walks this map's keys,
+	// and only when the highest round just emptied.
+	pendingRounds map[types.Round]int
+	resyncArmed   bool
 
 	commitsSinceGC    uint64
+	insertsSinceGC    uint64
 	progressLastRound types.Round
 	progressTarget    uint32
 	maxPendingRound   types.Round
@@ -136,6 +157,18 @@ type Params struct {
 	// DAG is the validator's vertex store; the scheduler must have been
 	// built over the same store.
 	DAG *dag.DAG
+	// Commits receives ordered sub-DAGs. Nil discards them (counter-only
+	// experiments); runtimes that execute transactions must set it.
+	Commits CommitSink
+	// Persist, when non-nil, is invoked synchronously on the ingest
+	// goroutine for every certificate accepted into the DAG, in insertion
+	// order, strictly BEFORE the certificate's vertex can contribute to any
+	// commit delivered via Commits (in pipelined mode the vertex is queued
+	// to the order stage only after Persist returns). Real nodes enqueue
+	// the certificate to their WAL writer here and gate non-replayed commit
+	// delivery on the writer's progress, preserving the recovery invariant
+	// that every commit handed to execution is re-derivable from the WAL.
+	Persist func(*Certificate)
 }
 
 // New constructs an engine. Call Init before feeding messages.
@@ -166,7 +199,14 @@ func New(p Params) (*Engine, error) {
 	if verifyWorkers < 1 {
 		verifyWorkers = 1
 	}
-	return &Engine{
+	if p.Config.MaxPendingCerts == 0 {
+		p.Config.MaxPendingCerts = DefaultConfig().MaxPendingCerts
+	}
+	sink := p.Commits
+	if sink == nil {
+		sink = discardSink{}
+	}
+	e := &Engine{
 		config:           p.Config,
 		committee:        p.Committee,
 		self:             p.Self,
@@ -177,15 +217,93 @@ func New(p Params) (*Engine, error) {
 		dagStore:         p.DAG,
 		committer:        bullshark.New(p.Committee, p.DAG, p.Scheduler),
 		scheduler:        p.Scheduler,
+		sink:             sink,
+		persist:          p.Persist,
 		votes:            make(map[types.ValidatorID]crypto.Signature),
 		leaderTimerArmed: make(map[types.Round]bool),
 		leaderTimedOut:   make(map[types.Round]bool),
 		votedFor:         make(map[voteKey]types.Digest),
 		certStore:        make(map[types.Digest]*Certificate),
+		certsByRound:     make(map[types.Round][]*Certificate),
 		pendingCerts:     make(map[types.Digest]*Certificate),
 		pendingByMissing: make(map[types.Digest][]types.Digest),
 		requested:        make(map[types.Digest]bool),
-	}, nil
+		pendingRounds:    make(map[types.Round]int),
+	}
+	if p.Config.PipelineDepth > 0 {
+		e.stage = newOrderStage(e.committer, e.scheduler, sink, p.Config.PipelineDepth,
+			p.Config.GCEvery, p.Config.GCDepth)
+	}
+	return e, nil
+}
+
+// Flush blocks until every certificate inserted so far has been ordered and
+// its commits delivered to the sink. No-op in serial mode, where ordering is
+// inline. Safe to call from any goroutine except the order stage's own sink.
+func (e *Engine) Flush() {
+	if e.stage != nil {
+		e.stage.Flush()
+	}
+}
+
+// Close stops the order stage after draining already-queued certificates.
+// Serial engines need no Close (no goroutines); calling it is still safe.
+// The engine must not be fed messages after Close.
+func (e *Engine) Close() {
+	if e.stage != nil {
+		e.stage.Close()
+	}
+}
+
+// PipelineBacklog returns the order stage's current queue depth (0 when the
+// pipeline is disabled). Safe for concurrent use; exported as the
+// hammerhead_pipeline_depth gauge.
+func (e *Engine) PipelineBacklog() int {
+	if e.stage == nil {
+		return 0
+	}
+	return e.stage.depth()
+}
+
+// SyncBacklog reports the sizes of the causal-sync pending maps: certificates
+// waiting for parents, distinct missing parent digests, and outstanding
+// requests. Byzantine headers with fabricated parent edges park entries here;
+// garbage collection bounds all three (see TestPendingStateGarbageCollected).
+func (e *Engine) SyncBacklog() (pendingCerts, missingParents, requested int) {
+	return len(e.pendingCerts), len(e.pendingByMissing), len(e.requested)
+}
+
+// leaderAt resolves the leader schedule. In pipelined mode the order stage
+// mutates the schedule on commit, so reads from the ingest stage take its
+// lock; the transient staleness between an anchor being ordered and the
+// switch becoming visible here affects only leader-wait pacing, never commit
+// ordering (the order stage resolves leaders under its own lock).
+func (e *Engine) leaderAt(round types.Round) types.ValidatorID {
+	if e.stage != nil {
+		e.stage.mu.Lock()
+		defer e.stage.mu.Unlock()
+	}
+	return e.scheduler.LeaderAt(round)
+}
+
+// lastOrderedRound reads the committer's ordering floor, locking against the
+// order stage when pipelined.
+func (e *Engine) lastOrderedRound() types.Round {
+	if e.stage != nil {
+		e.stage.mu.Lock()
+		defer e.stage.mu.Unlock()
+	}
+	return e.committer.LastOrderedRound()
+}
+
+// CommitterStats returns a copy of the committer counters, safe to call
+// while the order stage runs.
+func (e *Engine) CommitterStats() bullshark.Stats {
+	if e.stage != nil {
+		e.stage.mu.Lock()
+		defer e.stage.mu.Unlock()
+	}
+	return e.committer.Stats()
 }
 
 // Init goes live: unlocks proposing (gated until now so that recovery can
@@ -210,7 +328,9 @@ func (e *Engine) Round() types.Round { return e.round }
 func (e *Engine) Stats() Stats { return e.stats }
 
 // Committer exposes the underlying committer (read-only use: stats, last
-// ordered round).
+// ordered round). With the pipeline enabled the order stage mutates the
+// committer concurrently — use CommitterStats/lastOrderedRound-style locked
+// accessors instead, or call only after Close/Flush.
 func (e *Engine) Committer() *bullshark.Committer { return e.committer }
 
 // Scheduler exposes the leader scheduler.
@@ -290,7 +410,7 @@ func (e *Engine) OnTimer(t Timer, nowNanos int64) *Output {
 					target = types.ValidatorID(e.progressTarget % n)
 				}
 				e.stats.SyncRequests++
-				from := e.committer.LastOrderedRound()
+				from := e.lastOrderedRound()
 				out.unicast(target, &Message{Kind: KindRoundRequest, RoundRequest: &RoundRequest{FromRound: from}})
 			}
 		}
@@ -390,6 +510,12 @@ func (e *Engine) onCertificate(c *Certificate, nowNanos int64, out *Output) {
 	if c == nil {
 		return
 	}
+	if c.Header.Round < e.certFloor {
+		// Below the GC floor: the DAG already pruned this round, so the
+		// certificate can never insert. Dropping it here keeps stale sync
+		// responses and Byzantine backfill out of the pending maps.
+		return
+	}
 	digest := c.Digest()
 	if _, have := e.dagStore.ByDigest(digest); have {
 		return
@@ -405,10 +531,10 @@ func (e *Engine) onCertificate(c *Certificate, nowNanos int64, out *Output) {
 
 	if missing := e.unknownParents(c); len(missing) > 0 {
 		e.stats.CertsPended++
-		e.pendingCerts[digest] = c
-		if c.Header.Round > e.maxPendingRound {
-			e.maxPendingRound = c.Header.Round
+		if len(e.pendingCerts) >= e.config.MaxPendingCerts {
+			e.evictPending()
 		}
+		e.addPending(digest, c)
 		e.maybeRangeSync(c.Header.Source, nowNanos, out)
 		var toRequest []types.Digest
 		for _, m := range missing {
@@ -419,8 +545,10 @@ func (e *Engine) onCertificate(c *Certificate, nowNanos int64, out *Output) {
 			}
 		}
 		if len(toRequest) > 0 {
-			e.stats.SyncRequests++
-			out.unicast(c.Header.Source, &Message{Kind: KindCertRequest, CertRequest: &CertRequest{Digests: toRequest}})
+			if target, ok := e.syncPeer(c.Header.Source); ok {
+				e.stats.SyncRequests++
+				out.unicast(target, &Message{Kind: KindCertRequest, CertRequest: &CertRequest{Digests: toRequest}})
+			}
 		}
 		if !e.resyncArmed {
 			e.resyncArmed = true
@@ -430,6 +558,139 @@ func (e *Engine) onCertificate(c *Certificate, nowNanos int64, out *Output) {
 	}
 	e.insertCert(c, nowNanos, out)
 	e.tryAdvance(nowNanos, out)
+}
+
+// syncPeer picks the unicast target for sync traffic: the hint when it is a
+// usable peer, otherwise the next validator after self. ok is false when the
+// committee has no other member — a lone validator (and, before this guard,
+// digest-rotation corner cases on tiny committees) must never send sync
+// requests to itself.
+func (e *Engine) syncPeer(hint types.ValidatorID) (types.ValidatorID, bool) {
+	n := uint32(e.committee.Size())
+	if n < 2 {
+		return 0, false
+	}
+	if hint == e.self || uint32(hint) >= n {
+		hint = types.ValidatorID((uint32(e.self) + 1) % n)
+	}
+	return hint, true
+}
+
+// addPending records a certificate waiting for parents, maintaining the
+// per-round counts behind the maxPendingRound high-water mark.
+func (e *Engine) addPending(digest types.Digest, c *Certificate) {
+	if _, ok := e.pendingCerts[digest]; ok {
+		return
+	}
+	e.pendingCerts[digest] = c
+	e.pendingRounds[c.Header.Round]++
+	if c.Header.Round > e.maxPendingRound {
+		e.maxPendingRound = c.Header.Round
+	}
+}
+
+// removePending forgets a pending certificate and refreshes the high-water
+// mark. A stale mark would keep maybeRangeSync requesting (and peers
+// serving MaxSyncBatch-cert responses for) history the node already has —
+// for the node's lifetime, if a single ghost certificate at an absurd round
+// was evicted or pruned. The refresh only walks the per-round count keys,
+// and only when the highest round just emptied.
+func (e *Engine) removePending(digest types.Digest) {
+	c, ok := e.pendingCerts[digest]
+	if !ok {
+		return
+	}
+	delete(e.pendingCerts, digest)
+	r := c.Header.Round
+	if n := e.pendingRounds[r] - 1; n > 0 {
+		e.pendingRounds[r] = n
+		return
+	}
+	delete(e.pendingRounds, r)
+	if r == e.maxPendingRound {
+		e.maxPendingRound = 0
+		for pr := range e.pendingRounds {
+			if pr > e.maxPendingRound {
+				e.maxPendingRound = pr
+			}
+		}
+	}
+}
+
+// evictPending drops one pending certificate, preferring the one furthest
+// above the DAG frontier among a bounded sample (fabricated-parent spam
+// sits at arbitrary high rounds, while genuine catch-up certificates
+// cluster near it). Sampling keeps the per-message cost of a sustained
+// flood O(sample + edges + distinct pending rounds) instead of
+// O(MaxPendingCerts) — eviction runs on the ingest path, so a full scan per
+// attacker message would itself be the DoS lever this bound exists to
+// remove.
+func (e *Engine) evictPending() {
+	const sample = 32
+	var victim types.Digest
+	var victimCert *Certificate
+	seen := 0
+	for d, c := range e.pendingCerts {
+		if victimCert == nil || c.Header.Round > victimCert.Header.Round {
+			victim, victimCert = d, c
+		}
+		if seen++; seen >= sample {
+			break
+		}
+	}
+	if victimCert == nil {
+		return
+	}
+	e.dropPending(victim, victimCert)
+}
+
+// dropPending removes one pending certificate and every index entry that
+// only it justifies, in O(edges + distinct pending rounds) — the victim's
+// edges are exactly the keys under which it can appear in pendingByMissing.
+func (e *Engine) dropPending(digest types.Digest, cert *Certificate) {
+	e.removePending(digest)
+	for _, m := range cert.Header.Edges {
+		waiters, ok := e.pendingByMissing[m]
+		if !ok {
+			continue
+		}
+		kept := waiters[:0]
+		for _, w := range waiters {
+			if w != digest {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == 0 {
+			delete(e.pendingByMissing, m)
+			delete(e.requested, m)
+		} else {
+			e.pendingByMissing[m] = kept
+		}
+	}
+}
+
+// sweepPendingIndexes drops pendingByMissing/requested entries that no
+// still-pending certificate justifies. Called after bulk removals (GC
+// pruning); single-victim removals use dropPending.
+func (e *Engine) sweepPendingIndexes() {
+	for m, waiters := range e.pendingByMissing {
+		kept := waiters[:0]
+		for _, w := range waiters {
+			if _, ok := e.pendingCerts[w]; ok {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == 0 {
+			delete(e.pendingByMissing, m)
+		} else {
+			e.pendingByMissing[m] = kept
+		}
+	}
+	for m := range e.requested {
+		if _, ok := e.pendingByMissing[m]; !ok {
+			delete(e.requested, m)
+		}
+	}
 }
 
 // validCertificate checks quorum voting stake and, when enabled, signatures.
@@ -474,8 +735,12 @@ func (e *Engine) unknownParents(c *Certificate) []types.Digest {
 	return missing
 }
 
-// insertCert inserts a certificate whose parents are all in the DAG, runs
-// the committer, and cascades any pending certificates this unblocked.
+// insertCert inserts a certificate whose parents are all in the DAG, hands
+// its vertex to the order stage (or runs the committer inline when the
+// pipeline is disabled), and cascades any pending certificates this
+// unblocked. This is stage 1 of the pipeline: with PipelineDepth > 0 it
+// returns to message processing as soon as the vertex is queued, so ingest
+// throughput is no longer bounded by the committer's ordering walk.
 func (e *Engine) insertCert(c *Certificate, nowNanos int64, out *Output) {
 	queue := []*Certificate{c}
 	for len(queue) > 0 {
@@ -487,7 +752,7 @@ func (e *Engine) insertCert(c *Certificate, nowNanos int64, out *Output) {
 		}
 		if len(e.dagStore.MissingParents(cert.Header.Edges)) > 0 {
 			// Still blocked (multiple missing parents): back to pending.
-			e.pendingCerts[digest] = cert
+			e.addPending(digest, cert)
 			continue
 		}
 		vertex := cert.Header.Vertex()
@@ -496,24 +761,48 @@ func (e *Engine) insertCert(c *Certificate, nowNanos int64, out *Output) {
 			continue
 		}
 		e.certStore[digest] = cert
-		delete(e.pendingCerts, digest)
+		e.certsByRound[cert.Header.Round] = append(e.certsByRound[cert.Header.Round], cert)
+		if cert.Header.Round > e.maxCertRound {
+			e.maxCertRound = cert.Header.Round
+		}
+		e.removePending(digest)
 		delete(e.requested, digest)
 		out.InsertedCerts = append(out.InsertedCerts, cert)
+		if e.persist != nil {
+			// Durability hook runs before the vertex can reach the committer
+			// (see Params.Persist).
+			e.persist(cert)
+		}
 
-		commits := e.committer.ProcessVertex(vertex)
-		if len(commits) > 0 {
-			out.Commits = append(out.Commits, commits...)
-			e.commitsSinceGC += uint64(len(commits))
-			if e.commitsSinceGC >= e.config.GCEvery {
-				e.commitsSinceGC = 0
-				e.garbageCollect()
+		if e.stage != nil {
+			// Stage 2 orders asynchronously; the ingest stage prunes its own
+			// maps whenever the stage's published retention floor advanced.
+			e.stage.submit(vertex)
+			e.insertsSinceGC++
+			if e.insertsSinceGC >= e.config.GCEvery {
+				e.insertsSinceGC = 0
+				if floor := types.Round(e.stage.floor()); floor > e.certFloor {
+					e.pruneProtocolState(floor)
+				}
+			}
+		} else {
+			commits := e.committer.ProcessVertex(vertex)
+			for _, sub := range commits {
+				e.sink.DeliverCommit(sub)
+			}
+			if len(commits) > 0 {
+				e.commitsSinceGC += uint64(len(commits))
+				if e.commitsSinceGC >= e.config.GCEvery {
+					e.commitsSinceGC = 0
+					e.garbageCollect()
+				}
 			}
 		}
 
 		// Unblock children waiting on this digest.
 		for _, childDigest := range e.pendingByMissing[digest] {
 			if child, ok := e.pendingCerts[childDigest]; ok {
-				delete(e.pendingCerts, childDigest)
+				e.removePending(childDigest)
 				queue = append(queue, child)
 			}
 		}
@@ -553,36 +842,47 @@ func (e *Engine) maybeRangeSync(target types.ValidatorID, nowNanos int64, out *O
 		nowNanos-e.lastRangeReqNanos < e.config.ResyncInterval.Nanoseconds() {
 		return
 	}
+	target, ok := e.syncPeer(target)
+	if !ok {
+		return
+	}
 	e.lastRangeReqFloor = floor
 	e.lastRangeReqNanos = nowNanos
 	e.stats.SyncRequests++
-	if target == e.self {
-		target = types.ValidatorID((uint32(e.self) + 1) % uint32(e.committee.Size()))
-	}
 	out.unicast(target, &Message{Kind: KindRoundRequest, RoundRequest: &RoundRequest{FromRound: floor}})
 }
 
 // onRoundRequest serves the certificate frontier: every retained cert from
 // the requested round on, oldest rounds first so the requester can insert
-// parents-first, capped at MaxSyncBatch.
+// parents-first, capped at MaxSyncBatch. The per-round index makes the cost
+// proportional to the rounds scanned and the response batch — a round
+// request no longer iterates and sorts the entire certificate store, which
+// was an easy DoS lever against long-running validators.
 func (e *Engine) onRoundRequest(from types.ValidatorID, req *RoundRequest, out *Output) {
-	if req == nil {
+	if req == nil || from == e.self {
 		return
 	}
+	start := req.FromRound
+	if start < e.certFloor {
+		start = e.certFloor // rounds below the GC floor are gone
+	}
 	certs := make([]*Certificate, 0, e.config.MaxSyncBatch)
-	for _, c := range e.certStore {
-		if c.Header.Round >= req.FromRound {
+	for r := start; r <= e.maxCertRound && len(certs) < e.config.MaxSyncBatch; r++ {
+		roundCerts := e.certsByRound[r]
+		if len(roundCerts) == 0 {
+			continue
+		}
+		// Source order within a round keeps responses deterministic.
+		sorted := append([]*Certificate(nil), roundCerts...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].Header.Source < sorted[j].Header.Source
+		})
+		for _, c := range sorted {
+			if len(certs) >= e.config.MaxSyncBatch {
+				break
+			}
 			certs = append(certs, c)
 		}
-	}
-	sort.Slice(certs, func(i, j int) bool {
-		if certs[i].Header.Round != certs[j].Header.Round {
-			return certs[i].Header.Round < certs[j].Header.Round
-		}
-		return certs[i].Header.Source < certs[j].Header.Source
-	})
-	if len(certs) > e.config.MaxSyncBatch {
-		certs = certs[:e.config.MaxSyncBatch]
 	}
 	if len(certs) > 0 {
 		out.unicast(from, &Message{Kind: KindCertResponse, CertResponse: &CertResponse{Certs: certs}})
@@ -595,6 +895,13 @@ func (e *Engine) resync(out *Output) {
 	if len(e.pendingByMissing) == 0 {
 		return
 	}
+	n := uint32(e.committee.Size())
+	if n < 2 {
+		// No peer can supply the missing parents (entries here mean corrupt
+		// input); leave them to garbage collection rather than unicasting
+		// requests to ourselves.
+		return
+	}
 	digests := make([]types.Digest, 0, len(e.pendingByMissing))
 	for m := range e.pendingByMissing {
 		digests = append(digests, m)
@@ -605,12 +912,11 @@ func (e *Engine) resync(out *Output) {
 	sort.Slice(digests, func(i, j int) bool {
 		return bytes.Compare(digests[i][:], digests[j][:]) < 0
 	})
-	n := uint32(e.committee.Size())
 	perTarget := make(map[types.ValidatorID][]types.Digest, n)
 	for _, d := range digests {
-		target := types.ValidatorID(uint32(d[0]) % n)
-		if target == e.self {
-			target = types.ValidatorID((uint32(d[0]) + 1) % n)
+		target, ok := e.syncPeer(types.ValidatorID(uint32(d[0]) % n))
+		if !ok {
+			return
 		}
 		perTarget[target] = append(perTarget[target], d)
 	}
@@ -661,7 +967,7 @@ func (e *Engine) tryAdvance(nowNanos int64, out *Output) {
 			return
 		}
 		if e.round.IsAnchorRound() && e.round > 0 && !behind && !e.leaderTimedOut[e.round] {
-			leaderID := e.scheduler.LeaderAt(e.round)
+			leaderID := e.leaderAt(e.round)
 			if leaderID != e.self && leaderID != types.NoValidator {
 				if _, haveLeader := e.dagStore.Get(e.round, leaderID); !haveLeader {
 					if !e.leaderTimerArmed[e.round] {
@@ -727,7 +1033,9 @@ func (e *Engine) propose(round types.Round, nowNanos int64, out *Output) {
 }
 
 // garbageCollect prunes DAG rounds, certificates and vote records no longer
-// needed by the committer or the scheduler's score scans.
+// needed by the committer or the scheduler's score scans. Serial mode only:
+// in pipelined mode the order stage prunes the committer and DAG itself and
+// the ingest stage calls pruneProtocolState with the stage's published floor.
 func (e *Engine) garbageCollect() {
 	floor := e.committer.LastOrderedRound()
 	if mr, ok := e.scheduler.(minRetainer); ok {
@@ -740,11 +1048,27 @@ func (e *Engine) garbageCollect() {
 	}
 	floor -= types.Round(e.config.GCDepth)
 	e.committer.Prune(floor)
-	for d, c := range e.certStore {
-		if c.Header.Round < floor {
-			delete(e.certStore, d)
-		}
+	e.pruneProtocolState(floor)
+}
+
+// pruneProtocolState drops every ingest-owned record below floor: retained
+// certificates (store + round index), vote and leader-timeout bookkeeping,
+// and — crucially — the causal-sync pending state. Pending certificates
+// below the floor can never insert (the DAG refuses pruned rounds), so
+// without this prune a Byzantine validator certifying headers with
+// fabricated parent edges (voters never check that edges resolve) would grow
+// pendingCerts/pendingByMissing/requested without bound.
+func (e *Engine) pruneProtocolState(floor types.Round) {
+	if floor <= e.certFloor {
+		return
 	}
+	for r := e.certFloor; r < floor; r++ {
+		for _, c := range e.certsByRound[r] {
+			delete(e.certStore, c.Digest())
+		}
+		delete(e.certsByRound, r)
+	}
+	e.certFloor = floor
 	for k := range e.votedFor {
 		if k.round < floor {
 			delete(e.votedFor, k)
@@ -755,5 +1079,15 @@ func (e *Engine) garbageCollect() {
 			delete(e.leaderTimedOut, r)
 			delete(e.leaderTimerArmed, r)
 		}
+	}
+	pruned := false
+	for d, c := range e.pendingCerts {
+		if c.Header.Round < floor {
+			e.removePending(d)
+			pruned = true
+		}
+	}
+	if pruned {
+		e.sweepPendingIndexes()
 	}
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"hammerhead/internal/bullshark"
 	"hammerhead/internal/crypto"
 	"hammerhead/internal/dag"
 	"hammerhead/internal/leader"
@@ -14,11 +15,22 @@ type nilBatches struct{}
 
 func (nilBatches) NextBatch(int64, int) *types.Batch { return nil }
 
+// commitCollector is a CommitSink recording deliveries in order.
+type commitCollector struct {
+	subs []bullshark.CommittedSubDAG
+}
+
+func (c *commitCollector) DeliverCommit(sub bullshark.CommittedSubDAG) {
+	c.subs = append(c.subs, sub)
+}
+
 // testRig builds n engines sharing a committee and key set, with signature
-// verification on (insecure scheme: cheap but checked).
+// verification on (insecure scheme: cheap but checked). commits[i] records
+// engine i's sink deliveries.
 type testRig struct {
 	committee *types.Committee
 	engines   []*Engine
+	commits   []*commitCollector
 }
 
 func newTestRig(t *testing.T, n int) *testRig {
@@ -44,6 +56,7 @@ func newTestRig(t *testing.T, n int) *testRig {
 	rig := &testRig{committee: committee}
 	for i := 0; i < n; i++ {
 		d := dag.New(committee)
+		collector := &commitCollector{}
 		eng, err := New(Params{
 			Config:     cfg,
 			Committee:  committee,
@@ -53,11 +66,13 @@ func newTestRig(t *testing.T, n int) *testRig {
 			Batches:    nilBatches{},
 			Scheduler:  leader.NewRoundRobin(committee, 1),
 			DAG:        d,
+			Commits:    collector,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		rig.engines = append(rig.engines, eng)
+		rig.commits = append(rig.commits, collector)
 	}
 	return rig
 }
@@ -260,8 +275,8 @@ func TestCertificateWithoutQuorumRejected(t *testing.T) {
 	}
 	h.Signature = sig
 	cert := &Certificate{Header: h, Votes: []VoteSig{{Voter: 2, Signature: sig}}}
-	out := e0.OnMessage(2, &Message{Kind: KindCertificate, Cert: cert}, 0)
-	if len(out.Commits) != 0 {
+	e0.OnMessage(2, &Message{Kind: KindCertificate, Cert: cert}, 0)
+	if len(rig.commits[0].subs) != 0 {
 		t.Fatal("no commits expected")
 	}
 	if _, ok := e0.DAG().Get(1, 2); ok {

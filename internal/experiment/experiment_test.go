@@ -162,6 +162,41 @@ func TestHighLoadScenarioPreset(t *testing.T) {
 	}
 }
 
+func TestCatchUpScenarioPreset(t *testing.T) {
+	s := NewCatchUpScenario(HammerHead, 10, 2, 500)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.RecoverAt <= s.CrashAt || s.RecoverAt >= s.Duration {
+		t.Fatalf("recovery window implausible: crash=%v recover=%v duration=%v",
+			s.CrashAt, s.RecoverAt, s.Duration)
+	}
+	if s.GCDepthRounds < 1024 {
+		t.Fatalf("catch-up preset must retain deep history, GCDepthRounds=%d", s.GCDepthRounds)
+	}
+	if s.EngineConfig().GCDepth != s.GCDepthRounds {
+		t.Fatal("EngineConfig did not thread GCDepthRounds")
+	}
+}
+
+func TestRunCatchUpScenario(t *testing.T) {
+	// A shrunk catch-up run end to end: crashed validators recover far
+	// behind a loaded committee and the run must keep executing throughout.
+	s := NewCatchUpScenario(Bullshark, 4, 1, 300)
+	s.Duration = 40 * time.Second
+	s.Warmup = 10 * time.Second
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed == 0 || res.ThroughputTxPerSec <= 0 {
+		t.Fatalf("catch-up run executed nothing: %+v", res)
+	}
+	if res.LastOrderedRound < 50 {
+		t.Fatalf("committee barely progressed: last ordered round %d", res.LastOrderedRound)
+	}
+}
+
 func TestRunHighLoadScenario(t *testing.T) {
 	// A shrunk high-load run end to end: the sharded-mempool and
 	// parallel-verification knobs must not perturb correctness.

@@ -173,6 +173,25 @@ func NewHighLoadScenario(m Mechanism, n, faults int, loadTxPerSec float64) Scena
 	return s
 }
 
+// NewCatchUpScenario returns a scenario stressing the commit path's
+// catch-up machinery under sustained load: faults validators crash shortly
+// after genesis and recover at 60% of the run, far behind a committee that
+// kept committing at high-load pacing the whole time. The recovering
+// validators must range-sync hundreds of rounds of certificates while live
+// traffic keeps arriving — the burst the engine's two-stage pipeline absorbs
+// on real nodes (ingest keeps draining sync responses while the order stage
+// works through the backlog). GCDepthRounds is raised so peers still retain
+// the missing history.
+func NewCatchUpScenario(m Mechanism, n, faults int, loadTxPerSec float64) Scenario {
+	s := NewScenario(m, n, faults, loadTxPerSec)
+	s.Name = fmt.Sprintf("%s-catchup-n%d-f%d-load%.0f", m, n, faults, loadTxPerSec)
+	s.MinRoundDelay = 150 * time.Millisecond
+	s.CrashAt = 5 * time.Second
+	s.RecoverAt = s.Duration * 3 / 5
+	s.GCDepthRounds = 2048
+	return s
+}
+
 // ExecCostPerTx returns the modeled execution service time per transaction.
 func (s Scenario) ExecCostPerTx() time.Duration {
 	return s.ExecBaseTxCost + time.Duration(s.N)*s.ExecPerValidatorCost

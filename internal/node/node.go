@@ -7,6 +7,7 @@ package node
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hammerhead/internal/bullshark"
@@ -73,6 +74,30 @@ type Node struct {
 	preq       chan inbound
 	preWorkers int
 
+	// Commit delivery runs on its own goroutine: the engine's CommitSink
+	// enqueues ordered sub-DAGs here and commitLoop hands them to the
+	// configured handler, so a slow executor backpressures the (bounded)
+	// queue instead of stalling the engine or the order stage directly.
+	commitq   chan commitDelivery
+	commitWg  sync.WaitGroup
+	replaying atomic.Bool
+
+	// WAL appends run on their own goroutine too: the engine's Persist hook
+	// only enqueues the inserted certificate, keeping append latency out of
+	// message processing. walSeq/walDone form the durability watermark:
+	// Persist runs before a vertex can reach any commit, so a commit sinked
+	// when walSeq == S contains only certificates enqueued at or before S,
+	// and commitLoop holds its delivery until walDone >= S. That preserves
+	// the recovery invariant the synchronous append used to give: a commit
+	// handed to the executor with replayed=false is re-derivable from the
+	// WAL, so it can never be re-delivered as fresh after a crash.
+	walq    chan *engine.Certificate
+	walWg   sync.WaitGroup
+	walMu   sync.Mutex
+	walCond *sync.Cond
+	walSeq  uint64 // certificates enqueued for append
+	walDone uint64 // certificates appended (or abandoned at shutdown)
+
 	tasks   chan func()
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -80,18 +105,30 @@ type Node struct {
 	started bool
 	closed  bool
 
-	commitsMetric *metrics.Counter
-	txsMetric     *metrics.Counter
-	roundMetric   *metrics.Gauge
-	queueMetric   *metrics.Gauge
-	droppedMetric *metrics.Counter
-	batchHist     *metrics.Histogram
+	commitsMetric  *metrics.Counter
+	txsMetric      *metrics.Counter
+	roundMetric    *metrics.Gauge
+	queueMetric    *metrics.Gauge
+	droppedMetric  *metrics.Counter
+	batchHist      *metrics.Histogram
+	pipelineMetric *metrics.Gauge
+	commitQMetric  *metrics.Gauge
+	walQMetric     *metrics.Gauge
 }
 
 // inbound is one transport delivery awaiting pre-verification.
 type inbound struct {
 	from types.ValidatorID
 	msg  *engine.Message
+}
+
+// commitDelivery is one ordered sub-DAG awaiting the commit handler.
+// walSeq is the durability watermark the delivery waits for (0 when the
+// node runs without a WAL or the commit was replayed from it).
+type commitDelivery struct {
+	sub      bullshark.CommittedSubDAG
+	replayed bool
+	walSeq   uint64
 }
 
 // New builds a node bound to the given transport-joining function. Call
@@ -119,7 +156,15 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		sched = leader.NewRoundRobin(cfg.Committee, cfg.ScheduleSeed)
 	}
 
-	eng, err := engine.New(engine.Params{
+	n := &Node{
+		cfg:     cfg,
+		pool:    pool,
+		trans:   trans,
+		tasks:   make(chan func(), 4096),
+		done:    make(chan struct{}),
+		commitq: make(chan commitDelivery, 1024),
+	}
+	params := engine.Params{
 		Config:     cfg.Engine,
 		Committee:  cfg.Committee,
 		Self:       cfg.Self,
@@ -128,19 +173,23 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		Batches:    pool,
 		Scheduler:  sched,
 		DAG:        d,
-	})
+		Commits:    engine.CommitSinkFunc(n.sinkCommit),
+	}
+	if cfg.WALPath != "" {
+		n.walq = make(chan *engine.Certificate, 1024)
+		n.walCond = sync.NewCond(&n.walMu)
+		params.Persist = n.persistCert
+		// Until Start finishes recovery and goes live, inserted certificates
+		// are not appended (pre-replay arrivals were never persisted before
+		// either; WAL-replayed ones must not be re-appended) and commits are
+		// delivered flagged replayed.
+		n.replaying.Store(true)
+	}
+	eng, err := engine.New(params)
 	if err != nil {
 		return nil, fmt.Errorf("node: building engine: %w", err)
 	}
-
-	n := &Node{
-		cfg:   cfg,
-		eng:   eng,
-		pool:  pool,
-		trans: trans,
-		tasks: make(chan func(), 4096),
-		done:  make(chan struct{}),
-	}
+	n.eng = eng
 	if cfg.Engine.VerifySignatures {
 		workers := cfg.Engine.VerifyWorkers
 		if workers < 1 {
@@ -163,8 +212,121 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		n.droppedMetric = cfg.Metrics.Counter("hammerhead_preverify_dropped_total")
 		n.batchHist = cfg.Metrics.Histogram("hammerhead_verify_batch_size",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+		n.pipelineMetric = cfg.Metrics.Gauge("hammerhead_pipeline_depth")
+		n.commitQMetric = cfg.Metrics.Gauge("hammerhead_commit_queue_depth")
+		n.walQMetric = cfg.Metrics.Gauge("hammerhead_wal_queue_depth")
 	}
 	return n, nil
+}
+
+// persistCert is the engine's Persist hook: it runs on the ingest
+// goroutine, in insertion order, before the certificate's vertex can reach
+// the committer, and enqueues the certificate for the WAL writer. Replayed
+// certificates came from the WAL and are not re-appended.
+func (n *Node) persistCert(cert *engine.Certificate) {
+	if n.replaying.Load() {
+		return
+	}
+	n.walMu.Lock()
+	n.walSeq++
+	n.walMu.Unlock()
+	select {
+	case n.walq <- cert:
+		if n.walQMetric != nil {
+			n.walQMetric.Set(int64(len(n.walq)))
+		}
+	case <-n.done:
+		// Shutdown: the append will never happen; advance the watermark so
+		// a commit delivery waiting on it is not stranded.
+		n.walMu.Lock()
+		n.walDone++
+		n.walMu.Unlock()
+		n.walCond.Broadcast()
+	}
+}
+
+// sinkCommit is the engine's CommitSink. During WAL recovery it delivers
+// synchronously (every replayed commit must reach the handler before the
+// node goes live); afterwards it enqueues for the commit loop, stamped with
+// the current durability watermark. Called from the engine loop in serial
+// mode and from the order stage when the pipeline is enabled — in both
+// cases a single goroutine at a time, in commit order.
+func (n *Node) sinkCommit(sub bullshark.CommittedSubDAG) {
+	if n.replaying.Load() {
+		n.deliverCommit(sub, true)
+		return
+	}
+	d := commitDelivery{sub: sub}
+	if n.walq != nil {
+		n.walMu.Lock()
+		d.walSeq = n.walSeq
+		n.walMu.Unlock()
+	}
+	select {
+	case n.commitq <- d:
+		if n.commitQMetric != nil {
+			n.commitQMetric.Set(int64(len(n.commitq)))
+		}
+	case <-n.done:
+	}
+}
+
+func (n *Node) commitLoop() {
+	defer n.commitWg.Done()
+	for d := range n.commitq {
+		if n.commitQMetric != nil {
+			n.commitQMetric.Set(int64(len(n.commitq)))
+		}
+		if !d.replayed && d.walSeq > 0 {
+			// Hold fresh commits until their certificates are in the WAL —
+			// otherwise a crash between execution and append would
+			// re-deliver them after restart as if never executed.
+			n.walMu.Lock()
+			for n.walDone < d.walSeq && !n.closing() {
+				n.walCond.Wait()
+			}
+			n.walMu.Unlock()
+		}
+		n.deliverCommit(d.sub, d.replayed)
+	}
+}
+
+func (n *Node) closing() bool {
+	select {
+	case <-n.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *Node) deliverCommit(sub bullshark.CommittedSubDAG, replayed bool) {
+	if n.commitsMetric != nil {
+		n.commitsMetric.Inc()
+		n.txsMetric.Add(uint64(sub.TxCount()))
+	}
+	if n.cfg.OnCommit != nil {
+		n.cfg.OnCommit(sub, replayed)
+	}
+}
+
+// walLoop appends inserted certificates in order and advances the
+// durability watermark. Persistence failure must not stall consensus
+// (recovery falls back to peer sync), so append errors are swallowed — the
+// watermark still advances, matching the pre-pipeline behavior where a
+// failed synchronous append did not block commit delivery either.
+func (n *Node) walLoop() {
+	defer n.walWg.Done()
+	for cert := range n.walq {
+		if n.walQMetric != nil {
+			n.walQMetric.Set(int64(len(n.walq)))
+		}
+		_ = n.wal.Append(cert)
+		n.walMu.Lock()
+		n.walDone++
+		n.walMu.Unlock()
+		n.walCond.Broadcast()
+	}
 }
 
 // HandleMessage is the transport inbound hook; safe for concurrent use.
@@ -277,6 +439,8 @@ func (n *Node) Start() error {
 			go n.preverifyLoop()
 		}
 	}
+	n.commitWg.Add(1)
+	go n.commitLoop()
 
 	var walErr error
 	startup := make(chan struct{})
@@ -285,20 +449,19 @@ func (n *Node) Start() error {
 		// Boot the engine quietly: genesis goes in and the first proposal is
 		// built, but nothing is transmitted until recovery finishes (peers
 		// would see a stale duplicate).
+		n.replaying.Store(true)
 		initOut := n.eng.Init(time.Now().UnixNano())
 
 		if n.cfg.WALPath != "" {
 			// Recovery: replay persisted certificates through the normal
-			// message path. Commit outputs are re-derived deterministically
-			// and flagged replayed; no messages go out (outputs suppressed).
-			replayed := 0
+			// message path. Commits are re-derived deterministically and
+			// reach the handler through the sink flagged replayed; no
+			// messages go out (outputs suppressed).
 			walErr = storage.Replay(n.cfg.WALPath, func(cert *engine.Certificate) error {
-				out := n.eng.OnMessage(n.cfg.Self, &engine.Message{
+				n.eng.OnMessage(n.cfg.Self, &engine.Message{
 					Kind: engine.KindCertificate,
 					Cert: cert,
 				}, time.Now().UnixNano())
-				n.deliverCommits(out.Commits, true)
-				replayed++
 				return nil
 			})
 			if walErr != nil {
@@ -310,8 +473,14 @@ func (n *Node) Start() error {
 				return
 			}
 			n.wal = wal
+			n.walWg.Add(1)
+			go n.walLoop()
 		}
-		// Now go live: transmit the initial proposal and arm its timers.
+		// Drain the order stage so every replay-derived commit is delivered
+		// (and flagged replayed) before the node goes live, then transmit the
+		// initial proposal and arm its timers.
+		n.eng.Flush()
+		n.replaying.Store(false)
 		n.dispatch(initOut, true)
 	})
 	<-startup
@@ -347,7 +516,22 @@ func (n *Node) Close() error {
 	n.startMu.Unlock()
 
 	close(n.done)
+	if n.walCond != nil {
+		// Wake a commit delivery parked on the durability watermark.
+		n.walCond.Broadcast()
+	}
 	n.wg.Wait()
+	// Stop the engine's order stage (drains already-queued vertices; its
+	// sink sends can no longer block because done is closed), then drain the
+	// commit loop — the WAL writer stays up meanwhile so watermark waits
+	// keep resolving — and finally the WAL writer itself.
+	n.eng.Close()
+	close(n.commitq)
+	n.commitWg.Wait()
+	if n.walq != nil {
+		close(n.walq)
+		n.walWg.Wait()
+	}
 	var err error
 	if n.wal != nil {
 		err = n.wal.Close()
@@ -379,18 +563,12 @@ func (n *Node) loop() {
 	}
 }
 
-// dispatch routes an engine output to the transport, timers, WAL and commit
-// handler. transmit=false suppresses outbound traffic (recovery replay).
+// dispatch routes an engine output to the transport and timers. Commits
+// never appear here — they flow through the engine's CommitSink — and WAL
+// persistence happens in the engine's Persist hook, which runs before the
+// inserted vertex can reach the committer. transmit=false suppresses
+// outbound traffic (recovery replay).
 func (n *Node) dispatch(out *engine.Output, transmit bool) {
-	if n.wal != nil {
-		for _, cert := range out.InsertedCerts {
-			if err := n.wal.Append(cert); err != nil {
-				// Persistence failure must not stall consensus; the node
-				// keeps running and recovery falls back to peer sync.
-				break
-			}
-		}
-	}
 	if transmit {
 		for _, u := range out.Unicasts {
 			_ = n.trans.Send(u.To, u.Msg)
@@ -408,20 +586,10 @@ func (n *Node) dispatch(out *engine.Output, transmit bool) {
 			})
 		})
 	}
-	n.deliverCommits(out.Commits, false)
 	if n.roundMetric != nil {
 		n.roundMetric.Set(int64(n.eng.Round()))
 	}
-}
-
-func (n *Node) deliverCommits(commits []bullshark.CommittedSubDAG, replayed bool) {
-	for _, sub := range commits {
-		if n.commitsMetric != nil {
-			n.commitsMetric.Inc()
-			n.txsMetric.Add(uint64(sub.TxCount()))
-		}
-		if n.cfg.OnCommit != nil {
-			n.cfg.OnCommit(sub, replayed)
-		}
+	if n.pipelineMetric != nil {
+		n.pipelineMetric.Set(int64(n.eng.PipelineBacklog()))
 	}
 }

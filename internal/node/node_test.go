@@ -22,6 +22,8 @@ type testCluster struct {
 	committee *types.Committee
 	network   *transport.ChannelNetwork
 	nodes     []*node.Node
+	// engineCfg overrides fastNodeEngineConfig when non-nil (pipelined runs).
+	engineCfg *engine.Config
 
 	mu      sync.Mutex
 	commits map[types.ValidatorID][]types.Digest
@@ -62,12 +64,16 @@ func buildNode(t *testing.T, tc *testCluster, id types.ValidatorID, hh *core.Con
 	if err != nil {
 		t.Fatal(err)
 	}
+	engCfg := fastNodeEngineConfig()
+	if tc.engineCfg != nil {
+		engCfg = *tc.engineCfg
+	}
 	nd, err = node.New(node.Config{
 		Committee:    tc.committee,
 		Self:         id,
 		Keys:         kp,
 		PublicKeys:   pubs,
-		Engine:       fastNodeEngineConfig(),
+		Engine:       engCfg,
 		HammerHead:   hh,
 		ScheduleSeed: 7,
 		WALPath:      walPath,
@@ -177,6 +183,60 @@ func TestNodesCommitTransactions(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		if tc.txSeen[types.ValidatorID(i)] == 0 {
 			t.Fatalf("node v%d committed no transactions", i)
+		}
+	}
+}
+
+// TestNodesCommitWithPipelinedEngine runs the same flow with the two-stage
+// engine pipeline enabled: certificate ingest and Bullshark ordering on
+// separate goroutines, commits delivered through the async sink. Prefix
+// consistency across nodes re-checks the determinism contract end-to-end on
+// the real runtime.
+func TestNodesCommitWithPipelinedEngine(t *testing.T) {
+	committee, err := types.NewEqualStakeCommittee(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastNodeEngineConfig()
+	cfg.PipelineDepth = 64
+	tc := &testCluster{
+		committee: committee,
+		network:   transport.NewChannelNetwork(1 << 14),
+		engineCfg: &cfg,
+		commits:   make(map[types.ValidatorID][]types.Digest),
+		txSeen:    make(map[types.ValidatorID]int),
+	}
+	hh := core.DefaultConfig()
+	hh.EpochCommits = 3
+	for i := 0; i < 4; i++ {
+		tc.nodes = append(tc.nodes, buildNode(t, tc, types.ValidatorID(i), &hh, "", nil))
+	}
+	tc.start(t)
+	for i := 0; i < 50; i++ {
+		if err := tc.nodes[i%4].Submit(types.Transaction{ID: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tc.waitCommits(t, 6, 20*time.Second)
+
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	ref := tc.commits[0]
+	for i := 1; i < 4; i++ {
+		other := tc.commits[types.ValidatorID(i)]
+		k := len(ref)
+		if len(other) < k {
+			k = len(other)
+		}
+		for j := 0; j < k; j++ {
+			if ref[j] != other[j] {
+				t.Fatalf("pipelined node v%d commit %d diverges from v0", i, j)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if tc.txSeen[types.ValidatorID(i)] == 0 {
+			t.Fatalf("pipelined node v%d committed no transactions", i)
 		}
 	}
 }

@@ -56,6 +56,11 @@ type Cluster struct {
 
 	engines []*engine.Engine
 	pools   []*mempool.Pool
+	// keys holds each validator's signing keys; fault injection that forges
+	// protocol artifacts a real Byzantine validator could produce (e.g.
+	// quorum-voted certificates over unchecked header fields) signs with
+	// them.
+	keys []crypto.KeyPair
 	// prevers holds each validator's pre-verify stage when signature
 	// verification is enabled (nil otherwise). The simulator runs Check
 	// synchronously at delivery — same code as the node's async stage.
@@ -75,6 +80,12 @@ type Cluster struct {
 	bytesSent   uint64
 	msgsDropped uint64
 	preDropped  uint64
+
+	// insertTap, when set (tests), observes every certificate a validator
+	// accepts into its DAG, in insertion order. The pipeline determinism
+	// test replays this sequence into fresh serial and pipelined engines and
+	// asserts byte-identical commit streams.
+	insertTap func(node types.ValidatorID, cert *engine.Certificate)
 }
 
 // NewCluster wires the deployment; call Start to boot the validators.
@@ -122,7 +133,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		keyPairs[i] = kp
 		pubKeys[i] = kp.Public
 	}
+	c.keys = keyPairs
 
+	// Simulated engines always run the serial path: the order stage's
+	// goroutine would break virtual time (commits must land at a definite
+	// simulated instant). Pipelined ordering is byte-identical to serial by
+	// construction — the determinism test in this package proves it — so
+	// simulation results transfer to pipelined deployments.
+	cfg.Engine.PipelineDepth = 0
 	for i := 0; i < n; i++ {
 		pool := mempool.NewSharded(cfg.MempoolSize, cfg.MempoolShards)
 		d := dag.New(cfg.Committee)
@@ -130,15 +148,23 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("simnet: building scheduler for v%d: %w", i, err)
 		}
+		id := types.ValidatorID(i)
 		eng, err := engine.New(engine.Params{
 			Config:     cfg.Engine,
 			Committee:  cfg.Committee,
-			Self:       types.ValidatorID(i),
+			Self:       id,
 			Keys:       keyPairs[i],
 			PublicKeys: pubKeys,
 			Batches:    pool,
 			Scheduler:  sched,
 			DAG:        d,
+			// Serial engines invoke the sink synchronously inside the step,
+			// so Sim.Now() is the commit's virtual time.
+			Commits: engine.CommitSinkFunc(func(sub bullshark.CommittedSubDAG) {
+				if c.onCommit != nil {
+					c.onCommit(id, sub, c.Sim.Now())
+				}
+			}),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("simnet: building engine for v%d: %w", i, err)
@@ -218,6 +244,62 @@ func (c *Cluster) CorruptSignatures(id types.ValidatorID, from time.Duration) {
 // validators' pre-verify stages.
 func (c *Cluster) PreVerifyDropped() uint64 { return c.preDropped }
 
+// ForgeGhostCerts makes validator id act Byzantine from the given virtual
+// time on: every interval it broadcasts a correctly-signed, quorum-voted
+// certificate whose header references a parent digest that exists nowhere.
+// This models a real attack: voters never check that a header's edges
+// resolve (they cannot — an honest proposer may reference parents the voter
+// has not received yet), so a Byzantine proposer collects genuine votes for
+// a fabricated-edge header and certifies it. Receivers pend the certificate
+// waiting for the ghost parent; only pending-state garbage collection
+// bounds the damage (see TestGhostParentChurnKeepsPendingBounded).
+func (c *Cluster) ForgeGhostCerts(id types.ValidatorID, from, every time.Duration) {
+	seq := uint64(0)
+	var tick func()
+	tick = func() {
+		now := c.Sim.Now()
+		if !c.crashed(id, now) {
+			seq++
+			c.broadcastGhostCert(id, seq, now)
+		}
+		c.Sim.After(every, tick)
+	}
+	c.Sim.After(from-time.Duration(c.Sim.Now()), tick)
+}
+
+func (c *Cluster) broadcastGhostCert(id types.ValidatorID, seq uint64, now int64) {
+	round := c.engines[id].DAG().HighestRound() + 1
+	var ghost types.Digest
+	ghost[0], ghost[1] = 0xBA, byte(id)
+	for i := 0; i < 8; i++ {
+		ghost[2+i] = byte(seq >> (8 * i))
+	}
+	header := engine.Header{Round: round, Source: id, Edges: []types.Digest{ghost}}
+	digest := header.Digest()
+	sig, err := c.keys[id].Sign(digest[:])
+	if err != nil {
+		return
+	}
+	header.Signature = sig
+	cert := &engine.Certificate{Header: header}
+	for j := range c.engines {
+		// Honest voters WOULD sign this header (edges are unchecked at vote
+		// time), so signing on their behalf reproduces exactly the quorum a
+		// real Byzantine proposer collects.
+		vsig, err := c.keys[j].Sign(digest[:])
+		if err != nil {
+			return
+		}
+		cert.Votes = append(cert.Votes, engine.VoteSig{Voter: types.ValidatorID(j), Signature: vsig})
+	}
+	msg := &engine.Message{Kind: engine.KindCertificate, Cert: cert}
+	for i := range c.engines {
+		if to := types.ValidatorID(i); to != id {
+			c.send(id, to, msg, now)
+		}
+	}
+}
+
 // SlowDown multiplies all message latencies touching the validator by
 // factor within [from, until] — the §1 incident's "less responsive"
 // validators.
@@ -280,9 +362,9 @@ func (c *Cluster) dispatch(from types.ValidatorID, out *engine.Output) {
 			c.dispatch(from, c.engines[from].OnTimer(timer, c.Sim.Now()))
 		})
 	}
-	if c.onCommit != nil {
-		for _, sub := range out.Commits {
-			c.onCommit(from, sub, now)
+	if c.insertTap != nil {
+		for _, cert := range out.InsertedCerts {
+			c.insertTap(from, cert)
 		}
 	}
 }

@@ -82,6 +82,10 @@ func StartLocalCluster(n int, opts ...LocalClusterOption) (*LocalCluster, error)
 	// would only slow examples down.
 	options.engineConfig.MinRoundDelay = 50 * 1e6 // 50ms
 	options.engineConfig.LeaderTimeout = 1e9      // 1s
+	// Real runtimes run the two-stage engine pipeline: certificate ingest
+	// returns to message processing while the Bullshark walk orders
+	// asynchronously. WithEngineConfig overrides (0 = serial).
+	options.engineConfig.PipelineDepth = engine.DefaultPipelineDepth
 	for _, opt := range opts {
 		opt(&options)
 	}
