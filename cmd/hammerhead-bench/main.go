@@ -12,6 +12,8 @@
 //	hammerhead-bench -experiment recovery             # crash + reintegration
 //	hammerhead-bench -experiment ablation-epoch       # epoch length sweep
 //	hammerhead-bench -experiment ablation-scoring     # votes vs Shoal rule
+//	hammerhead-bench -experiment executor-replay      # standalone executor on a recorded trace
+//	hammerhead-bench -experiment snapshot-catchup     # state-sync recovery beyond the GC horizon
 //	hammerhead-bench -experiment all
 //	  -sizes 10,50,100  -loads 1000,2000,3000,4000  -duration 60s -warmup 30s -seed 1
 package main
@@ -25,7 +27,14 @@ import (
 	"time"
 
 	"hammerhead"
+	"hammerhead/internal/bullshark"
 	"hammerhead/internal/core"
+	"hammerhead/internal/dag"
+	"hammerhead/internal/engine"
+	"hammerhead/internal/execution"
+	"hammerhead/internal/leader"
+	"hammerhead/internal/simnet"
+	"hammerhead/internal/types"
 )
 
 type benchConfig struct {
@@ -87,9 +96,11 @@ func run(cfg benchConfig) error {
 		"recovery":         runRecovery,
 		"ablation-epoch":   runAblationEpoch,
 		"ablation-scoring": runAblationScoring,
+		"executor-replay":  runExecutorReplay,
+		"snapshot-catchup": runSnapshotCatchUp,
 	}
 	if cfg.experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "incident", "utilization", "recovery", "ablation-epoch", "ablation-scoring"} {
+		for _, name := range []string{"fig1", "fig2", "incident", "utilization", "recovery", "ablation-epoch", "ablation-scoring", "executor-replay", "snapshot-catchup"} {
 			if err := experiments[name](cfg); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -249,6 +260,157 @@ func runAblationEpoch(cfg benchConfig) error {
 		fmt.Printf("epoch=%3d commits: mean=%5.2fs p95=%5.2fs skipped=%3d switches=%d\n",
 			commits, res.Latency.Mean.Seconds(), res.Latency.P95.Seconds(),
 			res.SkippedAnchors, res.ScheduleSwitches)
+	}
+	return nil
+}
+
+// noBatches satisfies engine.BatchProvider for trace replay: the trace's
+// certificates already carry their batches.
+type noBatches struct{}
+
+func (noBatches) NextBatch(int64, int) *types.Batch { return nil }
+
+// runExecutorReplay drives the execution subsystem standalone: a short
+// simulated deployment records validator 0's certificate-insertion trace
+// (the same recorder behind the pipeline determinism test), then the trace
+// is replayed wall-clock through a fresh serial engine whose commit sink
+// feeds an executor — isolating commit-derivation + state-machine apply +
+// root chaining + checkpointing from networking entirely.
+func runExecutorReplay(cfg benchConfig) error {
+	fmt.Printf("\n==== Executor replay: standalone execution over a recorded commit trace ====\n")
+	committee, err := hammerhead.NewEqualStakeCommittee(4)
+	if err != nil {
+		return err
+	}
+	engCfg := engine.DefaultConfig()
+	engCfg.VerifySignatures = false
+	engCfg.MinRoundDelay = 50 * time.Millisecond
+	engCfg.LeaderTimeout = 500 * time.Millisecond
+	engCfg.ResyncInterval = 200 * time.Millisecond
+
+	var trace []*engine.Certificate
+	cluster, err := simnet.NewCluster(simnet.ClusterConfig{
+		Committee: committee,
+		Engine:    engCfg,
+		Latency:   simnet.Uniform{Base: 30 * time.Millisecond, Jitter: 0.2},
+		NewScheduler: func(c *types.Committee, d *dag.DAG) (leader.Scheduler, error) {
+			return leader.NewRoundRobin(c, 1), nil
+		},
+		OnInsert: func(node types.ValidatorID, cert *engine.Certificate) {
+			if node == 0 {
+				trace = append(trace, (&engine.Message{Kind: engine.KindCertificate, Cert: cert}).Clone().Cert)
+			}
+		},
+		Seed: cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	// Open-loop KV load so the replay has real transactions to execute.
+	load := 2000.0
+	if len(cfg.loads) > 0 {
+		load = cfg.loads[0]
+	}
+	interval := time.Duration(float64(time.Second) / load)
+	var seq uint64
+	var tick func()
+	tick = func() {
+		if cluster.Sim.Now() >= cfg.duration.Nanoseconds() {
+			return
+		}
+		seq++
+		key := []byte(fmt.Sprintf("acct-%05d", seq%10000))
+		val := []byte(fmt.Sprintf("balance-%d", seq))
+		_ = cluster.SubmitTx(types.ValidatorID(seq%4), types.Transaction{ID: seq, Payload: execution.PutOp(key, val)})
+		cluster.Sim.After(interval, tick)
+	}
+	cluster.Sim.After(interval, tick)
+	cluster.Start()
+	cluster.Sim.RunFor(cfg.duration)
+	if len(trace) == 0 {
+		return fmt.Errorf("recorded no certificates")
+	}
+
+	// Standalone replay, wall-clock timed.
+	exec := execution.NewExecutor(execution.NewKVState(), execution.Config{CheckpointInterval: 32})
+	var commits, txs uint64
+	d := dag.New(committee)
+	kp := crypto0(committee)
+	eng, err := engine.New(engine.Params{
+		Config:    engCfg,
+		Committee: committee,
+		Self:      0,
+		Keys:      kp,
+		Batches:   noBatches{},
+		Scheduler: leader.NewRoundRobin(committee, 1),
+		DAG:       d,
+		Commits: engine.CommitSinkFunc(func(sub bullshark.CommittedSubDAG) {
+			commits++
+			txs += uint64(sub.TxCount())
+			exec.ApplyCommit(sub)
+		}),
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for _, cert := range trace {
+		eng.OnMessage(1, &engine.Message{Kind: engine.KindCertificate, Cert: cert}, 0)
+	}
+	elapsed := time.Since(start)
+	snap, err := exec.ForceCheckpoint()
+	if err != nil {
+		return err
+	}
+	blob, err := execution.EncodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d certs -> %d commits, %d txs (%.0fs virtual)\n",
+		len(trace), commits, txs, cfg.duration.Seconds())
+	fmt.Printf("replay: %v wall  %.0f certs/s  %.0f commits/s  %.0f tx/s\n",
+		elapsed, float64(len(trace))/elapsed.Seconds(), float64(commits)/elapsed.Seconds(),
+		float64(txs)/elapsed.Seconds())
+	fmt.Printf("executor: applied_seq=%d applied_round=%d state_root=%s checkpoints=%d snapshot_bytes=%d\n",
+		exec.AppliedSeq(), exec.AppliedRound(), exec.StateRoot(), exec.Checkpoints(), len(blob))
+	return nil
+}
+
+// crypto0 derives validator 0's (insecure-scheme) keys for replay engines.
+func crypto0(*types.Committee) hammerhead.KeyPair {
+	pairs, _, err := hammerhead.GenerateKeys("insecure", [32]byte{}, 1)
+	if err != nil {
+		panic(err)
+	}
+	return pairs[0]
+}
+
+// runSnapshotCatchUp measures state-sync recovery: a validator crashes
+// early, the committee checkpoints on, and the absentee rejoins far beyond
+// the GC horizon — possible only through a snapshot install.
+func runSnapshotCatchUp(cfg benchConfig) error {
+	fmt.Printf("\n==== Snapshot catch-up: recovery beyond the GC horizon (default GCDepth) ====\n")
+	load := 300.0
+	if len(cfg.loads) > 0 {
+		load = cfg.loads[0]
+	}
+	s := hammerhead.NewSnapshotCatchUpScenario(hammerhead.Bullshark, 4, 1, load)
+	s.Duration = 3 * cfg.duration
+	s.Warmup = cfg.warmup
+	s.CrashAt = s.Duration / 20
+	s.RecoverAt = s.Duration * 7 / 10
+	s.Seed = cfg.seed
+	res, err := hammerhead.RunExperiment(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run=%v crash_at=%v recover_at=%v load=%.0f tx/s\n", s.Duration, s.CrashAt, s.RecoverAt, load)
+	fmt.Printf("snapshot_installs=%d state_roots_agree=%v min_applied_seq=%d\n",
+		res.SnapshotInstalls, res.StateRootsAgree, res.MinAppliedSeq)
+	fmt.Printf("tput=%.0f tx/s mean_latency=%.2fs last_ordered_round=%d\n",
+		res.ThroughputTxPerSec, res.Latency.Mean.Seconds(), res.LastOrderedRound)
+	if res.SnapshotInstalls == 0 {
+		fmt.Println("WARNING: no snapshot installs — outage did not exceed the GC horizon at this duration")
 	}
 	return nil
 }

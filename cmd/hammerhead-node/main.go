@@ -55,6 +55,9 @@ func run(args []string) error {
 	pipelineDepth := fs.Int("pipeline-depth", engine.DefaultPipelineDepth, "order-stage queue depth; 0 runs the committer inline on the ingest path")
 	mempoolSize := fs.Int("mempool-size", 0, "transaction pool capacity (0 = default 1<<20)")
 	mempoolShards := fs.Int("mempool-shards", 0, "transaction pool shard count, rounded to a power of two (0 = sized to the machine)")
+	execution := fs.Bool("execution", false, "enable the execution subsystem: deterministic KV state machine, checkpoints, snapshot state-sync")
+	checkpointInterval := fs.Uint64("checkpoint-interval", 0, "commits between execution checkpoints (0 = default 32; needs -execution)")
+	snapshotDir := fs.String("snapshot-dir", "", "directory persisting execution checkpoints (empty = in-memory; needs -execution)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,17 +125,20 @@ func run(args []string) error {
 
 	logger := log.New(os.Stdout, fmt.Sprintf("[%s] ", self), log.Ltime|log.Lmicroseconds)
 	nd, err = node.New(node.Config{
-		Committee:     committee,
-		Self:          self,
-		Keys:          keys,
-		PublicKeys:    pubs,
-		Engine:        engCfg,
-		HammerHead:    hh,
-		ScheduleSeed:  file.ScheduleSeed,
-		WALPath:       *walPath,
-		MempoolSize:   *mempoolSize,
-		MempoolShards: *mempoolShards,
-		Metrics:       reg,
+		Committee:          committee,
+		Self:               self,
+		Keys:               keys,
+		PublicKeys:         pubs,
+		Engine:             engCfg,
+		HammerHead:         hh,
+		ScheduleSeed:       file.ScheduleSeed,
+		WALPath:            *walPath,
+		MempoolSize:        *mempoolSize,
+		MempoolShards:      *mempoolShards,
+		Execution:          *execution,
+		CheckpointInterval: *checkpointInterval,
+		SnapshotDir:        *snapshotDir,
+		Metrics:            reg,
 		OnCommit: func(sub bullshark.CommittedSubDAG, replayed bool) {
 			if replayed {
 				return
@@ -181,6 +187,11 @@ func serve(nd *node.Node, tr transport.Transport, logger *log.Logger, reg *metri
 				nd.Engine().Round(), cs.DirectCommits+cs.IndirectCommits,
 				cs.OrderedVertices, cs.SkippedAnchors, st.LeaderTimeouts, nd.Pool().Pending(),
 				pv.Checked-pv.Dropped, pv.Dropped)
+			if exec := nd.Executor(); exec != nil {
+				logger.Printf("executor applied_seq=%d applied_round=%d state_root=%s queue=%d checkpoints=%d snapshots_installed=%d",
+					exec.AppliedSeq(), exec.AppliedRound(), exec.StateRoot(), exec.QueueDepth(),
+					exec.Checkpoints(), st.SnapshotInstalls)
+			}
 		case s := <-sig:
 			logger.Printf("received %v, shutting down", s)
 			return nil

@@ -22,11 +22,13 @@ import (
 	"hammerhead/internal/core"
 	"hammerhead/internal/crypto"
 	"hammerhead/internal/engine"
+	"hammerhead/internal/execution"
 	"hammerhead/internal/experiment"
 	"hammerhead/internal/leader"
 	"hammerhead/internal/metrics"
 	"hammerhead/internal/node"
 	"hammerhead/internal/simnet"
+	"hammerhead/internal/storage"
 	"hammerhead/internal/transport"
 	"hammerhead/internal/types"
 )
@@ -150,6 +152,44 @@ func GenerateKeys(schemeName string, clusterSeed [32]byte, n int) ([]KeyPair, []
 	return pairs, pubs, nil
 }
 
+// ---- execution & state sync ----
+
+// Execution-subsystem building blocks, aliased from internal/execution and
+// internal/storage.
+type (
+	// StateMachine is the pluggable deterministic state the executor drives.
+	StateMachine = execution.StateMachine
+	// KVState is the built-in versioned key-value ledger.
+	KVState = execution.KVState
+	// Executor applies the commit stream, checkpoints, and installs
+	// snapshots during state-sync.
+	Executor = execution.Executor
+	// ExecutorConfig parameterizes an executor.
+	ExecutorConfig = execution.Config
+	// ExecutionCheckpoint identifies one checkpoint (round, seq, roots).
+	ExecutionCheckpoint = execution.Checkpoint
+	// ExecutionSnapshot is one transferable checkpoint.
+	ExecutionSnapshot = execution.Snapshot
+	// SnapshotStore persists checkpoints (file-backed, atomic
+	// write-temp-rename, retention knob).
+	SnapshotStore = storage.SnapshotStore
+)
+
+// NewKVState returns an empty key-value ledger.
+var NewKVState = execution.NewKVState
+
+// NewExecutor builds an executor over a state machine.
+var NewExecutor = execution.NewExecutor
+
+// NewSnapshotStore opens a file-backed checkpoint store.
+var NewSnapshotStore = storage.NewSnapshotStore
+
+// PutOp / DeleteOp encode KVState transactions.
+var (
+	PutOp    = execution.PutOp
+	DeleteOp = execution.DeleteOp
+)
+
 // ---- transports ----
 
 // Transport implementations, aliased from internal/transport.
@@ -207,9 +247,14 @@ var NewScenario = experiment.NewScenario
 var NewHighLoadScenario = experiment.NewHighLoadScenario
 
 // NewCatchUpScenario returns a scenario where crashed validators recover far
-// behind a loaded committee and must range-sync the gap — the catch-up burst
-// the engine's two-stage commit pipeline absorbs on real nodes.
+// behind a loaded committee — beyond the default GC horizon, so they rejoin
+// through snapshot state-sync (execution subsystem enabled).
 var NewCatchUpScenario = experiment.NewCatchUpScenario
+
+// NewSnapshotCatchUpScenario returns the snapshot state-sync stress
+// scenario: a longer outage with frequent checkpoints, guaranteeing the
+// recovering validators must install a snapshot to rejoin.
+var NewSnapshotCatchUpScenario = experiment.NewSnapshotCatchUpScenario
 
 // RunExperiment executes a scenario and returns its measurements.
 var RunExperiment = experiment.Run

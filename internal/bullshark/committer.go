@@ -256,6 +256,27 @@ func (c *Committer) orderSubDAG(anchor *dag.Vertex, direct bool) CommittedSubDAG
 	}
 }
 
+// FastForward jumps the committer past ordering history it never derived —
+// the snapshot state-sync install path. Ordering resumes as if commit
+// commitIndex (anchor at round) had just been delivered: the next anchor
+// considered is the first one above round, sub-DAG walks stop at floor, and
+// ordered seeds the already-ordered set for rounds >= floor (the snapshot's
+// boundary window), so boundary stragglers are ordered exactly as live
+// validators order them. The caller prunes the DAG separately.
+func (c *Committer) FastForward(round types.Round, commitIndex uint64, floor types.Round, ordered map[types.Digest]types.Round) {
+	if round <= c.lastOrderedRound {
+		return // never move ordering backwards
+	}
+	c.lastOrderedRound = round
+	c.commitIndex = commitIndex
+	c.orderedFloor = floor
+	c.ordered = make(map[types.Digest]types.Round, len(ordered))
+	for d, r := range ordered {
+		c.ordered[d] = r
+	}
+	c.votes = make(map[types.Round]*anchorVotes)
+}
+
 // Prune releases DAG rounds and ordered-set entries below floor. Callers
 // must keep floor at or below both the last ordered round and the
 // scheduler's minimum retained round (score scans read the active epoch).

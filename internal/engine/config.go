@@ -55,7 +55,16 @@ type Config struct {
 	// commits to the CommitSink asynchronously. Commit order is identical in
 	// both modes. Real nodes default to DefaultPipelineDepth.
 	PipelineDepth int
+	// SnapshotChunkBytes caps the payload of one SnapshotResponse during
+	// state-sync (0 selects DefaultSnapshotChunkBytes). Tests shrink it to
+	// exercise the multi-chunk resume path.
+	SnapshotChunkBytes int
 }
+
+// DefaultSnapshotChunkBytes is the snapshot state-sync chunk size: small
+// enough that serving a chunk never monopolizes the engine loop, large
+// enough that realistic snapshots move in a handful of round-trips.
+const DefaultSnapshotChunkBytes = 256 << 10
 
 // DefaultPipelineDepth is the order-stage queue bound real nodes use: deep
 // enough that ingest never stalls on a committer walk during catch-up
@@ -104,6 +113,9 @@ func (c Config) Validate() error {
 	if c.PipelineDepth < 0 {
 		return fmt.Errorf("engine: PipelineDepth must be >= 0, got %d", c.PipelineDepth)
 	}
+	if c.SnapshotChunkBytes < 0 {
+		return fmt.Errorf("engine: SnapshotChunkBytes must be >= 0, got %d", c.SnapshotChunkBytes)
+	}
 	return nil
 }
 
@@ -126,6 +138,11 @@ const (
 	// happened since the previous firing, the engine pulls the certificate
 	// frontier from a rotating peer (RoundRequest).
 	TimerProgress
+	// TimerSnapshot paces an active snapshot state-sync fetch: when no chunk
+	// arrived since it was armed, the request is retried, eventually rotating
+	// to another responder (restarting the fetch — chunk encodings are not
+	// byte-compatible across responders).
+	TimerSnapshot
 )
 
 // String implements fmt.Stringer.
@@ -141,6 +158,8 @@ func (k TimerKind) String() string {
 		return "header-retry"
 	case TimerProgress:
 		return "progress"
+	case TimerSnapshot:
+		return "snapshot"
 	default:
 		return fmt.Sprintf("timer(%d)", uint8(k))
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -67,6 +68,12 @@ type Stats struct {
 	SyncRequests    uint64
 	SyncResponses   uint64
 	InvalidMessages uint64
+	// Snapshot state-sync counters: requests sent, response chunks served,
+	// snapshots installed, installs rejected (corrupt/stale).
+	SnapshotRequests        uint64
+	SnapshotResponses       uint64
+	SnapshotInstalls        uint64
+	SnapshotInstallFailures uint64
 }
 
 type voteKey struct {
@@ -98,6 +105,14 @@ type Engine struct {
 	scheduler leader.Scheduler
 	sink      CommitSink
 	persist   func(*Certificate)
+	// Snapshot state-sync: snapshots serves local checkpoints to peers;
+	// installSnapshot verifies and applies a fetched one; schedFastForward
+	// is non-nil when the scheduler tolerates jumping past ordering history
+	// (requesting is disabled otherwise); snapFetch is the active download.
+	snapshots        SnapshotProvider
+	installSnapshot  func(meta SnapshotMeta, data []byte) (*SnapshotInstall, error)
+	schedFastForward scheduleFastForwarder
+	snapFetch        snapFetch
 	// stage is the asynchronous order stage (stage 2 of the pipeline); nil
 	// when PipelineDepth == 0, in which case the committer runs inline on
 	// the ingest path.
@@ -169,6 +184,15 @@ type Params struct {
 	// delivery on the writer's progress, preserving the recovery invariant
 	// that every commit handed to execution is re-derivable from the WAL.
 	Persist func(*Certificate)
+	// Snapshots, when non-nil, serves the execution layer's latest
+	// checkpoint to peers requesting snapshot state-sync.
+	Snapshots SnapshotProvider
+	// InstallSnapshot, when non-nil, verifies and applies a fetched snapshot
+	// to the execution layer, returning how far the engine should
+	// fast-forward. Enables REQUESTING snapshot state-sync — additionally
+	// gated on the scheduler supporting the jump (leader.RoundRobin does;
+	// core.Manager's reputation state is not yet carried in snapshots).
+	InstallSnapshot func(meta SnapshotMeta, data []byte) (*SnapshotInstall, error)
 }
 
 // New constructs an engine. Call Init before feeding messages.
@@ -219,6 +243,8 @@ func New(p Params) (*Engine, error) {
 		scheduler:        p.Scheduler,
 		sink:             sink,
 		persist:          p.Persist,
+		snapshots:        p.Snapshots,
+		installSnapshot:  p.InstallSnapshot,
 		votes:            make(map[types.ValidatorID]crypto.Signature),
 		leaderTimerArmed: make(map[types.Round]bool),
 		leaderTimedOut:   make(map[types.Round]bool),
@@ -229,6 +255,9 @@ func New(p Params) (*Engine, error) {
 		pendingByMissing: make(map[types.Digest][]types.Digest),
 		requested:        make(map[types.Digest]bool),
 		pendingRounds:    make(map[types.Round]int),
+	}
+	if ff, ok := p.Scheduler.(scheduleFastForwarder); ok {
+		e.schedFastForward = ff
 	}
 	if p.Config.PipelineDepth > 0 {
 		e.stage = newOrderStage(e.committer, e.scheduler, sink, p.Config.PipelineDepth,
@@ -368,6 +397,10 @@ func (e *Engine) OnMessage(from types.ValidatorID, msg *Message, nowNanos int64)
 		e.maybeRangeSync(from, nowNanos, out)
 	case KindRoundRequest:
 		e.onRoundRequest(from, msg.RoundRequest, out)
+	case KindSnapshotRequest:
+		e.onSnapshotRequest(from, msg.SnapshotRequest, out)
+	case KindSnapshotResponse:
+		e.onSnapshotResponse(from, msg.SnapshotResponse, nowNanos, out)
 	default:
 		e.stats.InvalidMessages++
 	}
@@ -412,10 +445,17 @@ func (e *Engine) OnTimer(t Timer, nowNanos int64) *Output {
 				e.stats.SyncRequests++
 				from := e.lastOrderedRound()
 				out.unicast(target, &Message{Kind: KindRoundRequest, RoundRequest: &RoundRequest{FromRound: from}})
+				if e.beyondGCHorizon() {
+					// The frontier is unreachable by certificate sync; pull
+					// a checkpoint instead of waiting on certs nobody holds.
+					e.maybeSnapshotSync(target, nowNanos, out)
+				}
 			}
 		}
 		e.progressLastRound = e.round
 		out.timer(Timer{Kind: TimerProgress, Delay: 2 * e.config.ResyncInterval})
+	case TimerSnapshot:
+		e.onSnapshotTimer(nowNanos, out)
 	}
 	return out
 }
@@ -529,7 +569,7 @@ func (e *Engine) onCertificate(c *Certificate, nowNanos int64, out *Output) {
 	}
 	e.stats.CertsReceived++
 
-	if missing := e.unknownParents(c); len(missing) > 0 {
+	if missing := e.missingParents(c); len(missing) > 0 {
 		e.stats.CertsPended++
 		if len(e.pendingCerts) >= e.config.MaxPendingCerts {
 			e.evictPending()
@@ -725,14 +765,17 @@ func (e *Engine) validCertificate(c *Certificate) bool {
 	return true
 }
 
-// unknownParents lists edge digests absent from both the DAG and the
-// pending set (pending parents will insert on their own).
-func (e *Engine) unknownParents(c *Certificate) []types.Digest {
-	var missing []types.Digest
-	for _, m := range e.dagStore.MissingParents(c.Header.Edges) {
-		missing = append(missing, m)
+// missingParents lists the certificate's parent digests absent from the DAG.
+// Edges always point exactly one round back, so a certificate whose parent
+// round lies below the DAG's pruned floor is vacuously satisfied — the
+// insertion path after a snapshot install: the first post-checkpoint round
+// re-enters the DAG without its (snapshot-covered) parents, exactly as
+// dag.Insert skips parent validation below the floor.
+func (e *Engine) missingParents(c *Certificate) []types.Digest {
+	if c.Header.Round <= e.dagStore.PrunedTo() {
+		return nil
 	}
-	return missing
+	return e.dagStore.MissingParents(c.Header.Edges)
 }
 
 // insertCert inserts a certificate whose parents are all in the DAG, hands
@@ -750,14 +793,19 @@ func (e *Engine) insertCert(c *Certificate, nowNanos int64, out *Output) {
 		if _, have := e.dagStore.ByDigest(digest); have {
 			continue
 		}
-		if len(e.dagStore.MissingParents(cert.Header.Edges)) > 0 {
+		if len(e.missingParents(cert)) > 0 {
 			// Still blocked (multiple missing parents): back to pending.
 			e.addPending(digest, cert)
 			continue
 		}
 		vertex := cert.Header.Vertex()
 		if err := e.dagStore.Insert(vertex); err != nil {
-			e.stats.InvalidMessages++
+			// In pipelined mode the order stage's DAG floor can run ahead of
+			// the ingest stage's certFloor; an honest straggler between the
+			// two is merely below retention, not protocol-invalid.
+			if !errors.Is(err, dag.ErrPruned) {
+				e.stats.InvalidMessages++
+			}
 			continue
 		}
 		e.certStore[digest] = cert
@@ -835,7 +883,19 @@ func (e *Engine) onCertRequest(from types.ValidatorID, req *CertRequest, out *Ou
 func (e *Engine) maybeRangeSync(target types.ValidatorID, nowNanos int64, out *Output) {
 	const gapThreshold = 8
 	floor := e.dagStore.HighestRound()
+	if e.certFloor > floor {
+		// Right after a snapshot install the DAG is empty above the new
+		// floor; range sync must pull from the boundary, not the stale
+		// pre-install frontier.
+		floor = e.certFloor
+	}
 	if e.maxPendingRound <= floor+gapThreshold {
+		return
+	}
+	if e.beyondGCHorizon() && e.snapshotSyncEnabled() {
+		// Certificate sync cannot close this gap (peers pruned the history);
+		// fetch a checkpoint instead of crawling an unreachable range.
+		e.maybeSnapshotSync(target, nowNanos, out)
 		return
 	}
 	if floor == e.lastRangeReqFloor &&

@@ -27,6 +27,8 @@ const (
 	KindCertRequest
 	KindCertResponse
 	KindRoundRequest
+	KindSnapshotRequest
+	KindSnapshotResponse
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +46,10 @@ func (k MessageKind) String() string {
 		return "cert-response"
 	case KindRoundRequest:
 		return "round-request"
+	case KindSnapshotRequest:
+		return "snapshot-request"
+	case KindSnapshotResponse:
+		return "snapshot-response"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -200,6 +206,45 @@ type RoundRequest struct {
 // EncodedSize approximates the wire size in bytes.
 func (r *RoundRequest) EncodedSize() int { return 8 }
 
+// SnapshotRequest asks a peer for a chunk of its latest execution checkpoint
+// — the state-sync pull a validator sends when the network's certificate
+// frontier sits beyond its GC horizon (the gap can never be closed by
+// certificate sync: peers pruned that history). Fetches are chunked and
+// resumable: the requester pins the checkpoint round after the first
+// response and pulls chunks in order from one responder (snapshot encodings
+// are not byte-identical across validators, so chunks never mix responders).
+type SnapshotRequest struct {
+	// HaveRound is the requester's applied round; the responder only serves
+	// checkpoints strictly newer.
+	HaveRound types.Round
+	// Round pins the checkpoint being fetched (0 on the first request: the
+	// responder's latest). Chunk is the zero-based chunk index.
+	Round types.Round
+	Chunk uint32
+}
+
+// EncodedSize approximates the wire size in bytes.
+func (r *SnapshotRequest) EncodedSize() int { return 8 + 8 + 4 }
+
+// SnapshotResponse carries one chunk of a checkpoint snapshot, plus the
+// checkpoint identity the installer verifies. Round == 0 means the responder
+// holds no checkpoint newer than the requester's HaveRound.
+type SnapshotResponse struct {
+	Round       types.Round
+	CommitSeq   uint64
+	StateRoot   types.Digest
+	StateDigest types.Digest
+	// Chunks is the total chunk count; Chunk indexes this one.
+	Chunks uint32
+	Chunk  uint32
+	Data   []byte
+}
+
+// EncodedSize approximates the wire size in bytes.
+func (r *SnapshotResponse) EncodedSize() int {
+	return 8 + 8 + 2*types.DigestSize + 4 + 4 + 8 + len(r.Data)
+}
+
 // CertResponse returns requested certificates.
 type CertResponse struct {
 	Certs []*Certificate
@@ -218,13 +263,15 @@ func (r *CertResponse) EncodedSize() int {
 // matching Kind. A flat struct keeps encoding trivial (encoding/gob) and
 // runtime dispatch a single switch.
 type Message struct {
-	Kind         MessageKind
-	Header       *Header
-	Vote         *Vote
-	Cert         *Certificate
-	CertRequest  *CertRequest
-	CertResponse *CertResponse
-	RoundRequest *RoundRequest
+	Kind             MessageKind
+	Header           *Header
+	Vote             *Vote
+	Cert             *Certificate
+	CertRequest      *CertRequest
+	CertResponse     *CertResponse
+	RoundRequest     *RoundRequest
+	SnapshotRequest  *SnapshotRequest
+	SnapshotResponse *SnapshotResponse
 }
 
 // Clone returns a copy of the message whose mutable payload state — the
@@ -261,7 +308,8 @@ func (m *Message) Clone() *Message {
 			c.CertResponse = &CertResponse{Certs: certs}
 		}
 	}
-	// CertRequest / RoundRequest payloads are read-only; sharing is safe.
+	// CertRequest / RoundRequest / Snapshot* payloads are read-only (and the
+	// snapshot chunk bytes are immutable once encoded); sharing is safe.
 	return &c
 }
 
@@ -291,6 +339,10 @@ func (m *Message) EncodedSize() int {
 		n += m.CertResponse.EncodedSize()
 	case KindRoundRequest:
 		n += m.RoundRequest.EncodedSize()
+	case KindSnapshotRequest:
+		n += m.SnapshotRequest.EncodedSize()
+	case KindSnapshotResponse:
+		n += m.SnapshotResponse.EncodedSize()
 	}
 	return n
 }
@@ -310,6 +362,13 @@ func (m *Message) String() string {
 		return fmt.Sprintf("cert-response{%d certs}", len(m.CertResponse.Certs))
 	case KindRoundRequest:
 		return fmt.Sprintf("round-request{from=%d}", m.RoundRequest.FromRound)
+	case KindSnapshotRequest:
+		return fmt.Sprintf("snapshot-request{have=%d round=%d chunk=%d}",
+			m.SnapshotRequest.HaveRound, m.SnapshotRequest.Round, m.SnapshotRequest.Chunk)
+	case KindSnapshotResponse:
+		return fmt.Sprintf("snapshot-response{round=%d seq=%d chunk=%d/%d |%dB|}",
+			m.SnapshotResponse.Round, m.SnapshotResponse.CommitSeq,
+			m.SnapshotResponse.Chunk, m.SnapshotResponse.Chunks, len(m.SnapshotResponse.Data))
 	default:
 		return m.Kind.String()
 	}

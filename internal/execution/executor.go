@@ -1,0 +1,447 @@
+package execution
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"hammerhead/internal/bullshark"
+	"hammerhead/internal/metrics"
+	"hammerhead/internal/types"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultCheckpointInterval is the number of commits between checkpoints.
+	DefaultCheckpointInterval = 32
+	// DefaultBoundaryRounds is the depth of the ordered-vertex window carried
+	// by snapshots. It must exceed the deepest straggler a commit can pick up
+	// below its anchor round (in healthy operation stragglers sit 1-2 rounds
+	// back; the committer's own GC makes anything deeper than GCDepth
+	// impossible everywhere).
+	DefaultBoundaryRounds types.Round = 16
+	// DefaultQueueDepth bounds the asynchronous commit queue; a full queue
+	// backpressures the node's commit loop rather than dropping commits.
+	DefaultQueueDepth = 1024
+	// rootRingSize is how many recent (seq, root) pairs RootAt retains.
+	rootRingSize = 4096
+)
+
+// Config parameterizes an Executor. The zero value selects all defaults with
+// an in-memory snapshot store.
+type Config struct {
+	// CheckpointInterval is the number of commits between checkpoints
+	// (0 = DefaultCheckpointInterval).
+	CheckpointInterval uint64
+	// BoundaryRounds is the ordered-window depth carried by snapshots
+	// (0 = DefaultBoundaryRounds).
+	BoundaryRounds types.Round
+	// QueueDepth bounds the async commit queue (0 = DefaultQueueDepth).
+	QueueDepth int
+	// Store persists checkpoints (nil = in-memory MemoryStore).
+	Store SnapshotStore
+	// Metrics, when non-nil, receives executor gauges and counters.
+	Metrics *metrics.Registry
+}
+
+// Executor drives a StateMachine from the commit stream. It tracks
+// (lastAppliedRound, stateRoot) where the root is an incremental hash chained
+// per commit, emits periodic checkpoints into its SnapshotStore, and installs
+// verified snapshots during state-sync.
+//
+// Two usage modes share the same core:
+//
+//   - Synchronous: call ApplyCommit from the commit-delivering goroutine
+//     (the discrete-event simulator, benchmarks, trace replay).
+//   - Asynchronous: call Start once, then Submit from the commit stream; a
+//     dedicated goroutine applies, so a slow state machine backpressures the
+//     bounded queue instead of the consensus path (real nodes).
+type Executor struct {
+	mu  sync.Mutex
+	sm  StateMachine
+	cfg Config
+
+	appliedRound types.Round
+	appliedSeq   uint64
+	stateRoot    types.Digest
+	// ordered is the boundary window: every ordered vertex with round in
+	// (appliedRound-BoundaryRounds, appliedRound], exported into checkpoints
+	// so installing committers resume with the exact ordered set.
+	ordered   map[types.Digest]types.Round
+	sinceCkpt uint64
+	ckptCount uint64
+
+	// roots is a ring of recent (seq, root) pairs for cross-validator
+	// convergence checks at a common sequence number.
+	roots [rootRingSize]rootAt
+
+	// latest/prev cache the two newest checkpoints in memory so chunked
+	// serving never touches the store per chunk request (the file store
+	// would re-read and re-decode the whole snapshot each time), and so a
+	// peer mid-fetch of the previous checkpoint can finish after we rotate;
+	// served caches their wire encodings keyed by commit sequence.
+	latest     Snapshot
+	haveLatest bool
+	prev       Snapshot
+	havePrev   bool
+	served     map[uint64][]byte
+
+	// Async mode.
+	q       chan bullshark.CommittedSubDAG
+	done    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+
+	appliedMetric *metrics.Gauge
+	queueMetric   *metrics.Gauge
+	snapBytes     *metrics.Counter
+}
+
+type rootAt struct {
+	seq  uint64
+	root types.Digest
+}
+
+// NewExecutor builds an executor over the given state machine.
+func NewExecutor(sm StateMachine, cfg Config) *Executor {
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = DefaultCheckpointInterval
+	}
+	if cfg.BoundaryRounds == 0 {
+		cfg.BoundaryRounds = DefaultBoundaryRounds
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewMemoryStore()
+	}
+	x := &Executor{
+		sm:      sm,
+		cfg:     cfg,
+		ordered: make(map[types.Digest]types.Round),
+		served:  make(map[uint64][]byte),
+		q:       make(chan bullshark.CommittedSubDAG, cfg.QueueDepth),
+		done:    make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		x.appliedMetric = cfg.Metrics.Gauge("hammerhead_executor_applied_round")
+		x.queueMetric = cfg.Metrics.Gauge("hammerhead_executor_queue_depth")
+		x.snapBytes = cfg.Metrics.Counter("hammerhead_snapshot_bytes_total")
+	}
+	return x
+}
+
+// Store returns the executor's snapshot store.
+func (x *Executor) Store() SnapshotStore { return x.cfg.Store }
+
+// ---- synchronous core ----
+
+// ApplyCommit applies one ordered sub-DAG. Commits at or below the applied
+// sequence are skipped (WAL replay and snapshot installs make redeliveries
+// normal). Safe for concurrent use, though a single delivering goroutine is
+// the expected shape.
+func (x *Executor) ApplyCommit(sub bullshark.CommittedSubDAG) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if sub.Index <= x.appliedSeq {
+		return
+	}
+	for _, v := range sub.Vertices {
+		if v.Batch != nil {
+			for i := range v.Batch.Transactions {
+				x.sm.Apply(&v.Batch.Transactions[i])
+			}
+		}
+		x.ordered[v.Digest()] = v.Round
+	}
+	cd := commitDigest(&sub)
+	x.stateRoot = types.HashBytes(x.stateRoot[:], cd[:])
+	x.appliedSeq = sub.Index
+	x.appliedRound = sub.Anchor.Round
+	x.roots[sub.Index%rootRingSize] = rootAt{seq: sub.Index, root: x.stateRoot}
+	x.pruneOrderedLocked()
+	if x.appliedMetric != nil {
+		x.appliedMetric.Set(int64(x.appliedRound))
+	}
+	x.sinceCkpt++
+	if x.sinceCkpt >= x.cfg.CheckpointInterval {
+		// Checkpoint failures (disk full, ...) must not stall execution; the
+		// next interval retries.
+		_, _ = x.checkpointLocked()
+	}
+}
+
+// commitDigest is the content address of one commit: sequence, anchor and the
+// ordered vertex list. Chaining it per commit makes equal state roots at
+// equal sequence numbers imply identical applied commit streams.
+func commitDigest(sub *bullshark.CommittedSubDAG) types.Digest {
+	parts := make([][]byte, 0, 2+len(sub.Vertices))
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[:8], sub.Index)
+	binary.BigEndian.PutUint64(hdr[8:], uint64(sub.Anchor.Round))
+	parts = append(parts, hdr[:])
+	anchor := sub.Anchor.Digest()
+	parts = append(parts, anchor[:])
+	for _, v := range sub.Vertices {
+		d := v.Digest()
+		parts = append(parts, d[:])
+	}
+	return types.HashBytes(parts...)
+}
+
+// boundaryFloorLocked is the lowest round whose ordered status the window
+// still records: (appliedRound - BoundaryRounds, appliedRound].
+func (x *Executor) boundaryFloorLocked() types.Round {
+	if x.appliedRound < x.cfg.BoundaryRounds {
+		return 0
+	}
+	return x.appliedRound + 1 - x.cfg.BoundaryRounds
+}
+
+// pruneOrderedLocked drops ordered-window entries below the boundary.
+func (x *Executor) pruneOrderedLocked() {
+	floor := x.boundaryFloorLocked()
+	if floor == 0 {
+		return
+	}
+	for d, r := range x.ordered {
+		if r < floor {
+			delete(x.ordered, d)
+		}
+	}
+}
+
+// ---- status ----
+
+// AppliedSeq returns the sequence number of the last applied commit.
+func (x *Executor) AppliedSeq() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.appliedSeq
+}
+
+// AppliedRound returns the anchor round of the last applied commit.
+func (x *Executor) AppliedRound() types.Round {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.appliedRound
+}
+
+// StateRoot returns the chained commit root at the applied sequence.
+func (x *Executor) StateRoot() types.Digest {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.stateRoot
+}
+
+// StateDigest computes the state machine's content digest (checkpoint cost;
+// not a hot-path call).
+func (x *Executor) StateDigest() types.Digest {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.sm.Root()
+}
+
+// RootAt returns the chained root as of the given commit sequence, if still
+// retained (the executor keeps the most recent rootRingSize entries).
+// Convergence checks compare two validators' roots at a common sequence.
+func (x *Executor) RootAt(seq uint64) (types.Digest, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e := x.roots[seq%rootRingSize]
+	if e.seq != seq || seq == 0 {
+		return types.Digest{}, false
+	}
+	return e.root, true
+}
+
+// Checkpoints returns how many checkpoints were cut.
+func (x *Executor) Checkpoints() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.ckptCount
+}
+
+// ---- checkpoints ----
+
+// ForceCheckpoint cuts a checkpoint at the current applied state regardless
+// of the interval and persists it to the store.
+func (x *Executor) ForceCheckpoint() (Snapshot, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.checkpointLocked()
+}
+
+func (x *Executor) checkpointLocked() (Snapshot, error) {
+	x.sinceCkpt = 0
+	data, err := x.sm.Snapshot()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	refs := make([]OrderedRef, 0, len(x.ordered))
+	for d, r := range x.ordered {
+		refs = append(refs, OrderedRef{Digest: d, Round: r})
+	}
+	sortOrderedRefs(refs)
+	snap := Snapshot{
+		Checkpoint: Checkpoint{
+			Round:       x.appliedRound,
+			CommitSeq:   x.appliedSeq,
+			StateRoot:   x.stateRoot,
+			StateDigest: x.sm.Root(),
+		},
+		Floor:   x.boundaryFloorLocked(),
+		Ordered: refs,
+		Data:    data,
+	}
+	if err := x.cfg.Store.Save(snap); err != nil {
+		return Snapshot{}, err
+	}
+	x.cacheSnapshotLocked(snap)
+	x.ckptCount++
+	if x.snapBytes != nil {
+		x.snapBytes.Add(uint64(len(data)))
+	}
+	return snap, nil
+}
+
+// Install replaces the executor's state with a verified snapshot: the state
+// machine is restored from the snapshot bytes and its content digest is
+// recomputed — a mismatch (corrupted or forged chunk) rolls the previous
+// state back and rejects the install. On success the snapshot is persisted
+// to the local store, so the node can serve it onward and survive restarts.
+func (x *Executor) Install(snap Snapshot) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if snap.CommitSeq <= x.appliedSeq {
+		return ErrStaleSnapshot
+	}
+	prev, err := x.sm.Snapshot()
+	if err != nil {
+		return fmt.Errorf("execution: preserving state for install: %w", err)
+	}
+	if err := x.sm.Restore(snap.Data); err != nil {
+		return fmt.Errorf("execution: restoring snapshot: %w", err)
+	}
+	if got := x.sm.Root(); got != snap.StateDigest {
+		_ = x.sm.Restore(prev)
+		return fmt.Errorf("execution: snapshot state digest mismatch: recomputed %s, checkpoint %s",
+			got, snap.StateDigest)
+	}
+	x.appliedSeq = snap.CommitSeq
+	x.appliedRound = snap.Round
+	x.stateRoot = snap.StateRoot
+	x.ordered = make(map[types.Digest]types.Round, len(snap.Ordered))
+	for _, ref := range snap.Ordered {
+		x.ordered[ref.Digest] = ref.Round
+	}
+	x.roots = [rootRingSize]rootAt{}
+	x.roots[snap.CommitSeq%rootRingSize] = rootAt{seq: snap.CommitSeq, root: snap.StateRoot}
+	x.sinceCkpt = 0
+	if x.appliedMetric != nil {
+		x.appliedMetric.Set(int64(x.appliedRound))
+	}
+	if x.snapBytes != nil {
+		x.snapBytes.Add(uint64(len(snap.Data)))
+	}
+	x.cacheSnapshotLocked(snap)
+	_ = x.cfg.Store.Save(snap)
+	return nil
+}
+
+// cacheSnapshotLocked rotates the in-memory checkpoint cache: the newest two
+// stay servable (mirroring the store's default retention) and stale wire
+// encodings are dropped.
+func (x *Executor) cacheSnapshotLocked(snap Snapshot) {
+	if x.haveLatest && x.latest.CommitSeq != snap.CommitSeq {
+		x.prev = x.latest
+		x.havePrev = true
+	}
+	x.latest = snap
+	x.haveLatest = true
+	for seq := range x.served {
+		if seq != x.latest.CommitSeq && (!x.havePrev || seq != x.prev.CommitSeq) {
+			delete(x.served, seq)
+		}
+	}
+}
+
+// ---- asynchronous mode ----
+
+// Start spawns the executor's apply goroutine. Must be called once before
+// Submit.
+func (x *Executor) Start() {
+	x.mu.Lock()
+	if x.started {
+		x.mu.Unlock()
+		return
+	}
+	x.started = true
+	x.mu.Unlock()
+	x.wg.Add(1)
+	go x.loop()
+}
+
+// Submit enqueues a commit for the apply goroutine. Blocks when the queue is
+// full (backpressure on the commit stream); drops the commit when the
+// executor is closed (the WAL re-derives it on restart).
+func (x *Executor) Submit(sub bullshark.CommittedSubDAG) {
+	select {
+	case x.q <- sub:
+		if x.queueMetric != nil {
+			x.queueMetric.Set(int64(len(x.q)))
+		}
+	case <-x.done:
+	}
+}
+
+// QueueDepth returns the current async queue occupancy.
+func (x *Executor) QueueDepth() int { return len(x.q) }
+
+func (x *Executor) loop() {
+	defer x.wg.Done()
+	for {
+		select {
+		case sub := <-x.q:
+			if x.queueMetric != nil {
+				x.queueMetric.Set(int64(len(x.q)))
+			}
+			x.ApplyCommit(sub)
+		case <-x.done:
+			// Drain what the commit loop already queued, then stop.
+			for {
+				select {
+				case sub := <-x.q:
+					x.ApplyCommit(sub)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close stops the apply goroutine after draining queued commits and cuts a
+// final checkpoint so a restart resumes from the freshest possible state.
+// Idempotent; synchronous-mode users may skip it.
+func (x *Executor) Close() {
+	x.mu.Lock()
+	started := x.started
+	x.started = false
+	x.mu.Unlock()
+	select {
+	case <-x.done:
+		return
+	default:
+	}
+	close(x.done)
+	if started {
+		x.wg.Wait()
+	}
+	x.mu.Lock()
+	if x.appliedSeq > 0 && x.sinceCkpt > 0 {
+		_, _ = x.checkpointLocked()
+	}
+	x.mu.Unlock()
+}

@@ -1,0 +1,136 @@
+package execution
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hammerhead/internal/types"
+)
+
+// ErrStaleSnapshot is returned by Install when the snapshot is no newer than
+// the executor's applied state (a responder can legitimately hold an older
+// checkpoint than the requester has already applied).
+var ErrStaleSnapshot = errors.New("execution: snapshot not newer than applied state")
+
+// Checkpoint identifies one execution checkpoint: the executor's cursor after
+// applying commit CommitSeq, whose anchor was at Round.
+type Checkpoint struct {
+	// Round is the anchor round of the last applied commit.
+	Round types.Round
+	// CommitSeq is the 1-based sequence number of the last applied commit.
+	CommitSeq uint64
+	// StateRoot is the executor's incremental root: a hash chained over every
+	// applied commit (H(prev, commit digest)). Equal roots at equal seq imply
+	// identical applied commit streams.
+	StateRoot types.Digest
+	// StateDigest is the state machine's own content digest at the
+	// checkpoint. Recomputed after a snapshot restore to verify the
+	// transferred bytes.
+	StateDigest types.Digest
+}
+
+// OrderedRef records one ordered vertex near the checkpoint boundary, so an
+// installing committer can skip vertices the snapshot already covers while
+// still ordering boundary stragglers exactly like live validators do.
+type OrderedRef struct {
+	Digest types.Digest
+	Round  types.Round
+}
+
+// Snapshot is one transferable checkpoint: identity, the ordered-vertex
+// window at the boundary, and the serialized state machine.
+type Snapshot struct {
+	Checkpoint
+	// Floor is the DAG retention floor after installing the snapshot: rounds
+	// below it are fully covered (pruned by the installer), rounds at or
+	// above it are re-fetched through certificate sync, with Ordered telling
+	// the committer which of their vertices the snapshot already applied —
+	// so boundary stragglers order identically to live validators.
+	Floor types.Round
+	// Ordered lists every ordered vertex with round >= Floor, sorted by
+	// (round, digest).
+	Ordered []OrderedRef
+	// Data is StateMachine.Snapshot() at the checkpoint.
+	Data []byte
+}
+
+// EncodeSnapshot serializes a snapshot for the wire or disk.
+func EncodeSnapshot(s Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("execution: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses an EncodeSnapshot blob.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("execution: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// sortOrderedRefs orders refs deterministically by (round, digest).
+func sortOrderedRefs(refs []OrderedRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Round != refs[j].Round {
+			return refs[i].Round < refs[j].Round
+		}
+		return bytes.Compare(refs[i].Digest[:], refs[j].Digest[:]) < 0
+	})
+}
+
+// SnapshotStore persists checkpoints. storage.SnapshotStore is the file
+// implementation real nodes use; MemoryStore serves tests and the
+// discrete-event simulator (which must not touch the filesystem).
+type SnapshotStore interface {
+	// Save persists a snapshot (replacing any with the same CommitSeq) and
+	// may prune older ones per its retention policy.
+	Save(Snapshot) error
+	// Latest returns the newest retained snapshot.
+	Latest() (Snapshot, bool)
+}
+
+// MemoryStore is an in-memory SnapshotStore retaining only the newest
+// snapshot. Safe for concurrent use.
+type MemoryStore struct {
+	mu     sync.Mutex
+	latest Snapshot
+	have   bool
+	saves  uint64
+}
+
+// NewMemoryStore returns an empty in-memory store.
+func NewMemoryStore() *MemoryStore { return &MemoryStore{} }
+
+// Save implements SnapshotStore.
+func (m *MemoryStore) Save(s Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.have || s.CommitSeq >= m.latest.CommitSeq {
+		m.latest = s
+		m.have = true
+	}
+	m.saves++
+	return nil
+}
+
+// Latest implements SnapshotStore.
+func (m *MemoryStore) Latest() (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latest, m.have
+}
+
+// Saves returns how many snapshots were saved (tests).
+func (m *MemoryStore) Saves() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.saves
+}

@@ -1,0 +1,210 @@
+// Package execution is the deterministic execution layer behind the commit
+// sink: consensus orders sub-DAGs, the Executor applies their transactions to
+// a pluggable StateMachine, and periodic checkpoints bound how much work a
+// recovering or newly joining validator must replay. Snapshot state-sync
+// (internal/engine's SnapshotRequest/SnapshotResponse) serves those
+// checkpoints to nodes that fell behind the DAG's GC horizon, where
+// certificate sync alone can no longer recover them.
+//
+// Everything in this package is a pure function of the commit stream: two
+// validators feeding identical commit sequences into identical state machines
+// reach identical (commit seq, state root) pairs — the property the simnet
+// convergence tests pin down, and the reason a snapshot taken on one
+// validator can be installed on another and verified by recomputing the
+// state digest.
+package execution
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"hammerhead/internal/types"
+)
+
+// StateMachine is the pluggable deterministic state the Executor drives. All
+// methods are called from a single goroutine (the executor's).
+type StateMachine interface {
+	// Apply executes one transaction. It must be deterministic: identical
+	// transaction sequences yield identical state on every validator.
+	Apply(tx *types.Transaction)
+	// Root returns a content digest of the full current state. Two state
+	// machines that applied the same transaction sequence must return the
+	// same root; it is recomputed after a snapshot Restore to verify the
+	// transferred bytes.
+	Root() types.Digest
+	// Snapshot serializes the full state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the state from a snapshot. It must be all-or-nothing:
+	// on error the previous state is left intact.
+	Restore(data []byte) error
+}
+
+// Op bytes of the KVState transaction encoding.
+const (
+	opPut    = 'P'
+	opDelete = 'D'
+)
+
+// MaxKeyLen is the largest key PutOp/DeleteOp can encode (the key length is
+// a uint16 prefix).
+const MaxKeyLen = 1<<16 - 1
+
+// PutOp encodes a put of value under key as a KVState transaction payload.
+// Panics on keys longer than MaxKeyLen — silently truncating the length
+// prefix would make the op apply to a different key.
+func PutOp(key, value []byte) []byte {
+	if len(key) > MaxKeyLen {
+		panic(fmt.Sprintf("execution: key length %d exceeds MaxKeyLen %d", len(key), MaxKeyLen))
+	}
+	out := make([]byte, 3+len(key)+len(value))
+	out[0] = opPut
+	binary.BigEndian.PutUint16(out[1:3], uint16(len(key)))
+	copy(out[3:], key)
+	copy(out[3+len(key):], value)
+	return out
+}
+
+// DeleteOp encodes a delete of key as a KVState transaction payload. Panics
+// on keys longer than MaxKeyLen (see PutOp).
+func DeleteOp(key []byte) []byte {
+	if len(key) > MaxKeyLen {
+		panic(fmt.Sprintf("execution: key length %d exceeds MaxKeyLen %d", len(key), MaxKeyLen))
+	}
+	out := make([]byte, 3+len(key))
+	out[0] = opDelete
+	binary.BigEndian.PutUint16(out[1:3], uint16(len(key)))
+	copy(out[3:], key)
+	return out
+}
+
+// kvEntry is one ledger cell: the value and the (global) op version that last
+// wrote it, making the ledger a versioned KV store whose digest commits to
+// write order, not only final values.
+type kvEntry struct {
+	Value   []byte
+	Version uint64
+}
+
+// KVState is the built-in StateMachine: a versioned key-value ledger that
+// parses transaction payloads as put/delete ops (see PutOp/DeleteOp).
+// Payloads that do not parse — including the empty payloads the latency
+// experiments submit — are counted but have no KV effect, so any transaction
+// stream is accepted.
+type KVState struct {
+	entries map[string]kvEntry
+	// version counts applied KV ops; opaque counts non-KV transactions. Both
+	// are part of the root, so state divergence is visible even for streams
+	// of unparsable payloads.
+	version uint64
+	opaque  uint64
+}
+
+// NewKVState returns an empty ledger.
+func NewKVState() *KVState {
+	return &KVState{entries: make(map[string]kvEntry)}
+}
+
+// Apply implements StateMachine.
+func (s *KVState) Apply(tx *types.Transaction) {
+	p := tx.Payload
+	if len(p) < 3 {
+		s.opaque++
+		return
+	}
+	keyLen := int(binary.BigEndian.Uint16(p[1:3]))
+	if len(p) < 3+keyLen {
+		s.opaque++
+		return
+	}
+	key := string(p[3 : 3+keyLen])
+	switch p[0] {
+	case opPut:
+		s.version++
+		// Copy the value: payloads are shared with the mempool/DAG.
+		s.entries[key] = kvEntry{
+			Value:   append([]byte(nil), p[3+keyLen:]...),
+			Version: s.version,
+		}
+	case opDelete:
+		s.version++
+		delete(s.entries, key)
+	default:
+		s.opaque++
+	}
+}
+
+// Get returns the current value under key.
+func (s *KVState) Get(key []byte) ([]byte, bool) {
+	e, ok := s.entries[string(key)]
+	return e.Value, ok
+}
+
+// Len returns the number of live keys.
+func (s *KVState) Len() int { return len(s.entries) }
+
+// Version returns the number of KV ops applied.
+func (s *KVState) Version() uint64 { return s.version }
+
+// Root implements StateMachine: a digest over the sorted entry set and the
+// op counters. Cost is O(n log n) in live keys; it is computed at checkpoint
+// and install time, not per transaction (the per-commit chain lives in the
+// Executor).
+func (s *KVState) Root() types.Digest {
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([][]byte, 0, 3*len(keys)+1)
+	var counters [16]byte
+	binary.BigEndian.PutUint64(counters[:8], s.version)
+	binary.BigEndian.PutUint64(counters[8:], s.opaque)
+	parts = append(parts, counters[:])
+	for _, k := range keys {
+		e := s.entries[k]
+		var ver [8]byte
+		binary.BigEndian.PutUint64(ver[:], e.Version)
+		parts = append(parts, []byte(k), ver[:], e.Value)
+	}
+	return types.HashBytes(parts...)
+}
+
+// kvSnapshot is the gob wire form of a KVState.
+type kvSnapshot struct {
+	Entries map[string]kvEntry
+	Version uint64
+	Opaque  uint64
+}
+
+// Snapshot implements StateMachine.
+func (s *KVState) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(kvSnapshot{
+		Entries: s.entries,
+		Version: s.version,
+		Opaque:  s.opaque,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("execution: encoding KV snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements StateMachine. Decoding happens into fresh structures, so
+// a corrupt snapshot leaves the previous state untouched.
+func (s *KVState) Restore(data []byte) error {
+	var snap kvSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("execution: decoding KV snapshot: %w", err)
+	}
+	if snap.Entries == nil {
+		snap.Entries = make(map[string]kvEntry)
+	}
+	s.entries = snap.Entries
+	s.version = snap.Version
+	s.opaque = snap.Opaque
+	return nil
+}

@@ -1,0 +1,112 @@
+package execution
+
+import (
+	"fmt"
+
+	"hammerhead/internal/engine"
+	"hammerhead/internal/types"
+)
+
+// LatestSnapshot implements engine.SnapshotProvider: the newest checkpoint,
+// encoded for the wire. Serving reads the in-memory copy the executor kept
+// from its last checkpoint or install — falling back to the store only once
+// (a restarted process that has not checkpointed yet) — and the encoding is
+// cached per commit sequence, so per-chunk requests cost a slice, not a
+// store read or re-encode.
+func (x *Executor) LatestSnapshot() (engine.SnapshotMeta, []byte, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if !x.haveLatest {
+		snap, ok := x.cfg.Store.Latest()
+		if !ok || snap.CommitSeq == 0 {
+			return engine.SnapshotMeta{}, nil, false
+		}
+		x.latest = snap
+		x.haveLatest = true
+	}
+	return x.serveLocked(x.latest)
+}
+
+// SnapshotAt implements engine.SnapshotProvider: the retained checkpoint at
+// exactly the given anchor round, so a peer fetching the previous checkpoint
+// can finish after we rotate to a newer one.
+func (x *Executor) SnapshotAt(round types.Round) (engine.SnapshotMeta, []byte, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.haveLatest && x.latest.Round == round {
+		return x.serveLocked(x.latest)
+	}
+	if x.havePrev && x.prev.Round == round {
+		return x.serveLocked(x.prev)
+	}
+	return engine.SnapshotMeta{}, nil, false
+}
+
+func (x *Executor) serveLocked(snap Snapshot) (engine.SnapshotMeta, []byte, bool) {
+	if snap.CommitSeq == 0 {
+		return engine.SnapshotMeta{}, nil, false
+	}
+	blob, ok := x.served[snap.CommitSeq]
+	if !ok {
+		var err error
+		blob, err = EncodeSnapshot(snap)
+		if err != nil {
+			return engine.SnapshotMeta{}, nil, false
+		}
+		x.served[snap.CommitSeq] = blob
+	}
+	return engine.SnapshotMeta{
+		Round:       snap.Round,
+		CommitSeq:   snap.CommitSeq,
+		StateRoot:   snap.StateRoot,
+		StateDigest: snap.StateDigest,
+	}, blob, true
+}
+
+// InstallFromWire is the engine's InstallSnapshot hook: decode the fetched
+// blob, cross-check it against the metadata the responder advertised, verify
+// and install it into the executor, and tell the engine how far to
+// fast-forward. A corrupted chunk fails here — either the decode, the
+// metadata cross-check, or the executor's state-digest recomputation.
+func (x *Executor) InstallFromWire(meta engine.SnapshotMeta, data []byte) (*engine.SnapshotInstall, error) {
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Round != meta.Round || snap.CommitSeq != meta.CommitSeq ||
+		snap.StateRoot != meta.StateRoot || snap.StateDigest != meta.StateDigest {
+		return nil, fmt.Errorf("execution: snapshot payload does not match advertised checkpoint (round %d/%d seq %d/%d)",
+			snap.Round, meta.Round, snap.CommitSeq, meta.CommitSeq)
+	}
+	if err := x.Install(snap); err != nil {
+		return nil, err
+	}
+	return snapshotInstallPlan(snap), nil
+}
+
+// snapshotInstallPlan converts a verified snapshot into the engine's
+// fast-forward instruction.
+func snapshotInstallPlan(snap Snapshot) *engine.SnapshotInstall {
+	ordered := make([]engine.OrderedVertex, len(snap.Ordered))
+	for i, ref := range snap.Ordered {
+		ordered[i] = engine.OrderedVertex{Digest: ref.Digest, Round: ref.Round}
+	}
+	return &engine.SnapshotInstall{PruneTo: snap.Floor, Ordered: ordered}
+}
+
+// InstallLocal installs a locally persisted snapshot (node restart) into the
+// executor and returns the engine fast-forward plan plus the checkpoint
+// metadata. Used before WAL replay so a node that slept past the GC horizon
+// resumes from its own checkpoint instead of an unrecoverable gap.
+func (x *Executor) InstallLocal(snap Snapshot) (engine.SnapshotMeta, *engine.SnapshotInstall, error) {
+	if err := x.Install(snap); err != nil {
+		return engine.SnapshotMeta{}, nil, err
+	}
+	meta := engine.SnapshotMeta{
+		Round:       snap.Round,
+		CommitSeq:   snap.CommitSeq,
+		StateRoot:   snap.StateRoot,
+		StateDigest: snap.StateDigest,
+	}
+	return meta, snapshotInstallPlan(snap), nil
+}

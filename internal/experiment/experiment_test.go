@@ -3,6 +3,8 @@ package experiment
 import (
 	"testing"
 	"time"
+
+	"hammerhead/internal/engine"
 )
 
 func TestSummarizeLatencies(t *testing.T) {
@@ -171,20 +173,32 @@ func TestCatchUpScenarioPreset(t *testing.T) {
 		t.Fatalf("recovery window implausible: crash=%v recover=%v duration=%v",
 			s.CrashAt, s.RecoverAt, s.Duration)
 	}
-	if s.GCDepthRounds < 1024 {
-		t.Fatalf("catch-up preset must retain deep history, GCDepthRounds=%d", s.GCDepthRounds)
+	// The raised-GCDepthRounds workaround is gone: recovery beyond the
+	// horizon goes through snapshot state-sync, so the preset must run at
+	// the DEFAULT retention depth with execution enabled.
+	if s.GCDepthRounds != 0 {
+		t.Fatalf("catch-up preset must use the default GC depth, GCDepthRounds=%d", s.GCDepthRounds)
 	}
-	if s.EngineConfig().GCDepth != s.GCDepthRounds {
-		t.Fatal("EngineConfig did not thread GCDepthRounds")
+	if !s.Execution {
+		t.Fatal("catch-up preset must enable the execution subsystem")
+	}
+	if s.EngineConfig().GCDepth != engine.DefaultConfig().GCDepth {
+		t.Fatalf("EngineConfig GCDepth = %d, want default %d",
+			s.EngineConfig().GCDepth, engine.DefaultConfig().GCDepth)
 	}
 }
 
 func TestRunCatchUpScenario(t *testing.T) {
-	// A shrunk catch-up run end to end: crashed validators recover far
-	// behind a loaded committee and the run must keep executing throughout.
+	// A shrunk catch-up run end to end: the crashed validator recovers far
+	// beyond the default GC horizon, rejoins via snapshot state-sync, and
+	// every live validator ends on the same state root.
 	s := NewCatchUpScenario(Bullshark, 4, 1, 300)
-	s.Duration = 40 * time.Second
+	// Shrink the run but keep the outage far past the default GC horizon
+	// (~2.4 rounds/s geo cadence: a ~38s outage is ~90 rounds >> GCDepth 50).
+	s.Duration = 60 * time.Second
 	s.Warmup = 10 * time.Second
+	s.CrashAt = 3 * time.Second
+	s.RecoverAt = 42 * time.Second
 	res, err := Run(s)
 	if err != nil {
 		t.Fatal(err)
@@ -194,6 +208,38 @@ func TestRunCatchUpScenario(t *testing.T) {
 	}
 	if res.LastOrderedRound < 50 {
 		t.Fatalf("committee barely progressed: last ordered round %d", res.LastOrderedRound)
+	}
+	if res.SnapshotInstalls < 1 {
+		t.Fatalf("recovery at default GC depth requires a snapshot install: %+v", res)
+	}
+	if !res.StateRootsAgree || res.StateRootsCompared < 4 {
+		t.Fatalf("state roots diverged (agree=%v compared=%d at seq %d)",
+			res.StateRootsAgree, res.StateRootsCompared, res.MinAppliedSeq)
+	}
+}
+
+func TestRunSnapshotCatchUpScenario(t *testing.T) {
+	s := NewSnapshotCatchUpScenario(Bullshark, 4, 1, 300)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Duration = 60 * time.Second
+	s.Warmup = 10 * time.Second
+	s.CrashAt = 3 * time.Second
+	s.RecoverAt = s.Duration * 7 / 10
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SnapshotInstalls < 1 {
+		t.Fatalf("snapshot catch-up scenario installed no snapshots: %+v", res)
+	}
+	if !res.StateRootsAgree || res.MinAppliedSeq == 0 || res.StateRootsCompared < 4 {
+		t.Fatalf("state roots diverged (agree=%v compared=%d at seq %d)",
+			res.StateRootsAgree, res.StateRootsCompared, res.MinAppliedSeq)
+	}
+	if res.Executed == 0 {
+		t.Fatal("snapshot catch-up run executed nothing")
 	}
 }
 

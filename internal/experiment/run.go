@@ -42,6 +42,20 @@ type Result struct {
 	LastOrderedRound types.Round
 	// SimEvents is the number of simulation events processed (cost metric).
 	SimEvents uint64
+
+	// Execution/state-sync results (Scenario.Execution only).
+	// SnapshotInstalls counts snapshots installed across the cluster.
+	SnapshotInstalls uint64
+	// MinAppliedSeq is the lowest commit sequence applied by any validator
+	// alive at the end of the run. StateRootsAgree reports whether every
+	// such validator whose root ring still covers that sequence chained the
+	// same state root there; StateRootsCompared counts how many were
+	// comparable (a laggard more than the ring size behind the frontier —
+	// e.g. a HammerHead-scheduled absentee that cannot snapshot-sync —
+	// makes live validators' rings expire, which is lag, not divergence).
+	MinAppliedSeq      uint64
+	StateRootsAgree    bool
+	StateRootsCompared int
 }
 
 // observer is the validator where latency and throughput are measured. It
@@ -125,13 +139,15 @@ func Run(s Scenario) (Result, error) {
 	}
 
 	cluster, err := simnet.NewCluster(simnet.ClusterConfig{
-		Committee:     committee,
-		Engine:        s.EngineConfig(),
-		Latency:       simnet.NewGeo(s.N),
-		NewScheduler:  factory,
-		MempoolShards: s.MempoolShards,
-		OnCommit:      hook,
-		Seed:          s.Seed,
+		Committee:          committee,
+		Engine:             s.EngineConfig(),
+		Latency:            simnet.NewGeo(s.N),
+		NewScheduler:       factory,
+		MempoolShards:      s.MempoolShards,
+		OnCommit:           hook,
+		Execution:          s.Execution,
+		CheckpointInterval: s.CheckpointCommits,
+		Seed:               s.Seed,
 	})
 	if err != nil {
 		return Result{}, err
@@ -180,7 +196,53 @@ func Run(s Scenario) (Result, error) {
 		res.ScheduleSwitches = m.SwitchCount()
 		res.Excluded = m.Excluded()
 	}
+	if s.Execution {
+		collectExecutionResults(cluster, s, &res)
+	}
 	return res, nil
+}
+
+// collectExecutionResults sums snapshot installs and checks state-root
+// agreement at the lowest applied sequence among end-of-run-live validators
+// (permanently crashed ones are excluded: they stopped mid-stream).
+func collectExecutionResults(cluster *simnet.Cluster, s Scenario, res *Result) {
+	crashedForever := map[types.ValidatorID]bool{}
+	if s.RecoverAt <= 0 {
+		for i := 0; i < s.Faults; i++ {
+			crashedForever[types.ValidatorID(s.N-1-i)] = true
+		}
+	}
+	minSeq := ^uint64(0)
+	var live []types.ValidatorID
+	for i := 0; i < s.N; i++ {
+		id := types.ValidatorID(i)
+		res.SnapshotInstalls += cluster.Engine(id).Stats().SnapshotInstalls
+		if crashedForever[id] {
+			continue
+		}
+		live = append(live, id)
+		if seq := cluster.Executor(id).AppliedSeq(); seq < minSeq {
+			minSeq = seq
+		}
+	}
+	if len(live) == 0 || minSeq == 0 || minSeq == ^uint64(0) {
+		return
+	}
+	res.MinAppliedSeq = minSeq
+	res.StateRootsAgree = true
+	var ref types.Digest
+	for _, id := range live {
+		root, ok := cluster.Executor(id).RootAt(minSeq)
+		if !ok {
+			continue // ring expired: lag, not divergence
+		}
+		if res.StateRootsCompared == 0 {
+			ref = root
+		} else if root != ref {
+			res.StateRootsAgree = false
+		}
+		res.StateRootsCompared++
+	}
 }
 
 // startLoad schedules the open-loop client stream: total rate LoadTxPerSec,

@@ -74,11 +74,22 @@ type Scenario struct {
 	// the machine).
 	MempoolShards int
 	// GCDepthRounds overrides the engine's DAG retention window (0 keeps
-	// the default). Recovery scenarios raise it so a validator rejoining
-	// after a long outage finds its missing history still retained by peers;
-	// recovery beyond the GC horizon requires checkpoint state-sync, which
-	// is out of scope here as it is in Narwhal itself (DESIGN.md §4).
+	// the default). Pre-snapshot recovery scenarios had to raise it so a
+	// validator rejoining after a long outage found its missing history
+	// still retained by peers; with Execution enabled, recovery beyond the
+	// GC horizon goes through checkpoint state-sync instead and the default
+	// depth suffices.
 	GCDepthRounds uint64
+
+	// Execution attaches a deterministic executor (KV ledger + periodic
+	// checkpoints) to every validator and enables snapshot state-sync.
+	// Requesting snapshots additionally requires the Bullshark mechanism
+	// (round-robin schedules fast-forward; HammerHead's reputation state is
+	// not carried in snapshots yet).
+	Execution bool
+	// CheckpointCommits is the number of commits between checkpoints
+	// (0 = execution default). Ignored without Execution.
+	CheckpointCommits uint64
 
 	// Execution capacity model: service time per transaction is
 	// ExecBaseTxCost + ExecPerValidatorCost*N, calibrating the saturation
@@ -177,18 +188,38 @@ func NewHighLoadScenario(m Mechanism, n, faults int, loadTxPerSec float64) Scena
 // catch-up machinery under sustained load: faults validators crash shortly
 // after genesis and recover at 60% of the run, far behind a committee that
 // kept committing at high-load pacing the whole time. The recovering
-// validators must range-sync hundreds of rounds of certificates while live
-// traffic keeps arriving — the burst the engine's two-stage pipeline absorbs
-// on real nodes (ingest keeps draining sync responses while the order stage
-// works through the backlog). GCDepthRounds is raised so peers still retain
-// the missing history.
+// validators must re-sync hundreds of rounds while live traffic keeps
+// arriving — the burst the engine's two-stage pipeline absorbs on real
+// nodes. Execution is on and GC runs at the DEFAULT depth: the gap exceeds
+// the horizon, so recovery goes through snapshot state-sync (the old
+// raised-GCDepthRounds workaround is gone). Use the Bullshark mechanism for
+// full recovery; under HammerHead the recovering validators stay behind
+// (reputation schedules cannot fast-forward yet).
 func NewCatchUpScenario(m Mechanism, n, faults int, loadTxPerSec float64) Scenario {
 	s := NewScenario(m, n, faults, loadTxPerSec)
 	s.Name = fmt.Sprintf("%s-catchup-n%d-f%d-load%.0f", m, n, faults, loadTxPerSec)
 	s.MinRoundDelay = 150 * time.Millisecond
 	s.CrashAt = 5 * time.Second
 	s.RecoverAt = s.Duration * 3 / 5
-	s.GCDepthRounds = 2048
+	s.Execution = true
+	s.CheckpointCommits = 16
+	return s
+}
+
+// NewSnapshotCatchUpScenario returns the snapshot state-sync stress
+// scenario: like NewCatchUpScenario but with a longer outage (crash early,
+// recover at 70% of the run) and frequent checkpoints, guaranteeing the
+// recovering validators are far past the GC horizon and MUST install a
+// snapshot to rejoin. Measure Result.SnapshotInstalls and
+// Result.StateRootsAgree.
+func NewSnapshotCatchUpScenario(m Mechanism, n, faults int, loadTxPerSec float64) Scenario {
+	s := NewScenario(m, n, faults, loadTxPerSec)
+	s.Name = fmt.Sprintf("%s-snapcatchup-n%d-f%d-load%.0f", m, n, faults, loadTxPerSec)
+	s.MinRoundDelay = 100 * time.Millisecond
+	s.CrashAt = 3 * time.Second
+	s.RecoverAt = s.Duration * 7 / 10
+	s.Execution = true
+	s.CheckpointCommits = 8
 	return s
 }
 

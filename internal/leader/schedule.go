@@ -209,5 +209,13 @@ func (r *RoundRobin) MaybeSwitch(AnchorInfo) bool { return false }
 // OnAnchorOrdered implements Scheduler; the baseline ignores commits.
 func (r *RoundRobin) OnAnchorOrdered(AnchorInfo) {}
 
+// FastForwardTo implements the engine's snapshot fast-forward: the static
+// schedule already covers every round, so jumping past unseen ordering
+// history needs no state adjustment. HammerHead's core.Manager deliberately
+// does NOT implement this — its reputation state is a function of the commit
+// history a snapshot-synced node never saw — which is what gates snapshot
+// state-sync to round-robin-scheduled deployments for now.
+func (r *RoundRobin) FastForwardTo(types.Round) {}
+
 // History exposes the (single-entry) schedule history.
 func (r *RoundRobin) History() *History { return r.history }

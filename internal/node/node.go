@@ -15,6 +15,7 @@ import (
 	"hammerhead/internal/crypto"
 	"hammerhead/internal/dag"
 	"hammerhead/internal/engine"
+	"hammerhead/internal/execution"
 	"hammerhead/internal/leader"
 	"hammerhead/internal/mempool"
 	"hammerhead/internal/metrics"
@@ -54,6 +55,20 @@ type Config struct {
 	MempoolShards int
 	// OnCommit receives ordered sub-DAGs (may be nil).
 	OnCommit CommitHandler
+	// Execution enables the execution subsystem: a deterministic state
+	// machine (execution.KVState) consumes the commit stream on its own
+	// goroutine, cuts periodic checkpoints, serves them to state-syncing
+	// peers, and lets THIS node recover via snapshot install when it falls
+	// beyond the committee's GC horizon. Requesting snapshots is additionally
+	// gated on the scheduler: the round-robin baseline supports the
+	// fast-forward, HammerHead's reputation scheduler does not yet.
+	Execution bool
+	// CheckpointInterval is the number of commits between checkpoints
+	// (0 = execution.DefaultCheckpointInterval). Ignored without Execution.
+	CheckpointInterval uint64
+	// SnapshotDir persists checkpoints for crash-recovery and serving
+	// (empty = in-memory only). Ignored without Execution.
+	SnapshotDir string
 	// Metrics, when non-nil, receives node counters.
 	Metrics *metrics.Registry
 }
@@ -65,6 +80,10 @@ type Node struct {
 	pool  *mempool.Pool
 	trans transport.Transport
 	wal   *storage.WAL
+	// exec is the execution subsystem (nil when Config.Execution is off):
+	// commits fan out to it from the commit loop, it applies them on its own
+	// goroutine and owns checkpointing and snapshot install.
+	exec *execution.Executor
 
 	// Pre-verify stage: inbound signature-bearing messages are validated by
 	// preWorkers goroutines pulling from preq, off the engine loop, before
@@ -174,6 +193,23 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		Scheduler:  sched,
 		DAG:        d,
 		Commits:    engine.CommitSinkFunc(n.sinkCommit),
+	}
+	if cfg.Execution {
+		var store execution.SnapshotStore
+		if cfg.SnapshotDir != "" {
+			fileStore, err := storage.NewSnapshotStore(cfg.SnapshotDir, 0)
+			if err != nil {
+				return nil, fmt.Errorf("node: opening snapshot store: %w", err)
+			}
+			store = fileStore
+		}
+		n.exec = execution.NewExecutor(execution.NewKVState(), execution.Config{
+			CheckpointInterval: cfg.CheckpointInterval,
+			Store:              store,
+			Metrics:            cfg.Metrics,
+		})
+		params.Snapshots = n.exec
+		params.InstallSnapshot = n.exec.InstallFromWire
 	}
 	if cfg.WALPath != "" {
 		n.walq = make(chan *engine.Certificate, 1024)
@@ -304,6 +340,12 @@ func (n *Node) deliverCommit(sub bullshark.CommittedSubDAG, replayed bool) {
 	if n.commitsMetric != nil {
 		n.commitsMetric.Inc()
 		n.txsMetric.Add(uint64(sub.TxCount()))
+	}
+	if n.exec != nil {
+		// The executor dedupes by commit sequence, so replayed commits that
+		// were already applied (from a pre-crash run resumed via a local
+		// snapshot) fall out naturally.
+		n.exec.Submit(sub)
 	}
 	if n.cfg.OnCommit != nil {
 		n.cfg.OnCommit(sub, replayed)
@@ -441,6 +483,9 @@ func (n *Node) Start() error {
 	}
 	n.commitWg.Add(1)
 	go n.commitLoop()
+	if n.exec != nil {
+		n.exec.Start()
+	}
 
 	var walErr error
 	startup := make(chan struct{})
@@ -450,6 +495,24 @@ func (n *Node) Start() error {
 		// built, but nothing is transmitted until recovery finishes (peers
 		// would see a stale duplicate).
 		n.replaying.Store(true)
+
+		// A locally persisted checkpoint fast-forwards executor and engine
+		// BEFORE WAL replay: certificates below the snapshot's floor are
+		// covered by it (the replay drops them), and commits re-derived above
+		// the checkpoint sequence re-apply idempotently. This is how a node
+		// that slept past the committee's GC horizon resumes from its own
+		// state instead of an unrecoverable certificate gap. Under the
+		// HammerHead scheduler the engine fast-forward is a no-op (reputation
+		// state cannot jump) — the executor still restores, and WAL replay
+		// rebuilds ordering with the sequence dedupe absorbing re-derived
+		// commits.
+		if n.exec != nil {
+			if snap, ok := n.exec.Store().Latest(); ok {
+				if meta, install, err := n.exec.InstallLocal(snap); err == nil {
+					n.dispatch(n.eng.FastForwardToSnapshot(meta, install, time.Now().UnixNano()), false)
+				}
+			}
+		}
 		initOut := n.eng.Init(time.Now().UnixNano())
 
 		if n.cfg.WALPath != "" {
@@ -457,7 +520,8 @@ func (n *Node) Start() error {
 			// message path. Commits are re-derived deterministically and
 			// reach the handler through the sink flagged replayed; no
 			// messages go out (outputs suppressed).
-			walErr = storage.Replay(n.cfg.WALPath, func(cert *engine.Certificate) error {
+			var validBytes int64
+			validBytes, walErr = storage.ReplayPrefix(n.cfg.WALPath, func(cert *engine.Certificate) error {
 				n.eng.OnMessage(n.cfg.Self, &engine.Message{
 					Kind: engine.KindCertificate,
 					Cert: cert,
@@ -467,7 +531,10 @@ func (n *Node) Start() error {
 			if walErr != nil {
 				return
 			}
-			wal, err := storage.OpenWAL(n.cfg.WALPath)
+			// Reuse the replay's measured prefix: the open truncates any torn
+			// tail without re-scanning the file (appending after garbage
+			// would strand everything written after it at the NEXT replay).
+			wal, err := storage.OpenWALTrimmed(n.cfg.WALPath, validBytes)
 			if err != nil {
 				walErr = err
 				return
@@ -482,6 +549,20 @@ func (n *Node) Start() error {
 		n.eng.Flush()
 		n.replaying.Store(false)
 		n.dispatch(initOut, true)
+		// Nudge the engine at its post-replay round: proposals made and timers
+		// armed while replaying were never transmitted (outputs suppressed),
+		// but the engine's bookkeeping believes the timers exist. A single
+		// recovering node gets pulled forward by the live frontier anyway,
+		// but on a full-committee restart every peer is in the same position
+		// — without these, identical WALs wedge the whole committee (round
+		// pulls find nothing new, nobody re-sends its header, and a
+		// leader-wait armed during replay blocks forever because its timer
+		// was discarded with the replay output).
+		nudge := time.Now().UnixNano()
+		round := uint64(n.eng.Round())
+		n.dispatch(n.eng.OnTimer(engine.Timer{Kind: engine.TimerHeaderRetry, Round: round}, nudge), true)
+		n.dispatch(n.eng.OnTimer(engine.Timer{Kind: engine.TimerRoundDelay, Round: round}, nudge), true)
+		n.dispatch(n.eng.OnTimer(engine.Timer{Kind: engine.TimerLeader, Round: round}, nudge), true)
 	})
 	<-startup
 	if walErr != nil {
@@ -501,6 +582,10 @@ func (n *Node) Submit(tx types.Transaction) error {
 // Engine exposes the engine for stats and inspection (reads must happen
 // from commit handlers or after Close, as the loop owns the engine).
 func (n *Node) Engine() *engine.Engine { return n.eng }
+
+// Executor exposes the execution subsystem (nil when Config.Execution is
+// off). Its status accessors are safe for concurrent use.
+func (n *Node) Executor() *execution.Executor { return n.exec }
 
 // Pool exposes the mempool.
 func (n *Node) Pool() *mempool.Pool { return n.pool }
@@ -528,6 +613,11 @@ func (n *Node) Close() error {
 	n.eng.Close()
 	close(n.commitq)
 	n.commitWg.Wait()
+	if n.exec != nil {
+		// After the commit loop drained nothing submits anymore; the
+		// executor applies its backlog and cuts a final checkpoint.
+		n.exec.Close()
+	}
 	if n.walq != nil {
 		close(n.walq)
 		n.walWg.Wait()

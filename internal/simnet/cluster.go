@@ -8,6 +8,7 @@ import (
 	"hammerhead/internal/crypto"
 	"hammerhead/internal/dag"
 	"hammerhead/internal/engine"
+	"hammerhead/internal/execution"
 	"hammerhead/internal/leader"
 	"hammerhead/internal/mempool"
 	"hammerhead/internal/types"
@@ -39,6 +40,19 @@ type ClusterConfig struct {
 	MempoolShards int
 	// OnCommit observes commits (may be nil).
 	OnCommit CommitHook
+	// OnInsert observes every certificate a validator accepts into its DAG,
+	// in insertion order — the trace recorder behind the pipeline
+	// determinism test and the standalone executor replay bench.
+	OnInsert func(node types.ValidatorID, cert *engine.Certificate)
+	// Execution attaches a deterministic executor (execution.KVState behind
+	// an in-memory snapshot store) to every validator's commit sink, applied
+	// synchronously in virtual time, and wires snapshot state-sync
+	// serve/install through the engines. Requesting snapshots additionally
+	// requires a fast-forwardable scheduler (the round-robin baseline).
+	Execution bool
+	// CheckpointInterval is the number of commits between checkpoints
+	// (0 = execution default). Ignored without Execution.
+	CheckpointInterval uint64
 	// Seed drives all simulation randomness.
 	Seed int64
 	// DropRate silently discards this fraction of messages (0..1),
@@ -56,6 +70,10 @@ type Cluster struct {
 
 	engines []*engine.Engine
 	pools   []*mempool.Pool
+	// execs holds each validator's executor when ClusterConfig.Execution is
+	// set (nil entries otherwise). Applied synchronously inside the commit
+	// sink, so executor state always reflects a definite virtual instant.
+	execs []*execution.Executor
 	// keys holds each validator's signing keys; fault injection that forges
 	// protocol artifacts a real Byzantine validator could produce (e.g.
 	// quorum-voted certificates over unchecked header fields) signs with
@@ -108,6 +126,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		latency:   cfg.Latency,
 		onCommit:  cfg.OnCommit,
 		dropRate:  cfg.DropRate,
+		insertTap: cfg.OnInsert,
 	}
 	for i := range c.crashedAt {
 		c.crashedAt[i] = -1
@@ -149,7 +168,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, fmt.Errorf("simnet: building scheduler for v%d: %w", i, err)
 		}
 		id := types.ValidatorID(i)
-		eng, err := engine.New(engine.Params{
+		var exec *execution.Executor
+		if cfg.Execution {
+			exec = execution.NewExecutor(execution.NewKVState(), execution.Config{
+				CheckpointInterval: cfg.CheckpointInterval,
+			})
+		}
+		params := engine.Params{
 			Config:     cfg.Engine,
 			Committee:  cfg.Committee,
 			Self:       id,
@@ -161,16 +186,25 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			// Serial engines invoke the sink synchronously inside the step,
 			// so Sim.Now() is the commit's virtual time.
 			Commits: engine.CommitSinkFunc(func(sub bullshark.CommittedSubDAG) {
+				if exec != nil {
+					exec.ApplyCommit(sub)
+				}
 				if c.onCommit != nil {
 					c.onCommit(id, sub, c.Sim.Now())
 				}
 			}),
-		})
+		}
+		if exec != nil {
+			params.Snapshots = exec
+			params.InstallSnapshot = exec.InstallFromWire
+		}
+		eng, err := engine.New(params)
 		if err != nil {
 			return nil, fmt.Errorf("simnet: building engine for v%d: %w", i, err)
 		}
 		c.engines = append(c.engines, eng)
 		c.pools = append(c.pools, pool)
+		c.execs = append(c.execs, exec)
 	}
 	if cfg.Engine.VerifySignatures {
 		c.prevers = make([]*engine.PreVerifier, n)
@@ -195,6 +229,10 @@ func (c *Cluster) Engine(id types.ValidatorID) *engine.Engine { return c.engines
 
 // Pool returns validator id's mempool.
 func (c *Cluster) Pool(id types.ValidatorID) *mempool.Pool { return c.pools[id] }
+
+// Executor returns validator id's executor (nil unless the cluster was built
+// with ClusterConfig.Execution).
+func (c *Cluster) Executor(id types.ValidatorID) *execution.Executor { return c.execs[id] }
 
 // Size returns the committee size.
 func (c *Cluster) Size() int { return len(c.engines) }

@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"hammerhead/internal/execution"
+)
+
+// SnapshotStore persists execution checkpoints as one file per snapshot
+// under a directory, with atomic write-temp-rename publication and a
+// retention knob. It implements execution.SnapshotStore; real nodes plug it
+// into their executor so checkpoints survive restarts and can be served to
+// state-syncing peers.
+//
+// File layout: checkpoint-<commitseq>.snap, body = 4-byte length + 4-byte
+// CRC32C + the execution snapshot encoding (same framing discipline as the
+// WAL). A corrupt file is skipped on load — the next older snapshot wins.
+type SnapshotStore struct {
+	mu     sync.Mutex
+	dir    string
+	retain int
+}
+
+var _ execution.SnapshotStore = (*SnapshotStore)(nil)
+
+// DefaultSnapshotRetain is how many checkpoints are kept when the retention
+// knob is zero: the latest to serve and one predecessor as a fallback
+// against a torn latest.
+const DefaultSnapshotRetain = 2
+
+// NewSnapshotStore opens (creating if needed) a snapshot directory keeping
+// the newest retain checkpoints (0 = DefaultSnapshotRetain).
+func NewSnapshotStore(dir string, retain int) (*SnapshotStore, error) {
+	if retain <= 0 {
+		retain = DefaultSnapshotRetain
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating snapshot directory: %w", err)
+	}
+	return &SnapshotStore{dir: dir, retain: retain}, nil
+}
+
+// Dir returns the store's directory.
+func (s *SnapshotStore) Dir() string { return s.dir }
+
+func snapshotFileName(commitSeq uint64) string {
+	return fmt.Sprintf("checkpoint-%020d.snap", commitSeq)
+}
+
+// Save implements execution.SnapshotStore: atomic temp-write-rename, then
+// retention pruning. A crash at any point leaves either the old set or the
+// old set plus the complete new file.
+func (s *SnapshotStore) Save(snap execution.Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body, err := execution.EncodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	framed := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint32(framed[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(framed[4:8], crc32.Checksum(body, _crcTable))
+	copy(framed[8:], body)
+
+	final := filepath.Join(s.dir, snapshotFileName(snap.CommitSeq))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, framed, 0o644); err != nil {
+		return fmt.Errorf("storage: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("storage: publishing snapshot: %w", err)
+	}
+	s.pruneLocked()
+	return nil
+}
+
+// pruneLocked removes everything but the newest retain snapshots (and any
+// stray temp files).
+func (s *SnapshotStore) pruneLocked() {
+	names := s.snapshotNamesLocked()
+	for i := 0; i < len(names)-s.retain; i++ {
+		_ = os.Remove(filepath.Join(s.dir, names[i]))
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+}
+
+// snapshotNamesLocked lists snapshot files sorted ascending by name — the
+// zero-padded sequence number makes that commit-sequence order.
+func (s *SnapshotStore) snapshotNamesLocked() []string {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "checkpoint-") && strings.HasSuffix(name, ".snap") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Latest implements execution.SnapshotStore: the newest decodable snapshot.
+// Corrupt files (torn writes from a crash, bit rot caught by the CRC) are
+// skipped in favor of the next older one.
+func (s *SnapshotStore) Latest() (execution.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := s.snapshotNamesLocked()
+	for i := len(names) - 1; i >= 0; i-- {
+		snap, err := readSnapshotFile(filepath.Join(s.dir, names[i]))
+		if err == nil {
+			return snap, true
+		}
+	}
+	return execution.Snapshot{}, false
+}
+
+func readSnapshotFile(path string) (execution.Snapshot, error) {
+	framed, err := os.ReadFile(path)
+	if err != nil {
+		return execution.Snapshot{}, err
+	}
+	if len(framed) < 8 {
+		return execution.Snapshot{}, fmt.Errorf("storage: snapshot %s truncated", path)
+	}
+	size := binary.BigEndian.Uint32(framed[:4])
+	sum := binary.BigEndian.Uint32(framed[4:8])
+	body := framed[8:]
+	if uint32(len(body)) != size {
+		return execution.Snapshot{}, fmt.Errorf("storage: snapshot %s length mismatch", path)
+	}
+	if crc32.Checksum(body, _crcTable) != sum {
+		return execution.Snapshot{}, fmt.Errorf("storage: snapshot %s checksum mismatch", path)
+	}
+	return execution.DecodeSnapshot(body)
+}

@@ -54,8 +54,39 @@ type WAL struct {
 	closed   bool
 }
 
-// OpenWAL opens (or creates) the log at path for appending.
+// OpenWAL opens (or creates) the log at path for appending. A torn or
+// corrupt tail left by a crash mid-append is truncated to the last valid
+// record first: without the truncation, records appended after the garbage
+// would be unreachable on the NEXT replay (which stops at the first bad
+// record), silently losing every certificate persisted after the crash.
+// Callers that just replayed the log avoid the validity scan by passing the
+// replay's measured prefix through OpenWALTrimmed instead.
 func OpenWAL(path string) (*WAL, error) {
+	valid, total, err := validPrefix(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	if err == nil && valid < total {
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, fmt.Errorf("storage: truncating torn WAL tail: %w", err)
+		}
+	}
+	return openWALAppend(path)
+}
+
+// OpenWALTrimmed opens the log for appending after truncating it to the
+// given valid prefix length (as returned by ReplayPrefix), skipping
+// OpenWAL's own full-file validity scan.
+func OpenWALTrimmed(path string, validBytes int64) (*WAL, error) {
+	if info, err := os.Stat(path); err == nil && info.Size() > validBytes {
+		if err := os.Truncate(path, validBytes); err != nil {
+			return nil, fmt.Errorf("storage: truncating torn WAL tail: %w", err)
+		}
+	}
+	return openWALAppend(path)
+}
+
+func openWALAppend(path string) (*WAL, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("storage: creating WAL directory: %w", err)
 	}
@@ -64,6 +95,68 @@ func OpenWAL(path string) (*WAL, error) {
 		return nil, fmt.Errorf("storage: opening WAL %s: %w", path, err)
 	}
 	return &WAL{path: path, file: f, writer: bufio.NewWriterSize(f, 1<<20)}, nil
+}
+
+// validPrefix scans the log and returns the byte length of its longest valid
+// record prefix, plus the total file size. Validity matches Replay exactly
+// (same readRecord/decodeRecord pair): a CRC-intact but undecodable record
+// also ends the prefix — Replay would stop there, so anything appended after
+// it would be unreachable.
+func validPrefix(path string) (valid, total int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("storage: stat WAL: %w", err)
+	}
+	total = info.Size()
+
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		body, ok := readRecord(r)
+		if !ok {
+			return valid, total, nil
+		}
+		if _, ok := decodeRecord(body); !ok {
+			return valid, total, nil
+		}
+		valid += int64(8 + len(body))
+	}
+}
+
+// readRecord reads one framed record body. ok=false at a clean EOF, torn
+// header or body, implausible length, or CRC mismatch — the crash-consistent
+// stop conditions shared by Replay and the reopen truncation.
+func readRecord(r *bufio.Reader) (body []byte, ok bool) {
+	var header [8]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, false
+	}
+	size := binary.BigEndian.Uint32(header[:4])
+	sum := binary.BigEndian.Uint32(header[4:])
+	if size == 0 || size > _maxRecordSize {
+		return nil, false
+	}
+	body = make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, false
+	}
+	if crc32.Checksum(body, _crcTable) != sum {
+		return nil, false
+	}
+	return body, true
+}
+
+// decodeRecord parses a record body into a certificate.
+func decodeRecord(body []byte) (*engine.Certificate, bool) {
+	var cert engine.Certificate
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&cert); err != nil {
+		return nil, false
+	}
+	return &cert, true
 }
 
 // Path returns the log's file path.
@@ -131,40 +224,38 @@ func (w *WAL) Close() error {
 // middle also stops there — the protocol's sync path backfills anything
 // lost. fn returning an error aborts replay with that error.
 func Replay(path string, fn func(*engine.Certificate) error) error {
+	_, err := ReplayPrefix(path, fn)
+	return err
+}
+
+// ReplayPrefix is Replay returning additionally the byte length of the
+// valid record prefix it consumed. Callers about to OpenWAL the same log
+// pass it through OpenWALTrimmed, sparing the open its own validity scan.
+func ReplayPrefix(path string, fn func(*engine.Certificate) error) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil // nothing to replay
+			return 0, nil // nothing to replay
 		}
-		return fmt.Errorf("storage: opening WAL for replay: %w", err)
+		return 0, fmt.Errorf("storage: opening WAL for replay: %w", err)
 	}
 	defer f.Close()
 
+	var valid int64
 	r := bufio.NewReaderSize(f, 1<<20)
 	for {
-		var header [8]byte
-		if _, err := io.ReadFull(r, header[:]); err != nil {
-			return nil // clean EOF or torn header: done
+		body, ok := readRecord(r)
+		if !ok {
+			return valid, nil // clean EOF, torn record, or corruption: stop
 		}
-		size := binary.BigEndian.Uint32(header[:4])
-		sum := binary.BigEndian.Uint32(header[4:])
-		if size == 0 || size > _maxRecordSize {
-			return nil // corrupt length: stop
+		cert, ok := decodeRecord(body)
+		if !ok {
+			return valid, nil // undecodable body: stop
 		}
-		body := make([]byte, size)
-		if _, err := io.ReadFull(r, body); err != nil {
-			return nil // torn body: stop
+		if err := fn(cert); err != nil {
+			return valid, err
 		}
-		if crc32.Checksum(body, _crcTable) != sum {
-			return nil // corrupt body: stop
-		}
-		var cert engine.Certificate
-		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&cert); err != nil {
-			return nil // undecodable body: stop
-		}
-		if err := fn(&cert); err != nil {
-			return err
-		}
+		valid += int64(8 + len(body))
 	}
 }
 

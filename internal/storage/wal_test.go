@@ -136,6 +136,146 @@ func TestReplayStopsAtCorruptBody(t *testing.T) {
 	}
 }
 
+func TestReopenAfterTornTailKeepsLaterAppends(t *testing.T) {
+	// Crash mid-append regression: a torn final record must be truncated on
+	// reopen. Before the fix, reopen appended AFTER the garbage, so the next
+	// replay (which stops at the first bad record) lost every certificate
+	// persisted after the crash.
+	path := filepath.Join(t.TempDir(), "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := types.Round(1); r <= 3; r++ {
+		if err := w.Append(testCert(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the third record (crash mid-append), leaving a partial tail.
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := types.Round(4); r <= 5; r++ {
+		if err := w2.Append(testCert(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, path)
+	if len(got) != 4 {
+		t.Fatalf("replayed %d records, want 4 (2 intact + 2 post-crash)", len(got))
+	}
+	wantRounds := []types.Round{1, 2, 4, 5}
+	for i, c := range got {
+		if c.Header.Round != wantRounds[i] {
+			t.Fatalf("record %d round = %d, want %d", i, c.Header.Round, wantRounds[i])
+		}
+	}
+}
+
+func TestOpenWALTrimmedUsesReplayPrefix(t *testing.T) {
+	// The node's recovery path: ReplayPrefix measures the valid prefix and
+	// OpenWALTrimmed truncates to it without re-scanning; appends after a
+	// torn tail stay reachable.
+	path := filepath.Join(t.TempDir(), "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := types.Round(1); r <= 3; r++ {
+		if err := w.Append(testCert(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := 0
+	valid, err := ReplayPrefix(path, func(*engine.Certificate) error { replayed++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 2 || valid <= 0 || valid >= info.Size() {
+		t.Fatalf("replayed=%d valid=%d (file %d)", replayed, valid, info.Size())
+	}
+	w2, err := OpenWALTrimmed(path, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(testCert(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, path); len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+}
+
+func TestOpenWALTruncatesGarbageTail(t *testing.T) {
+	// A tail whose CRC does not match (partially synced sector) must also be
+	// dropped, not just short headers/bodies.
+	path := filepath.Join(t.TempDir(), "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testCert(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 4, 0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(testCert(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, path); len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+}
+
 func TestReopenAppends(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "certs.log")
 	w, err := OpenWAL(path)

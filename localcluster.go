@@ -18,6 +18,8 @@ type localClusterOptions struct {
 	hammerhead      *SchedulerConfig
 	walDir          string
 	scheme          string
+	execution       bool
+	snapshotDir     string
 	onCommit        func(id ValidatorID, sub CommittedSubDAG, replayed bool)
 	metrics         *MetricsRegistry
 	metricsTargetID ValidatorID
@@ -44,6 +46,18 @@ func WithHammerHead(cfg *SchedulerConfig) LocalClusterOption {
 // WithWALDir enables per-node persistence under dir (one WAL per validator).
 func WithWALDir(dir string) LocalClusterOption {
 	return func(o *localClusterOptions) { o.walDir = dir }
+}
+
+// WithExecution enables the execution subsystem on every node: a
+// deterministic KV ledger applies the commit stream, checkpoints
+// periodically, and snapshot state-sync recovers nodes that fall beyond the
+// GC horizon. snapshotDir, when non-empty, persists each validator's
+// checkpoints under its own subdirectory (empty keeps them in memory).
+func WithExecution(snapshotDir string) LocalClusterOption {
+	return func(o *localClusterOptions) {
+		o.execution = true
+		o.snapshotDir = snapshotDir
+	}
 }
 
 // WithCommitObserver registers a commit callback across all nodes.
@@ -118,6 +132,12 @@ func StartLocalCluster(n int, opts ...LocalClusterOption) (*LocalCluster, error)
 		}
 		if options.walDir != "" {
 			cfg.WALPath = filepath.Join(options.walDir, fmt.Sprintf("validator-%d.wal", i))
+		}
+		if options.execution {
+			cfg.Execution = true
+			if options.snapshotDir != "" {
+				cfg.SnapshotDir = filepath.Join(options.snapshotDir, fmt.Sprintf("validator-%d", i))
+			}
 		}
 		if options.onCommit != nil {
 			hook := options.onCommit
