@@ -14,6 +14,7 @@
 //	hammerhead-bench -experiment ablation-scoring     # votes vs Shoal rule
 //	hammerhead-bench -experiment executor-replay      # standalone executor on a recorded trace
 //	hammerhead-bench -experiment snapshot-catchup     # state-sync recovery beyond the GC horizon
+//	hammerhead-bench -experiment crash-restart        # full-committee SIGKILL + WAL restart + rejoin
 //	hammerhead-bench -experiment all
 //	  -sizes 10,50,100  -loads 1000,2000,3000,4000  -duration 60s -warmup 30s -seed 1
 package main
@@ -98,9 +99,10 @@ func run(cfg benchConfig) error {
 		"ablation-scoring": runAblationScoring,
 		"executor-replay":  runExecutorReplay,
 		"snapshot-catchup": runSnapshotCatchUp,
+		"crash-restart":    runCrashRestart,
 	}
 	if cfg.experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "incident", "utilization", "recovery", "ablation-epoch", "ablation-scoring", "executor-replay", "snapshot-catchup"} {
+		for _, name := range []string{"fig1", "fig2", "incident", "utilization", "recovery", "ablation-epoch", "ablation-scoring", "executor-replay", "snapshot-catchup", "crash-restart"} {
 			if err := experiments[name](cfg); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -411,6 +413,40 @@ func runSnapshotCatchUp(cfg benchConfig) error {
 		res.ThroughputTxPerSec, res.Latency.Mean.Seconds(), res.LastOrderedRound)
 	if res.SnapshotInstalls == 0 {
 		fmt.Println("WARNING: no snapshot installs — outage did not exceed the GC horizon at this duration")
+	}
+	return nil
+}
+
+// runCrashRestart measures the correlated crash-restart scenario: the whole
+// committee is SIGKILLed mid-run, restarts from WALs, and recovers through
+// the crash-rejoin handshake. Headline number: time from the restart instant
+// to the first fresh post-crash commit.
+func runCrashRestart(cfg benchConfig) error {
+	fmt.Printf("\n==== Crash-restart: full-committee SIGKILL, WAL restart, rejoin handshake ====\n")
+	load := 300.0
+	if len(cfg.loads) > 0 {
+		load = cfg.loads[0]
+	}
+	for _, m := range []hammerhead.Mechanism{hammerhead.Bullshark, hammerhead.HammerHead} {
+		s := hammerhead.NewCrashRestartScenario(m, 4, load)
+		s.Duration = 3 * cfg.duration
+		s.Warmup = cfg.warmup
+		s.KillAllAt = s.Duration / 3
+		s.Seed = cfg.seed
+		res, err := hammerhead.RunExperiment(s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s run=%v kill_at=%v downtime=%v restarts=%d\n",
+			m, s.Duration, s.KillAllAt, s.RestartDowntime, res.Restarts)
+		recovered := "NEVER (wedged)"
+		if res.TimeToFirstPostCrashCommit > 0 {
+			recovered = res.TimeToFirstPostCrashCommit.String()
+		}
+		fmt.Printf("%-12s time_to_first_post_crash_commit=%s state_roots_agree=%v min_applied_seq=%d\n",
+			m, recovered, res.StateRootsAgree, res.MinAppliedSeq)
+		fmt.Printf("%-12s tput=%.0f tx/s last_ordered_round=%d\n",
+			m, res.ThroughputTxPerSec, res.LastOrderedRound)
 	}
 	return nil
 }

@@ -256,6 +256,12 @@ var NewCatchUpScenario = experiment.NewCatchUpScenario
 // recovering validators must install a snapshot to rejoin.
 var NewSnapshotCatchUpScenario = experiment.NewSnapshotCatchUpScenario
 
+// NewCrashRestartScenario returns the correlated crash-restart scenario: the
+// whole committee is SIGKILLed mid-run and restarted from WALs, recovering
+// through the crash-rejoin handshake. The headline measurement is
+// ExperimentResult.TimeToFirstPostCrashCommit.
+var NewCrashRestartScenario = experiment.NewCrashRestartScenario
+
 // RunExperiment executes a scenario and returns its measurements.
 var RunExperiment = experiment.Run
 

@@ -59,6 +59,12 @@ type Config struct {
 	// state-sync (0 selects DefaultSnapshotChunkBytes). Tests shrink it to
 	// exercise the multi-chunk resume path.
 	SnapshotChunkBytes int
+	// RejoinTimeout paces the crash-rejoin handshake: a restarted validator
+	// that has not yet gathered a write quorum of RejoinResponses
+	// re-broadcasts its RejoinRequest this often, forever — a committee below
+	// quorum cannot progress anyway, so retrying until peers return is the
+	// only correct behavior. 0 selects 2x ResyncInterval.
+	RejoinTimeout time.Duration
 }
 
 // DefaultSnapshotChunkBytes is the snapshot state-sync chunk size: small
@@ -116,6 +122,9 @@ func (c Config) Validate() error {
 	if c.SnapshotChunkBytes < 0 {
 		return fmt.Errorf("engine: SnapshotChunkBytes must be >= 0, got %d", c.SnapshotChunkBytes)
 	}
+	if c.RejoinTimeout < 0 {
+		return fmt.Errorf("engine: RejoinTimeout must be >= 0, got %v", c.RejoinTimeout)
+	}
 	return nil
 }
 
@@ -143,6 +152,10 @@ const (
 	// to another responder (restarting the fetch — chunk encodings are not
 	// byte-compatible across responders).
 	TimerSnapshot
+	// TimerRejoin paces the crash-rejoin handshake: while the restarted
+	// engine has not gathered a write quorum of RejoinResponses, the request
+	// is re-broadcast (peers may still be restarting themselves).
+	TimerRejoin
 )
 
 // String implements fmt.Stringer.
@@ -160,6 +173,8 @@ func (k TimerKind) String() string {
 		return "progress"
 	case TimerSnapshot:
 		return "snapshot"
+	case TimerRejoin:
+		return "rejoin"
 	default:
 		return fmt.Sprintf("timer(%d)", uint8(k))
 	}

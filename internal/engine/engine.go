@@ -69,11 +69,18 @@ type Stats struct {
 	SyncResponses   uint64
 	InvalidMessages uint64
 	// Snapshot state-sync counters: requests sent, response chunks served,
-	// snapshots installed, installs rejected (corrupt/stale).
+	// snapshots installed, installs rejected (corrupt/stale), chunks dropped
+	// for a per-chunk CRC mismatch before ever reaching the assembly buffer.
 	SnapshotRequests        uint64
 	SnapshotResponses       uint64
 	SnapshotInstalls        uint64
 	SnapshotInstallFailures uint64
+	SnapshotChunkRejects    uint64
+	// Crash-rejoin handshake counters: requests broadcast (first attempt and
+	// retries), responses served to restarting peers, handshakes completed.
+	RejoinRequests   uint64
+	RejoinResponses  uint64
+	RejoinsCompleted uint64
 }
 
 type voteKey struct {
@@ -113,6 +120,11 @@ type Engine struct {
 	installSnapshot  func(meta SnapshotMeta, data []byte) (*SnapshotInstall, error)
 	schedFastForward scheduleFastForwarder
 	snapFetch        snapFetch
+	// appliedSeq reports the execution layer's applied commit sequence for
+	// rejoin frontiers (nil without an executor); rejoin is the crash-rejoin
+	// handshake's gathering state.
+	appliedSeq func() uint64
+	rejoin     rejoinState
 	// stage is the asynchronous order stage (stage 2 of the pipeline); nil
 	// when PipelineDepth == 0, in which case the committer runs inline on
 	// the ingest path.
@@ -193,6 +205,10 @@ type Params struct {
 	// gated on the scheduler supporting the jump (leader.RoundRobin does;
 	// core.Manager's reputation state is not yet carried in snapshots).
 	InstallSnapshot func(meta SnapshotMeta, data []byte) (*SnapshotInstall, error)
+	// AppliedSeq, when non-nil, reports the execution layer's applied commit
+	// sequence; the crash-rejoin handshake carries it in frontiers so
+	// restarting peers can see how far each survivor's executor reaches.
+	AppliedSeq func() uint64
 }
 
 // New constructs an engine. Call Init before feeding messages.
@@ -245,6 +261,7 @@ func New(p Params) (*Engine, error) {
 		persist:          p.Persist,
 		snapshots:        p.Snapshots,
 		installSnapshot:  p.InstallSnapshot,
+		appliedSeq:       p.AppliedSeq,
 		votes:            make(map[types.ValidatorID]crypto.Signature),
 		leaderTimerArmed: make(map[types.Round]bool),
 		leaderTimedOut:   make(map[types.Round]bool),
@@ -401,6 +418,10 @@ func (e *Engine) OnMessage(from types.ValidatorID, msg *Message, nowNanos int64)
 		e.onSnapshotRequest(from, msg.SnapshotRequest, out)
 	case KindSnapshotResponse:
 		e.onSnapshotResponse(from, msg.SnapshotResponse, nowNanos, out)
+	case KindRejoinRequest:
+		e.onRejoinRequest(from, msg.RejoinRequest, out)
+	case KindRejoinResponse:
+		e.onRejoinResponse(from, msg.RejoinResponse, nowNanos, out)
 	default:
 		e.stats.InvalidMessages++
 	}
@@ -456,6 +477,8 @@ func (e *Engine) OnTimer(t Timer, nowNanos int64) *Output {
 		out.timer(Timer{Kind: TimerProgress, Delay: 2 * e.config.ResyncInterval})
 	case TimerSnapshot:
 		e.onSnapshotTimer(nowNanos, out)
+	case TimerRejoin:
+		e.onRejoinTimer(nowNanos, out)
 	}
 	return out
 }
@@ -922,7 +945,15 @@ func (e *Engine) onRoundRequest(from types.ValidatorID, req *RoundRequest, out *
 	if req == nil || from == e.self {
 		return
 	}
-	start := req.FromRound
+	if certs := e.certRange(req.FromRound); len(certs) > 0 {
+		out.unicast(from, &Message{Kind: KindCertResponse, CertResponse: &CertResponse{Certs: certs}})
+	}
+}
+
+// certRange collects every retained certificate from the given round on,
+// oldest rounds first so the requester can insert parents-first, capped at
+// MaxSyncBatch. Shared by round requests and rejoin responses.
+func (e *Engine) certRange(start types.Round) []*Certificate {
 	if start < e.certFloor {
 		start = e.certFloor // rounds below the GC floor are gone
 	}
@@ -944,9 +975,7 @@ func (e *Engine) onRoundRequest(from types.ValidatorID, req *RoundRequest, out *
 			certs = append(certs, c)
 		}
 	}
-	if len(certs) > 0 {
-		out.unicast(from, &Message{Kind: KindCertResponse, CertResponse: &CertResponse{Certs: certs}})
-	}
+	return certs
 }
 
 // resync re-requests every still-missing parent, rotating targets across the

@@ -29,6 +29,8 @@ const (
 	KindRoundRequest
 	KindSnapshotRequest
 	KindSnapshotResponse
+	KindRejoinRequest
+	KindRejoinResponse
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +52,10 @@ func (k MessageKind) String() string {
 		return "snapshot-request"
 	case KindSnapshotResponse:
 		return "snapshot-response"
+	case KindRejoinRequest:
+		return "rejoin-request"
+	case KindRejoinResponse:
+		return "rejoin-response"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -238,11 +244,62 @@ type SnapshotResponse struct {
 	Chunks uint32
 	Chunk  uint32
 	Data   []byte
+	// DataCRC is the CRC32-C of Data. The requester verifies it on receipt,
+	// so a corrupted chunk is dropped (and re-pulled by the pacing timer)
+	// instead of poisoning the whole assembled snapshot — without it, one bad
+	// chunk is only detected by the installer's state-digest recomputation
+	// after the entire (up to 256MB) fetch completed.
+	DataCRC uint32
 }
 
 // EncodedSize approximates the wire size in bytes.
 func (r *SnapshotResponse) EncodedSize() int {
-	return 8 + 8 + 2*types.DigestSize + 4 + 4 + 8 + len(r.Data)
+	return 8 + 8 + 2*types.DigestSize + 4 + 4 + 4 + 8 + len(r.Data)
+}
+
+// Frontier summarizes a validator's recovered state for the crash-rejoin
+// handshake: how far its replayed DAG, its committer and its execution layer
+// reach. AppliedSeq is 0 when the validator runs no execution subsystem.
+type Frontier struct {
+	// HighestRound is the highest DAG round holding at least one certificate.
+	HighestRound types.Round
+	// LastOrdered is the committer's last ordered (committed) round.
+	LastOrdered types.Round
+	// AppliedSeq is the execution layer's applied commit sequence.
+	AppliedSeq uint64
+}
+
+// RejoinRequest opens the crash-rejoin handshake: a validator that just
+// restarted from its WAL broadcasts its replayed frontier. Replay-time
+// proposals were never on the wire, so after a correlated restart (every
+// validator SIGKILLed and recovered simultaneously) the committee would
+// otherwise wedge at its pre-crash round — nobody holds the proposals the
+// dead processes kept in memory, and nothing new ever gets transmitted.
+type RejoinRequest struct {
+	Frontier Frontier
+}
+
+// EncodedSize approximates the wire size in bytes.
+func (r *RejoinRequest) EncodedSize() int { return 8 + 8 + 8 }
+
+// RejoinResponse answers a RejoinRequest: the responder's own frontier plus
+// its retained certificates from the requester's frontier round on (capped at
+// MaxSyncBatch), so the requester rebuilds the frontier rounds without extra
+// round-trips. Once a rejoining validator has gathered responses worth a
+// write quorum (counting itself), it re-proposes into a fresh round strictly
+// above every round the merged frontier can still complete.
+type RejoinResponse struct {
+	Frontier Frontier
+	Certs    []*Certificate
+}
+
+// EncodedSize approximates the wire size in bytes.
+func (r *RejoinResponse) EncodedSize() int {
+	n := 8 + 8 + 8 + 8
+	for _, c := range r.Certs {
+		n += c.EncodedSize()
+	}
+	return n
 }
 
 // CertResponse returns requested certificates.
@@ -272,6 +329,8 @@ type Message struct {
 	RoundRequest     *RoundRequest
 	SnapshotRequest  *SnapshotRequest
 	SnapshotResponse *SnapshotResponse
+	RejoinRequest    *RejoinRequest
+	RejoinResponse   *RejoinResponse
 }
 
 // Clone returns a copy of the message whose mutable payload state — the
@@ -307,9 +366,18 @@ func (m *Message) Clone() *Message {
 			}
 			c.CertResponse = &CertResponse{Certs: certs}
 		}
+	case KindRejoinResponse:
+		if m.RejoinResponse != nil {
+			certs := make([]*Certificate, len(m.RejoinResponse.Certs))
+			for i, cert := range m.RejoinResponse.Certs {
+				certs[i] = cert.clone()
+			}
+			c.RejoinResponse = &RejoinResponse{Frontier: m.RejoinResponse.Frontier, Certs: certs}
+		}
 	}
-	// CertRequest / RoundRequest / Snapshot* payloads are read-only (and the
-	// snapshot chunk bytes are immutable once encoded); sharing is safe.
+	// CertRequest / RoundRequest / RejoinRequest / Snapshot* payloads are
+	// read-only (and the snapshot chunk bytes are immutable once encoded);
+	// sharing is safe.
 	return &c
 }
 
@@ -343,6 +411,10 @@ func (m *Message) EncodedSize() int {
 		n += m.SnapshotRequest.EncodedSize()
 	case KindSnapshotResponse:
 		n += m.SnapshotResponse.EncodedSize()
+	case KindRejoinRequest:
+		n += m.RejoinRequest.EncodedSize()
+	case KindRejoinResponse:
+		n += m.RejoinResponse.EncodedSize()
 	}
 	return n
 }
@@ -369,6 +441,14 @@ func (m *Message) String() string {
 		return fmt.Sprintf("snapshot-response{round=%d seq=%d chunk=%d/%d |%dB|}",
 			m.SnapshotResponse.Round, m.SnapshotResponse.CommitSeq,
 			m.SnapshotResponse.Chunk, m.SnapshotResponse.Chunks, len(m.SnapshotResponse.Data))
+	case KindRejoinRequest:
+		return fmt.Sprintf("rejoin-request{frontier=%d ordered=%d seq=%d}",
+			m.RejoinRequest.Frontier.HighestRound, m.RejoinRequest.Frontier.LastOrdered,
+			m.RejoinRequest.Frontier.AppliedSeq)
+	case KindRejoinResponse:
+		return fmt.Sprintf("rejoin-response{frontier=%d ordered=%d %d certs}",
+			m.RejoinResponse.Frontier.HighestRound, m.RejoinResponse.Frontier.LastOrdered,
+			len(m.RejoinResponse.Certs))
 	default:
 		return m.Kind.String()
 	}

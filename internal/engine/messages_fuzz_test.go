@@ -84,6 +84,31 @@ func FuzzMessageRoundTrip(f *testing.F) {
 			if got.RoundRequest.FromRound != msg.RoundRequest.FromRound {
 				t.Fatal("round changed across the wire")
 			}
+		case KindSnapshotResponse:
+			r, w := got.SnapshotResponse, msg.SnapshotResponse
+			if r.Round != w.Round || r.Chunk != w.Chunk || r.DataCRC != w.DataCRC ||
+				!bytes.Equal(r.Data, w.Data) {
+				t.Fatal("snapshot response fields changed across the wire")
+			}
+		case KindRejoinRequest:
+			if got.RejoinRequest.Frontier != msg.RejoinRequest.Frontier {
+				t.Fatal("rejoin frontier changed across the wire")
+			}
+		case KindRejoinResponse:
+			if got.RejoinResponse.Frontier != msg.RejoinResponse.Frontier {
+				t.Fatal("rejoin frontier changed across the wire")
+			}
+			if len(got.RejoinResponse.Certs) != len(msg.RejoinResponse.Certs) {
+				t.Fatal("certificate count changed across the wire")
+			}
+			for i := range got.RejoinResponse.Certs {
+				if got.RejoinResponse.Certs[i].Digest() != msg.RejoinResponse.Certs[i].Digest() {
+					t.Fatalf("certificate %d digest changed across the wire", i)
+				}
+				if got.RejoinResponse.Certs[i].SigVerified() {
+					t.Fatal("sig-verified mark must not survive the wire")
+				}
+			}
 		}
 	})
 }
@@ -92,7 +117,7 @@ func FuzzMessageRoundTrip(f *testing.F) {
 // from fuzz material. Marks are set before encoding to prove gob strips
 // them.
 func buildMessage(kindSel uint8, round uint64, source uint32, blob, sig []byte, nSub uint8) *Message {
-	kind := MessageKind(kindSel%6 + 1)
+	kind := MessageKind(kindSel%10 + 1)
 	mkHeader := func() *Header {
 		edges := make([]types.Digest, int(nSub)%4)
 		for i := range edges {
@@ -151,6 +176,41 @@ func buildMessage(kindSel uint8, round uint64, source uint32, blob, sig []byte, 
 		return &Message{Kind: kind, CertResponse: resp}
 	case KindRoundRequest:
 		return &Message{Kind: kind, RoundRequest: &RoundRequest{FromRound: types.Round(round)}}
+	case KindSnapshotRequest:
+		return &Message{Kind: kind, SnapshotRequest: &SnapshotRequest{
+			HaveRound: types.Round(round),
+			Round:     types.Round(round >> 1),
+			Chunk:     source,
+		}}
+	case KindSnapshotResponse:
+		return &Message{Kind: kind, SnapshotResponse: &SnapshotResponse{
+			Round:       types.Round(round),
+			CommitSeq:   round ^ 0xbeef,
+			StateRoot:   types.HashBytes(blob),
+			StateDigest: types.HashBytes(sig),
+			Chunks:      uint32(nSub%7) + 1,
+			Chunk:       uint32(nSub % 7),
+			Data:        blob,
+			DataCRC:     source,
+		}}
+	case KindRejoinRequest:
+		return &Message{Kind: kind, RejoinRequest: &RejoinRequest{Frontier: Frontier{
+			HighestRound: types.Round(round),
+			LastOrdered:  types.Round(round >> 2),
+			AppliedSeq:   round ^ 0xfeed,
+		}}}
+	case KindRejoinResponse:
+		resp := &RejoinResponse{Frontier: Frontier{
+			HighestRound: types.Round(round),
+			LastOrdered:  types.Round(round >> 2),
+			AppliedSeq:   uint64(source),
+		}}
+		for i := uint8(0); i < nSub%3; i++ {
+			c := &Certificate{Header: *mkHeader()}
+			c.Header.Round = types.Round(round + uint64(i))
+			resp.Certs = append(resp.Certs, c)
+		}
+		return &Message{Kind: kind, RejoinResponse: resp}
 	default:
 		return nil
 	}

@@ -58,11 +58,11 @@ func (pv *PreVerifier) Stats() PreVerifyStats {
 }
 
 // NeedsCheck reports whether messages of this kind carry signatures.
-// Requests (cert/round) are unauthenticated pulls; serving them leaks no
-// state beyond what any committee member already replicates.
+// Requests (cert/round/rejoin) are unauthenticated pulls; serving them leaks
+// no state beyond what any committee member already replicates.
 func NeedsCheck(kind MessageKind) bool {
 	switch kind {
-	case KindHeader, KindVote, KindCertificate, KindCertResponse:
+	case KindHeader, KindVote, KindCertificate, KindCertResponse, KindRejoinResponse:
 		return true
 	default:
 		return false
@@ -105,6 +105,21 @@ func (pv *PreVerifier) check(msg *Message) bool {
 		}
 		msg.CertResponse.Certs = kept
 		return len(kept) > 0
+	case KindRejoinResponse:
+		if msg.RejoinResponse == nil {
+			return false
+		}
+		// Unlike a CertResponse, a rejoin response stripped of every
+		// certificate is still meaningful: the frontier it carries counts
+		// toward the restarting validator's gathering quorum.
+		kept := msg.RejoinResponse.Certs[:0]
+		for _, c := range msg.RejoinResponse.Certs {
+			if pv.checkCertificate(c) {
+				kept = append(kept, c)
+			}
+		}
+		msg.RejoinResponse.Certs = kept
+		return true
 	default:
 		return true
 	}

@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"testing"
+
+	"hammerhead/internal/types"
+)
+
+// findUnicastTo returns the first unicast of the given kind addressed to id.
+func findUnicastTo(out *Output, to types.ValidatorID, kind MessageKind) *Message {
+	for _, u := range out.Unicasts {
+		if u.To == to && u.Msg.Kind == kind {
+			return u.Msg
+		}
+	}
+	return nil
+}
+
+// rejoinResponseFrom routes engine `from`'s answer to a RejoinRequest back as
+// the message the requester would receive.
+func rejoinResponseFrom(t *testing.T, rig *testRig, from, requester types.ValidatorID, req *Message) *Message {
+	t.Helper()
+	out := rig.engines[from].OnMessage(requester, req.Clone(), 0)
+	resp := findUnicastTo(out, requester, KindRejoinResponse)
+	if resp == nil {
+		t.Fatalf("engine %d served no rejoin response", from)
+	}
+	return resp.Clone()
+}
+
+// TestRejoinHandshakeCompletesAtQuorum drives the handshake message by
+// message on a live rig: the request is broadcast with the engine's frontier,
+// peers answer with theirs plus frontier certificates, and the handshake
+// completes exactly when responses (counting self) reach a write quorum —
+// re-transmitting the never-sent proposal for the fresh round.
+func TestRejoinHandshakeCompletesAtQuorum(t *testing.T) {
+	rig := newTestRig(t, 4)
+	for i := range rig.engines {
+		rig.engines[i].Init(0)
+	}
+	for i := 0; i < 6; i++ {
+		certifyRound(t, rig, nil)
+	}
+	e3 := rig.engines[3]
+	preRound := e3.Round()
+
+	out := e3.StartRejoin(0)
+	req := findBroadcast(t, out, KindRejoinRequest)
+	if got := req.RejoinRequest.Frontier.HighestRound; got != e3.DAG().HighestRound() {
+		t.Fatalf("request frontier %d, want DAG frontier %d", got, e3.DAG().HighestRound())
+	}
+	if !e3.Rejoining() {
+		t.Fatal("engine must be gathering after StartRejoin")
+	}
+	var rejoinTimer bool
+	for _, tm := range out.Timers {
+		if tm.Kind == TimerRejoin {
+			rejoinTimer = true
+		}
+	}
+	if !rejoinTimer {
+		t.Fatal("StartRejoin must arm the retry timer")
+	}
+
+	// First response: self + one responder = 2 of 4 stake, below quorum.
+	resp0 := rejoinResponseFrom(t, rig, 0, 3, req)
+	if len(resp0.RejoinResponse.Certs) == 0 {
+		t.Fatal("peer must serve its frontier certificates")
+	}
+	e3.OnMessage(0, resp0, 0)
+	if !e3.Rejoining() {
+		t.Fatal("handshake completed below quorum")
+	}
+
+	// Second response reaches 2f+1: the handshake completes and the engine
+	// re-establishes its round — the replay-suppressed proposal goes out.
+	resp1 := rejoinResponseFrom(t, rig, 1, 3, req)
+	out = e3.OnMessage(1, resp1, 0)
+	if e3.Rejoining() {
+		t.Fatal("handshake must complete at quorum")
+	}
+	if got := e3.Stats().RejoinsCompleted; got != 1 {
+		t.Fatalf("RejoinsCompleted = %d, want 1", got)
+	}
+	hdr := findBroadcast(t, out, KindHeader)
+	if hdr.Header.Round != preRound || hdr.Header.Source != 3 {
+		t.Fatalf("re-transmitted header (%d, v%d), want (%d, v3)", hdr.Header.Round, hdr.Header.Source, preRound)
+	}
+	// A third (late) response is harmless.
+	resp2 := rejoinResponseFrom(t, rig, 2, 3, req)
+	e3.OnMessage(2, resp2, 0)
+	if got := e3.Stats().RejoinsCompleted; got != 1 {
+		t.Fatalf("late response re-completed the handshake: %d", got)
+	}
+}
+
+// TestRejoinBelowQuorumRetries is the f+1-alive partial-restart case: with
+// only f+1 validators reachable (self plus f responders — below the 2f+1
+// write quorum for n=4, f=1), the handshake must keep re-broadcasting its
+// request instead of completing: fewer than 2f+1 live validators cannot make
+// progress, so declaring the rejoin done would just re-wedge the engine. It
+// completes as soon as one more validator comes back.
+func TestRejoinBelowQuorumRetries(t *testing.T) {
+	rig := newTestRig(t, 4)
+	for i := range rig.engines {
+		rig.engines[i].Init(0)
+	}
+	for i := 0; i < 4; i++ {
+		certifyRound(t, rig, nil)
+	}
+	e3 := rig.engines[3]
+	out := e3.StartRejoin(0)
+	req := findBroadcast(t, out, KindRejoinRequest)
+
+	// Only one peer is alive: f+1 = 2 validators total can talk.
+	resp := rejoinResponseFrom(t, rig, 0, 3, req)
+	e3.OnMessage(0, resp, 0)
+	if !e3.Rejoining() {
+		t.Fatal("f+1 alive validators are below quorum; the handshake must keep gathering")
+	}
+	// A duplicate response from the same peer must not double-count stake.
+	e3.OnMessage(0, resp.Clone(), 0)
+	if !e3.Rejoining() {
+		t.Fatal("duplicate response double-counted toward the quorum")
+	}
+
+	// The retry timer re-broadcasts the request, forever if need be.
+	out = e3.OnTimer(Timer{Kind: TimerRejoin}, 1)
+	retry := findBroadcast(t, out, KindRejoinRequest)
+	if retry == nil {
+		t.Fatal("retry must re-broadcast the rejoin request")
+	}
+	if got := e3.Stats().RejoinRequests; got != 2 {
+		t.Fatalf("RejoinRequests = %d, want 2 (initial + retry)", got)
+	}
+	rearmed := false
+	for _, tm := range out.Timers {
+		if tm.Kind == TimerRejoin {
+			rearmed = true
+		}
+	}
+	if !rearmed {
+		t.Fatal("retry must re-arm the rejoin timer")
+	}
+
+	// A second peer comes back: quorum reached, handshake completes.
+	e3.OnMessage(1, rejoinResponseFrom(t, rig, 1, 3, retry), 0)
+	if e3.Rejoining() || e3.Stats().RejoinsCompleted != 1 {
+		t.Fatalf("handshake must complete once quorum is reachable: %+v", e3.Stats())
+	}
+	// The timer outliving the completed handshake is a no-op.
+	out = e3.OnTimer(Timer{Kind: TimerRejoin}, 2)
+	if len(out.Broadcasts) != 0 {
+		t.Fatal("stale rejoin timer must not re-broadcast after completion")
+	}
+}
+
+// TestRejoinAdoptsSurvivingOwnCertificate models the trickiest recovery
+// wrinkle: the restarting validator's pre-crash proposal for the fresh round
+// CERTIFIED, and the certificate survived in a WAL. Proposing again (or
+// re-broadcasting the replay-time header) would put two different
+// certificates into one (round, source) slot and fork the DAG — the engine
+// must adopt and re-broadcast the surviving certificate instead.
+func TestRejoinAdoptsSurvivingOwnCertificate(t *testing.T) {
+	rig := newTestRig(t, 4)
+	for i := range rig.engines {
+		rig.engines[i].Init(0)
+	}
+	var frontier []*Certificate
+	for i := 0; i < 5; i++ {
+		frontier = certifyRound(t, rig, nil)
+	}
+	// frontier holds the certificates of the last fully-certified round; the
+	// engines now propose the next one. Certify v3's CURRENT proposal too by
+	// routing votes back — this is the certificate that will "survive".
+	e3 := rig.engines[3]
+	target := e3.Round()
+	hdr := &Message{Kind: KindHeader, Header: e3.curHeader}
+	var ownCert *Certificate
+	for j := 0; j < 3 && ownCert == nil; j++ {
+		vout := rig.engines[j].OnMessage(3, hdr.Clone(), 0)
+		if len(vout.Unicasts) != 1 {
+			continue
+		}
+		cout := e3.OnMessage(types.ValidatorID(j), vout.Unicasts[0].Msg, 0)
+		for _, m := range cout.Broadcasts {
+			if m.Kind == KindCertificate {
+				ownCert = m.Cert
+			}
+		}
+	}
+	if ownCert == nil || ownCert.Header.Round != target {
+		t.Fatalf("failed to certify v3's round-%d proposal", target)
+	}
+	_ = frontier
+
+	// "Restart": the engine still holds its state (as after WAL replay — the
+	// cert was persisted before the kill) and runs the handshake.
+	out := e3.StartRejoin(0)
+	req := findBroadcast(t, out, KindRejoinRequest)
+	e3.OnMessage(0, rejoinResponseFrom(t, rig, 0, 3, req), 0)
+	out = e3.OnMessage(1, rejoinResponseFrom(t, rig, 1, 3, req), 0)
+	if e3.Rejoining() {
+		t.Fatal("handshake must complete at quorum")
+	}
+	var rebroadcast *Certificate
+	for _, m := range out.Broadcasts {
+		switch m.Kind {
+		case KindHeader:
+			if m.Header.Source == 3 && m.Header.Round == target {
+				t.Fatalf("engine re-proposed round %d over its own surviving certificate", target)
+			}
+		case KindCertificate:
+			if m.Cert.Header.Source == 3 && m.Cert.Header.Round == target {
+				rebroadcast = m.Cert
+			}
+		}
+	}
+	if rebroadcast == nil {
+		t.Fatal("engine must re-broadcast its surviving certificate")
+	}
+	if rebroadcast.Digest() != ownCert.Digest() {
+		t.Fatal("re-broadcast certificate differs from the surviving one")
+	}
+	if e3.Round() < target {
+		t.Fatalf("engine regressed to round %d, want >= %d", e3.Round(), target)
+	}
+}
+
+// TestRejoinLoneValidatorCompletesImmediately: a single-validator committee
+// IS its own write quorum; the handshake must complete synchronously inside
+// StartRejoin without waiting on peers that do not exist.
+func TestRejoinLoneValidatorCompletesImmediately(t *testing.T) {
+	rig := newTestRig(t, 1)
+	rig.engines[0].Init(0)
+	out := rig.engines[0].StartRejoin(0)
+	if rig.engines[0].Rejoining() {
+		t.Fatal("lone validator must complete rejoin immediately")
+	}
+	if got := rig.engines[0].Stats().RejoinsCompleted; got != 1 {
+		t.Fatalf("RejoinsCompleted = %d, want 1", got)
+	}
+	for _, m := range out.Broadcasts {
+		if m.Kind == KindRejoinRequest {
+			t.Fatal("lone validator must not broadcast rejoin requests")
+		}
+	}
+}

@@ -1,10 +1,15 @@
 package engine
 
 import (
+	"hash/crc32"
 	"sort"
 
 	"hammerhead/internal/types"
 )
+
+// snapCRCTable checksums snapshot chunks (CRC32-C, the same polynomial the
+// WAL frames with).
+var snapCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // SnapshotMeta identifies an execution checkpoint on the wire: the engine
 // treats the snapshot payload as opaque bytes and leaves content
@@ -224,6 +229,7 @@ func (e *Engine) onSnapshotRequest(from types.ValidatorID, req *SnapshotRequest,
 		Chunks:      chunks,
 		Chunk:       chunk,
 		Data:        data[start:end],
+		DataCRC:     crc32.Checksum(data[start:end], snapCRCTable),
 	}})
 }
 
@@ -247,6 +253,14 @@ func (e *Engine) onSnapshotResponse(from types.ValidatorID, resp *SnapshotRespon
 		// move us backwards. Abort.
 		f.active = false
 		f.lastAttempt = nowNanos
+		return
+	}
+	if crc32.Checksum(resp.Data, snapCRCTable) != resp.DataCRC {
+		// Corrupted chunk, caught on receipt: drop it before it can reach the
+		// assembly buffer (a bad chunk would otherwise only surface after the
+		// whole fetch — up to the 256MB cap — completed and the installer's
+		// digest recomputation failed). The pacing timer re-pulls it.
+		e.stats.SnapshotChunkRejects++
 		return
 	}
 	if f.meta.Round != resp.Round {

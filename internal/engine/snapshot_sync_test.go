@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"hash/crc32"
 	"testing"
 
 	"hammerhead/internal/crypto"
@@ -305,9 +306,11 @@ func TestSnapshotOlderThanAppliedRoundRejected(t *testing.T) {
 }
 
 func TestCorruptSnapshotChunkRejectsInstall(t *testing.T) {
-	// Edge case: a corrupted chunk must fail the install (the installer
-	// recomputes the state digest over the assembled payload) and leave the
-	// engine un-fast-forwarded, free to retry.
+	// Edge case: a chunk whose per-chunk CRC is self-consistent but whose
+	// content is garbage (a responder serving corrupted state, not transit
+	// damage) must fail the install — the installer recomputes the state
+	// digest over the assembled payload — and leave the engine
+	// un-fast-forwarded, free to retry.
 	blob := []byte("the-serialized-state-machine-bytes-of-the-checkpoint")
 	serve := &stubSnapshots{meta: snapMeta(12, 6, blob), blob: blob, ok: true}
 	rig, installers := newSyncRig(t, 4, serve)
@@ -321,6 +324,7 @@ func TestCorruptSnapshotChunkRejectsInstall(t *testing.T) {
 			data := append([]byte(nil), resp.Data...)
 			data[len(data)/2] ^= 0xFF
 			resp.Data = data
+			resp.DataCRC = crc32.Checksum(data, snapCRCTable) // consistent lie
 		}
 	})
 
@@ -336,6 +340,60 @@ func TestCorruptSnapshotChunkRejectsInstall(t *testing.T) {
 	}
 	if recovering.snapFetch.active {
 		t.Fatal("failed install must clear the fetch for a retry")
+	}
+}
+
+func TestSnapshotChunkCRCRejectedOnReceipt(t *testing.T) {
+	// A chunk damaged in transit (CRC no longer matches) must be dropped the
+	// moment it arrives — before it reaches the assembly buffer — so one
+	// flipped bit cannot force re-fetching an entire multi-chunk snapshot,
+	// and garbage can never fill the fetch cap. The pacing timer then
+	// re-pulls the dropped chunk and the fetch completes.
+	blob := []byte("0123456789abcdef0123456789abcdef0123456789abcdef")
+	serve := &stubSnapshots{meta: snapMeta(12, 6, blob), blob: blob, ok: true}
+	rig, installers := newSyncRig(t, 4, serve)
+	for i := range rig.engines {
+		rig.engines[i].Init(0)
+	}
+	recovering := rig.engines[3]
+	corruptOnce := true
+	mutate := func(resp *SnapshotResponse) {
+		if corruptOnce && resp.Round != 0 && resp.Chunk == 1 && len(resp.Data) > 0 {
+			corruptOnce = false
+			data := append([]byte(nil), resp.Data...)
+			data[0] ^= 0xFF
+			resp.Data = data // DataCRC left as served: transit corruption
+		}
+	}
+	out := triggerBeyondHorizon(t, rig, recovering, 14)
+	serveSnapshotLoop(t, rig, recovering, out, mutate)
+
+	st := recovering.Stats()
+	if st.SnapshotChunkRejects != 1 {
+		t.Fatalf("SnapshotChunkRejects = %d, want 1", st.SnapshotChunkRejects)
+	}
+	if st.SnapshotInstalls != 0 || st.SnapshotInstallFailures != 0 {
+		t.Fatalf("a dropped chunk must reach neither the installer nor the failure counter: %+v", st)
+	}
+	if !recovering.snapFetch.active {
+		t.Fatal("fetch must stay active, waiting for the retry timer")
+	}
+	if got := int(recovering.snapFetch.next); got != 1 {
+		t.Fatalf("fetch cursor advanced to %d past the rejected chunk", got)
+	}
+
+	// The pacing timer retries the missing chunk (first firing records the
+	// stall baseline, the second re-requests); the fetch then completes with
+	// intact data.
+	recovering.OnTimer(Timer{Kind: TimerSnapshot}, 1)
+	out = recovering.OnTimer(Timer{Kind: TimerSnapshot}, 2)
+	serveSnapshotLoop(t, rig, recovering, out, nil)
+	st = recovering.Stats()
+	if st.SnapshotInstalls != 1 || installers[3].installs != 1 {
+		t.Fatalf("fetch did not complete after the retry: %+v", st)
+	}
+	if string(installers[3].lastData) != string(blob) {
+		t.Fatalf("installer got %q, want the full blob", installers[3].lastData)
 	}
 }
 
@@ -373,9 +431,9 @@ func TestSnapshotSyncDisabledWithoutFastForwardableScheduler(t *testing.T) {
 // noFFScheduler wraps a scheduler while hiding its FastForwardTo method.
 type noFFScheduler struct{ inner *leader.RoundRobin }
 
-func (s noFFScheduler) LeaderAt(r types.Round) types.ValidatorID  { return s.inner.LeaderAt(r) }
-func (s noFFScheduler) MaybeSwitch(a leader.AnchorInfo) bool      { return s.inner.MaybeSwitch(a) }
-func (s noFFScheduler) OnAnchorOrdered(a leader.AnchorInfo)       { s.inner.OnAnchorOrdered(a) }
+func (s noFFScheduler) LeaderAt(r types.Round) types.ValidatorID { return s.inner.LeaderAt(r) }
+func (s noFFScheduler) MaybeSwitch(a leader.AnchorInfo) bool     { return s.inner.MaybeSwitch(a) }
+func (s noFFScheduler) OnAnchorOrdered(a leader.AnchorInfo)      { s.inner.OnAnchorOrdered(a) }
 
 func snapshotlessConfig() Config {
 	cfg := DefaultConfig()

@@ -40,6 +40,13 @@ type Config struct {
 	QueueDepth int
 	// Store persists checkpoints (nil = in-memory MemoryStore).
 	Store SnapshotStore
+	// OnCheckpoint, when non-nil, observes every checkpoint successfully
+	// persisted to the store (periodic, forced, final-on-close and installed
+	// ones alike). The node hangs checkpoint-driven WAL compaction here: the
+	// snapshot's Floor is the round below which the WAL no longer needs to
+	// replay. Called with the executor's lock held — the hook must not call
+	// back into the executor; hand off to another goroutine for real work.
+	OnCheckpoint func(Snapshot)
 	// Metrics, when non-nil, receives executor gauges and counters.
 	Metrics *metrics.Registry
 }
@@ -303,6 +310,9 @@ func (x *Executor) checkpointLocked() (Snapshot, error) {
 	if x.snapBytes != nil {
 		x.snapBytes.Add(uint64(len(data)))
 	}
+	if x.cfg.OnCheckpoint != nil {
+		x.cfg.OnCheckpoint(snap)
+	}
 	return snap, nil
 }
 
@@ -346,7 +356,9 @@ func (x *Executor) Install(snap Snapshot) error {
 		x.snapBytes.Add(uint64(len(snap.Data)))
 	}
 	x.cacheSnapshotLocked(snap)
-	_ = x.cfg.Store.Save(snap)
+	if err := x.cfg.Store.Save(snap); err == nil && x.cfg.OnCheckpoint != nil {
+		x.cfg.OnCheckpoint(snap)
+	}
 	return nil
 }
 

@@ -56,6 +56,14 @@ type Result struct {
 	MinAppliedSeq      uint64
 	StateRootsAgree    bool
 	StateRootsCompared int
+
+	// Crash-restart results (Scenario.KillAllAt only). Restarts counts
+	// validator restarts performed; TimeToFirstPostCrashCommit is how long
+	// after the committee came back from the correlated SIGKILL the observer
+	// delivered its first fresh (non-replayed) commit — zero means it never
+	// recovered within the run.
+	Restarts                   uint64
+	TimeToFirstPostCrashCommit time.Duration
 }
 
 // observer is the validator where latency and throughput are measured. It
@@ -101,9 +109,19 @@ func Run(s Scenario) (Result, error) {
 		return len(s.Windows)
 	}
 
+	// Crash-restart recovery clock: the first fresh commit the observer
+	// delivers at or after the restart instant. Replay-time re-derivations
+	// never reach the hook (the cluster suppresses them), so this genuinely
+	// measures post-crash liveness.
+	restartNanos := (s.KillAllAt + s.RestartDowntime).Nanoseconds()
+	var firstPostCrash int64
+
 	hook := func(node types.ValidatorID, sub bullshark.CommittedSubDAG, now int64) {
 		if node != observer {
 			return
+		}
+		if s.KillAllAt > 0 && now >= restartNanos && firstPostCrash == 0 {
+			firstPostCrash = now
 		}
 		commits++
 		for _, v := range sub.Vertices {
@@ -167,6 +185,12 @@ func Run(s Scenario) (Result, error) {
 		id := types.ValidatorID(s.N - 1 - s.Faults - i)
 		cluster.SlowDown(id, s.SlowFactor, s.SlowFrom, s.SlowUntil)
 	}
+	// Correlated crash-restart injection: kill the whole committee mid-run
+	// and restart every validator from its recorded WAL.
+	if s.KillAllAt > 0 {
+		cluster.RecordWALs()
+		cluster.KillRestartAll(s.KillAllAt, s.RestartDowntime)
+	}
 
 	submitted := startLoad(cluster, s)
 	cluster.Start()
@@ -198,6 +222,12 @@ func Run(s Scenario) (Result, error) {
 	}
 	if s.Execution {
 		collectExecutionResults(cluster, s, &res)
+	}
+	if s.KillAllAt > 0 {
+		res.Restarts = cluster.Restarts()
+		if firstPostCrash > 0 {
+			res.TimeToFirstPostCrashCommit = time.Duration(firstPostCrash - restartNanos)
+		}
 	}
 	return res, nil
 }

@@ -102,6 +102,14 @@ type Scenario struct {
 	CrashAt   time.Duration
 	RecoverAt time.Duration
 
+	// Correlated crash-restart injection: when KillAllAt is positive, the
+	// WHOLE committee is SIGKILLed at that time (all in-flight messages and
+	// per-validator memory discarded) and restarted from recorded WALs after
+	// RestartDowntime — the power-loss scenario the crash-rejoin handshake
+	// exists for. Result.TimeToFirstPostCrashCommit reports recovery speed.
+	KillAllAt       time.Duration
+	RestartDowntime time.Duration
+
 	// Incident injection (experiment T1): SlowCount validators are slowed by
 	// SlowFactor within [SlowFrom, SlowUntil].
 	SlowCount  int
@@ -223,6 +231,24 @@ func NewSnapshotCatchUpScenario(m Mechanism, n, faults int, loadTxPerSec float64
 	return s
 }
 
+// NewCrashRestartScenario returns the correlated crash-restart scenario: the
+// whole committee is SIGKILLed a third of the way into the run and restarted
+// from WALs two (simulated) seconds later. Execution and checkpointing are on
+// so recovery exercises the full snapshot-restore → WAL-replay → rejoin
+// startup sequence; the headline number is
+// Result.TimeToFirstPostCrashCommit — how long after the restart the first
+// fresh commit lands — and StateRootsAgree proves the committee converged.
+func NewCrashRestartScenario(m Mechanism, n int, loadTxPerSec float64) Scenario {
+	s := NewScenario(m, n, 0, loadTxPerSec)
+	s.Name = fmt.Sprintf("%s-crashrestart-n%d-load%.0f", m, n, loadTxPerSec)
+	s.MinRoundDelay = 150 * time.Millisecond
+	s.Execution = true
+	s.CheckpointCommits = 16
+	s.KillAllAt = s.Duration / 3
+	s.RestartDowntime = 2 * time.Second
+	return s
+}
+
 // ExecCostPerTx returns the modeled execution service time per transaction.
 func (s Scenario) ExecCostPerTx() time.Duration {
 	return s.ExecBaseTxCost + time.Duration(s.N)*s.ExecPerValidatorCost
@@ -284,6 +310,13 @@ func (s Scenario) Validate() error {
 	}
 	if s.Warmup < 0 || s.Warmup >= s.Duration {
 		return fmt.Errorf("experiment: warmup %v must be within the %v duration", s.Warmup, s.Duration)
+	}
+	if s.KillAllAt < 0 || s.RestartDowntime < 0 {
+		return fmt.Errorf("experiment: crash-restart times must be >= 0")
+	}
+	if s.KillAllAt > 0 && s.KillAllAt+s.RestartDowntime >= s.Duration {
+		return fmt.Errorf("experiment: kill at %v + downtime %v leaves no post-restart window in %v",
+			s.KillAllAt, s.RestartDowntime, s.Duration)
 	}
 	return nil
 }

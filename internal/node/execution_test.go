@@ -15,6 +15,7 @@ import (
 	"hammerhead/internal/execution"
 	"hammerhead/internal/metrics"
 	"hammerhead/internal/node"
+	"hammerhead/internal/storage"
 	"hammerhead/internal/transport"
 	"hammerhead/internal/types"
 )
@@ -300,6 +301,92 @@ func TestNodeRestartFromLocalSnapshot(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			t.Fatal("restarted node never committed fresh sub-DAGs")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestCheckpointDrivenWALCompactionAndRestart: as the executor's checkpoint
+// floor advances, the node's WAL writer compacts the log in place — replaying
+// certificates a persisted checkpoint already covers is pure waste — and a
+// restart from the compacted WAL (checkpoint restore first, then replay of
+// the retained suffix, then rejoin) still converges to fresh commits.
+func TestCheckpointDrivenWALCompactionAndRestart(t *testing.T) {
+	committee, err := types.NewEqualStakeCommittee(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "v0.wal")
+	snapDir := filepath.Join(dir, "v0-snapshots")
+	tc := newExecCluster(t, committee)
+	tc.nodes = append(tc.nodes, buildExecNode(t, tc, 0, walPath, snapDir, nil))
+	for i := 1; i < 4; i++ {
+		tc.nodes = append(tc.nodes, buildExecNode(t, tc, types.ValidatorID(i), "", "", nil))
+	}
+	for _, nd := range tc.nodes {
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, nd := range tc.nodes[1:] {
+			_ = nd.Close()
+		}
+	}()
+	for i := 0; i < 60; i++ {
+		_ = tc.nodes[1].Submit(types.Transaction{
+			ID:      uint64(i + 1),
+			Payload: execution.PutOp([]byte(fmt.Sprintf("k%d", i%11)), []byte("v")),
+		})
+	}
+	// Enough commits that the checkpoint floor (applied round minus the
+	// boundary window) clears the log's head by a wide margin.
+	tc.waitCommits(t, 20, 60*time.Second)
+	if err := tc.nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	preSeq := tc.nodes[0].Executor().AppliedSeq()
+	if preSeq == 0 {
+		t.Fatal("v0 executed nothing before the shutdown")
+	}
+
+	info, err := storage.Inspect(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Certs == 0 {
+		t.Fatal("WAL is empty")
+	}
+	// An uncompacted log starts at round 1; checkpoint-driven compaction must
+	// have raised the replay floor well past it.
+	if info.LowestRound <= 1 {
+		t.Fatalf("WAL was never compacted: lowest recorded round %d over %d certs", info.LowestRound, info.Certs)
+	}
+
+	// Restart from the compacted log: the local checkpoint covers the pruned
+	// prefix, the retained suffix replays on top, and the node rejoins.
+	restarted := buildExecNode(t, tc, 0, walPath, snapDir, nil)
+	if err := restarted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	if got := restarted.Executor().AppliedSeq(); got < preSeq {
+		t.Fatalf("restarted executor at seq %d, want >= pre-shutdown %d", got, preSeq)
+	}
+	tc.mu.Lock()
+	base := len(tc.commits[0])
+	tc.mu.Unlock()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		tc.mu.Lock()
+		fresh := len(tc.commits[0]) - base
+		tc.mu.Unlock()
+		if fresh >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted node never committed fresh sub-DAGs from the compacted WAL")
 		}
 		time.Sleep(20 * time.Millisecond)
 	}

@@ -5,6 +5,7 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -116,6 +117,13 @@ type Node struct {
 	walCond *sync.Cond
 	walSeq  uint64 // certificates enqueued for append
 	walDone uint64 // certificates appended (or abandoned at shutdown)
+	// compactFloor is the round below which the WAL no longer needs to
+	// replay, published by the executor's checkpoint hook and consumed by the
+	// WAL writer between appends (0 = no compaction pending). Only wired when
+	// a restart can actually resume from the checkpoint (execution on, WAL
+	// on, round-robin scheduler — HammerHead's reputation state cannot
+	// fast-forward from a snapshot yet, so its WAL must retain full history).
+	compactFloor atomic.Uint64
 
 	tasks   chan func()
 	done    chan struct{}
@@ -124,15 +132,17 @@ type Node struct {
 	started bool
 	closed  bool
 
-	commitsMetric  *metrics.Counter
-	txsMetric      *metrics.Counter
-	roundMetric    *metrics.Gauge
-	queueMetric    *metrics.Gauge
-	droppedMetric  *metrics.Counter
-	batchHist      *metrics.Histogram
-	pipelineMetric *metrics.Gauge
-	commitQMetric  *metrics.Gauge
-	walQMetric     *metrics.Gauge
+	commitsMetric   *metrics.Counter
+	txsMetric       *metrics.Counter
+	roundMetric     *metrics.Gauge
+	queueMetric     *metrics.Gauge
+	droppedMetric   *metrics.Counter
+	batchHist       *metrics.Histogram
+	pipelineMetric  *metrics.Gauge
+	commitQMetric   *metrics.Gauge
+	walQMetric      *metrics.Gauge
+	compactsMetric  *metrics.Counter
+	compactFailsMet *metrics.Counter
 }
 
 // inbound is one transport delivery awaiting pre-verification.
@@ -203,13 +213,28 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 			}
 			store = fileStore
 		}
-		n.exec = execution.NewExecutor(execution.NewKVState(), execution.Config{
+		execCfg := execution.Config{
 			CheckpointInterval: cfg.CheckpointInterval,
 			Store:              store,
 			Metrics:            cfg.Metrics,
-		})
+		}
+		if cfg.WALPath != "" && cfg.HammerHead == nil {
+			// Checkpoint-driven WAL compaction: once a checkpoint is durable,
+			// certificates below its boundary floor are redundant on replay (a
+			// restart installs the checkpoint first), so the WAL writer drops
+			// them at its next append. Gated on the round-robin scheduler —
+			// under HammerHead the engine cannot fast-forward from a local
+			// snapshot, so replay still needs the full log.
+			execCfg.OnCheckpoint = func(snap execution.Snapshot) {
+				if snap.Floor > 0 {
+					n.compactFloor.Store(uint64(snap.Floor))
+				}
+			}
+		}
+		n.exec = execution.NewExecutor(execution.NewKVState(), execCfg)
 		params.Snapshots = n.exec
 		params.InstallSnapshot = n.exec.InstallFromWire
+		params.AppliedSeq = n.exec.AppliedSeq
 	}
 	if cfg.WALPath != "" {
 		n.walq = make(chan *engine.Certificate, 1024)
@@ -251,6 +276,8 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		n.pipelineMetric = cfg.Metrics.Gauge("hammerhead_pipeline_depth")
 		n.commitQMetric = cfg.Metrics.Gauge("hammerhead_commit_queue_depth")
 		n.walQMetric = cfg.Metrics.Gauge("hammerhead_wal_queue_depth")
+		n.compactsMetric = cfg.Metrics.Counter("hammerhead_wal_compactions_total")
+		n.compactFailsMet = cfg.Metrics.Counter("hammerhead_wal_compaction_failures_total")
 	}
 	return n, nil
 }
@@ -356,18 +383,41 @@ func (n *Node) deliverCommit(sub bullshark.CommittedSubDAG, replayed bool) {
 // durability watermark. Persistence failure must not stall consensus
 // (recovery falls back to peer sync), so append errors are swallowed — the
 // watermark still advances, matching the pre-pipeline behavior where a
-// failed synchronous append did not block commit delivery either.
+// failed synchronous append did not block commit delivery either. Between
+// appends the loop runs any pending checkpoint-driven compaction: the writer
+// goroutine owns the file handle, so the rewrite needs no extra locking.
 func (n *Node) walLoop() {
 	defer n.walWg.Done()
 	for cert := range n.walq {
 		if n.walQMetric != nil {
 			n.walQMetric.Set(int64(len(n.walq)))
 		}
-		_ = n.wal.Append(cert)
+		if err := n.wal.Append(cert); errors.Is(err, storage.ErrClosed) {
+			// The only closed-while-running path is a compaction whose reopen
+			// failed. The log itself lives on disk; reopen it and retry this
+			// record, so a transient FS error costs at most the records
+			// between failure and the next append instead of silently ending
+			// durability for the rest of the process lifetime.
+			if w, oerr := storage.OpenWAL(n.cfg.WALPath); oerr == nil {
+				n.wal = w
+				_ = n.wal.Append(cert)
+			}
+		}
 		n.walMu.Lock()
 		n.walDone++
 		n.walMu.Unlock()
 		n.walCond.Broadcast()
+		if floor := n.compactFloor.Swap(0); floor > 0 {
+			// Compaction failure is as tolerable as an append failure: the log
+			// keeps (at worst) redundant history, never loses needed records.
+			if err := n.wal.CompactTo(types.Round(floor)); err != nil {
+				if n.compactFailsMet != nil {
+					n.compactFailsMet.Inc()
+				}
+			} else if n.compactsMetric != nil {
+				n.compactsMetric.Inc()
+			}
+		}
 	}
 }
 
@@ -549,20 +599,15 @@ func (n *Node) Start() error {
 		n.eng.Flush()
 		n.replaying.Store(false)
 		n.dispatch(initOut, true)
-		// Nudge the engine at its post-replay round: proposals made and timers
-		// armed while replaying were never transmitted (outputs suppressed),
-		// but the engine's bookkeeping believes the timers exist. A single
-		// recovering node gets pulled forward by the live frontier anyway,
-		// but on a full-committee restart every peer is in the same position
-		// — without these, identical WALs wedge the whole committee (round
-		// pulls find nothing new, nobody re-sends its header, and a
-		// leader-wait armed during replay blocks forever because its timer
-		// was discarded with the replay output).
-		nudge := time.Now().UnixNano()
-		round := uint64(n.eng.Round())
-		n.dispatch(n.eng.OnTimer(engine.Timer{Kind: engine.TimerHeaderRetry, Round: round}, nudge), true)
-		n.dispatch(n.eng.OnTimer(engine.Timer{Kind: engine.TimerRoundDelay, Round: round}, nudge), true)
-		n.dispatch(n.eng.OnTimer(engine.Timer{Kind: engine.TimerLeader, Round: round}, nudge), true)
+		// Crash-rejoin handshake: proposals made and timers armed while
+		// replaying were never transmitted (outputs suppressed). A single
+		// recovering node gets pulled forward by the live frontier, but on a
+		// correlated restart every peer replays the same dead history and the
+		// committee wedges at its pre-crash round. StartRejoin resets the
+		// phantom-timer bookkeeping, gathers a write quorum of peer frontiers
+		// (retrying until peers come back) and re-proposes into a fresh round
+		// strictly above everything that only existed in dead memory.
+		n.dispatch(n.eng.StartRejoin(time.Now().UnixNano()), true)
 	})
 	<-startup
 	if walErr != nil {

@@ -77,8 +77,9 @@ type Cluster struct {
 	// keys holds each validator's signing keys; fault injection that forges
 	// protocol artifacts a real Byzantine validator could produce (e.g.
 	// quorum-voted certificates over unchecked header fields) signs with
-	// them.
-	keys []crypto.KeyPair
+	// them. pubKeys is the committee's verification set.
+	keys    []crypto.KeyPair
+	pubKeys []crypto.PublicKey
 	// prevers holds each validator's pre-verify stage when signature
 	// verification is enabled (nil otherwise). The simulator runs Check
 	// synchronously at delivery — same code as the node's async stage.
@@ -89,6 +90,26 @@ type Cluster struct {
 	slowUntil []int64
 	slowMul   []float64
 	badSigAt  []int64 // virtual time a validator starts corrupting; -1 = never
+
+	// incarnation guards against cross-incarnation delivery: a SIGKILL
+	// restart (KillRestart) bumps a validator's incarnation at kill AND at
+	// restart, so messages and timers belonging to the dead process — or sent
+	// while it was down — are discarded at their scheduled instant instead of
+	// leaking into the rebuilt engine. Graceful Recover keeps the incarnation
+	// (its model intentionally preserves pre-crash in-memory state).
+	incarnation []uint64
+	// replaying marks a validator whose rebuilt engine is consuming its
+	// recorded WAL: the commit sink re-derives commits silently (executor
+	// still applies; the CommitHook is suppressed, as the node runtime flags
+	// replayed commits).
+	replaying []bool
+	// walLogs records each validator's inserted certificates in insertion
+	// order when recordWALs is set — the simulated write-ahead log a
+	// KillRestart recovers from.
+	walLogs    [][]*engine.Certificate
+	recordWALs bool
+	restarts   uint64
+	cfg        ClusterConfig
 
 	latency  LatencyModel
 	onCommit CommitHook
@@ -116,17 +137,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	n := cfg.Committee.Size()
 	c := &Cluster{
-		Sim:       New(cfg.Seed),
-		Committee: cfg.Committee,
-		crashedAt: make([]int64, n),
-		slowFrom:  make([]int64, n),
-		slowUntil: make([]int64, n),
-		slowMul:   make([]float64, n),
-		badSigAt:  make([]int64, n),
-		latency:   cfg.Latency,
-		onCommit:  cfg.OnCommit,
-		dropRate:  cfg.DropRate,
-		insertTap: cfg.OnInsert,
+		Sim:         New(cfg.Seed),
+		Committee:   cfg.Committee,
+		crashedAt:   make([]int64, n),
+		slowFrom:    make([]int64, n),
+		slowUntil:   make([]int64, n),
+		slowMul:     make([]float64, n),
+		badSigAt:    make([]int64, n),
+		incarnation: make([]uint64, n),
+		replaying:   make([]bool, n),
+		latency:     cfg.Latency,
+		onCommit:    cfg.OnCommit,
+		dropRate:    cfg.DropRate,
+		insertTap:   cfg.OnInsert,
 	}
 	for i := range c.crashedAt {
 		c.crashedAt[i] = -1
@@ -154,53 +177,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c.keys = keyPairs
 
+	c.pubKeys = pubKeys
+
 	// Simulated engines always run the serial path: the order stage's
 	// goroutine would break virtual time (commits must land at a definite
 	// simulated instant). Pipelined ordering is byte-identical to serial by
 	// construction — the determinism test in this package proves it — so
 	// simulation results transfer to pipelined deployments.
 	cfg.Engine.PipelineDepth = 0
+	c.cfg = cfg
 	for i := 0; i < n; i++ {
-		pool := mempool.NewSharded(cfg.MempoolSize, cfg.MempoolShards)
-		d := dag.New(cfg.Committee)
-		sched, err := cfg.NewScheduler(cfg.Committee, d)
+		eng, pool, exec, err := c.buildValidator(types.ValidatorID(i), nil)
 		if err != nil {
-			return nil, fmt.Errorf("simnet: building scheduler for v%d: %w", i, err)
-		}
-		id := types.ValidatorID(i)
-		var exec *execution.Executor
-		if cfg.Execution {
-			exec = execution.NewExecutor(execution.NewKVState(), execution.Config{
-				CheckpointInterval: cfg.CheckpointInterval,
-			})
-		}
-		params := engine.Params{
-			Config:     cfg.Engine,
-			Committee:  cfg.Committee,
-			Self:       id,
-			Keys:       keyPairs[i],
-			PublicKeys: pubKeys,
-			Batches:    pool,
-			Scheduler:  sched,
-			DAG:        d,
-			// Serial engines invoke the sink synchronously inside the step,
-			// so Sim.Now() is the commit's virtual time.
-			Commits: engine.CommitSinkFunc(func(sub bullshark.CommittedSubDAG) {
-				if exec != nil {
-					exec.ApplyCommit(sub)
-				}
-				if c.onCommit != nil {
-					c.onCommit(id, sub, c.Sim.Now())
-				}
-			}),
-		}
-		if exec != nil {
-			params.Snapshots = exec
-			params.InstallSnapshot = exec.InstallFromWire
-		}
-		eng, err := engine.New(params)
-		if err != nil {
-			return nil, fmt.Errorf("simnet: building engine for v%d: %w", i, err)
+			return nil, err
 		}
 		c.engines = append(c.engines, eng)
 		c.pools = append(c.pools, pool)
@@ -213,6 +202,62 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// buildValidator assembles one validator's full in-memory state — mempool,
+// DAG, scheduler, executor (over the given snapshot store, which models the
+// validator's disk; nil = fresh) and engine. Used at cluster construction and
+// again by KillRestart, which rebuilds everything a SIGKILL destroys.
+func (c *Cluster) buildValidator(id types.ValidatorID, store execution.SnapshotStore) (*engine.Engine, *mempool.Pool, *execution.Executor, error) {
+	cfg := c.cfg
+	pool := mempool.NewSharded(cfg.MempoolSize, cfg.MempoolShards)
+	d := dag.New(cfg.Committee)
+	sched, err := cfg.NewScheduler(cfg.Committee, d)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("simnet: building scheduler for %s: %w", id, err)
+	}
+	var exec *execution.Executor
+	if cfg.Execution {
+		exec = execution.NewExecutor(execution.NewKVState(), execution.Config{
+			CheckpointInterval: cfg.CheckpointInterval,
+			Store:              store,
+		})
+	}
+	params := engine.Params{
+		Config:     cfg.Engine,
+		Committee:  cfg.Committee,
+		Self:       id,
+		Keys:       c.keys[id],
+		PublicKeys: c.pubKeys,
+		Batches:    pool,
+		Scheduler:  sched,
+		DAG:        d,
+		// Serial engines invoke the sink synchronously inside the step, so
+		// Sim.Now() is the commit's virtual time.
+		Commits: engine.CommitSinkFunc(func(sub bullshark.CommittedSubDAG) {
+			if exec != nil {
+				// The executor dedupes by sequence, so commits re-derived
+				// during a restart's WAL replay apply idempotently.
+				exec.ApplyCommit(sub)
+			}
+			if c.replaying[id] {
+				return // replay re-derivations are not news to observers
+			}
+			if c.onCommit != nil {
+				c.onCommit(id, sub, c.Sim.Now())
+			}
+		}),
+	}
+	if exec != nil {
+		params.Snapshots = exec
+		params.InstallSnapshot = exec.InstallFromWire
+		params.AppliedSeq = exec.AppliedSeq
+	}
+	eng, err := engine.New(params)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("simnet: building engine for %s: %w", id, err)
+	}
+	return eng, pool, exec, nil
 }
 
 // Start boots every validator at the current virtual time.
@@ -266,6 +311,105 @@ func (c *Cluster) Recover(id types.ValidatorID, at time.Duration) {
 		}, c.Sim.Now())
 		c.dispatch(id, out)
 	})
+}
+
+// RecordWALs begins recording every certificate each validator inserts, in
+// insertion order — the simulated equivalent of the node runtime's
+// write-ahead log. Must be called before Start; required by KillRestart.
+func (c *Cluster) RecordWALs() {
+	c.recordWALs = true
+	c.walLogs = make([][]*engine.Certificate, len(c.engines))
+}
+
+// Restarts returns how many validator restarts KillRestart has performed.
+func (c *Cluster) Restarts() uint64 { return c.restarts }
+
+// KillRestart SIGKILLs the given validators at virtual time `at` and
+// restarts each from its recorded WAL after `downtime`. Unlike the graceful
+// Recover fault, this models a real process kill: every in-flight message to
+// or from the validator is discarded, all in-memory state (engine, DAG,
+// scheduler, mempool, executor) is destroyed and rebuilt from scratch, the
+// recorded certificate log is replayed silently (exactly as node recovery
+// suppresses replay outputs), and the validator re-enters the committee
+// through the crash-rejoin handshake. Only the snapshot store — the
+// validator's "disk" — survives. Panics unless RecordWALs was called.
+func (c *Cluster) KillRestart(ids []types.ValidatorID, at, downtime time.Duration) {
+	if !c.recordWALs {
+		panic("simnet: KillRestart requires RecordWALs before Start")
+	}
+	targets := append([]types.ValidatorID(nil), ids...)
+	c.Sim.After(at-time.Duration(c.Sim.Now()), func() {
+		now := c.Sim.Now()
+		for _, id := range targets {
+			c.crashedAt[id] = now
+			// Kill-side incarnation bump: pending deliveries and timers of the
+			// dead process die at their scheduled instant.
+			c.incarnation[id]++
+		}
+	})
+	c.Sim.After(at+downtime-time.Duration(c.Sim.Now()), func() {
+		for _, id := range targets {
+			c.restartFromWAL(id)
+		}
+	})
+}
+
+// KillRestartAll SIGKILLs the whole committee simultaneously — the
+// correlated power-loss / rolling-infra-failure scenario a production
+// deployment must survive — and restarts every validator from its WAL.
+func (c *Cluster) KillRestartAll(at, downtime time.Duration) {
+	ids := make([]types.ValidatorID, len(c.engines))
+	for i := range ids {
+		ids[i] = types.ValidatorID(i)
+	}
+	c.KillRestart(ids, at, downtime)
+}
+
+// restartFromWAL rebuilds one validator and mirrors the node runtime's
+// recovery sequence: snapshot restore → silent WAL replay → go live → rejoin.
+func (c *Cluster) restartFromWAL(id types.ValidatorID) {
+	var store execution.SnapshotStore
+	if old := c.execs[id]; old != nil {
+		store = old.Store() // the snapshot store is the disk: it survives
+	}
+	eng, pool, exec, err := c.buildValidator(id, store)
+	if err != nil {
+		// The same configuration built the validator once already; a failure
+		// here is a harness bug, not a simulated fault.
+		panic(fmt.Sprintf("simnet: rebuilding %s after kill: %v", id, err))
+	}
+	c.engines[id] = eng
+	c.pools[id] = pool
+	c.execs[id] = exec
+	// Restart-side incarnation bump: messages sent while the process was down
+	// must not leak into the rebuilt engine.
+	c.incarnation[id]++
+	c.crashedAt[id] = -1
+	c.restarts++
+
+	now := c.Sim.Now()
+	c.replaying[id] = true
+	if exec != nil {
+		// A locally persisted checkpoint fast-forwards executor and engine
+		// before WAL replay, exactly as the node runtime does. The output is
+		// discarded: nothing transmits during recovery.
+		if snap, ok := exec.Store().Latest(); ok {
+			if meta, install, err := exec.InstallLocal(snap); err == nil {
+				eng.FastForwardToSnapshot(meta, install, now)
+			}
+		}
+	}
+	initOut := eng.Init(now)
+	for _, cert := range c.walLogs[id] {
+		// Clone per replay, as the node's gob decode would: the rebuilt
+		// engine owns (and may mutate) its copies, while the recorded
+		// originals stay pristine for the next restart.
+		msg := (&engine.Message{Kind: engine.KindCertificate, Cert: cert}).Clone()
+		eng.OnMessage(id, msg, now) // outputs discarded — replay is silent
+	}
+	c.replaying[id] = false
+	c.dispatch(id, initOut)
+	c.dispatch(id, eng.StartRejoin(now))
 }
 
 // CorruptSignatures makes a validator emit garbage signatures on every
@@ -393,12 +537,21 @@ func (c *Cluster) dispatch(from types.ValidatorID, out *engine.Output) {
 	}
 	for _, t := range out.Timers {
 		timer := t
+		inc := c.incarnation[from]
 		c.Sim.After(t.Delay, func() {
-			if c.crashed(from, c.Sim.Now()) {
+			// The incarnation check kills timers armed by a SIGKILLed
+			// process: a restarted validator must never receive callbacks the
+			// dead incarnation scheduled.
+			if c.incarnation[from] != inc || c.crashed(from, c.Sim.Now()) {
 				return
 			}
 			c.dispatch(from, c.engines[from].OnTimer(timer, c.Sim.Now()))
 		})
+	}
+	if c.recordWALs {
+		// The recorded log persists across KillRestart (it IS the WAL);
+		// replayed re-inserts bypass dispatch, so nothing records twice.
+		c.walLogs[from] = append(c.walLogs[from], out.InsertedCerts...)
 	}
 	if c.insertTap != nil {
 		for _, cert := range out.InsertedCerts {
@@ -435,8 +588,12 @@ func (c *Cluster) send(from, to types.ValidatorID, msg *engine.Message, now int6
 	if slow != 1 {
 		delay = time.Duration(float64(delay) * slow)
 	}
+	inc := c.incarnation[to]
 	c.Sim.After(delay, func() {
-		if c.crashed(to, c.Sim.Now()) {
+		// The incarnation check models SIGKILL's message loss: anything in
+		// flight toward a killed process — or sent while it was down — is
+		// gone, even if the validator is back up by the delivery instant.
+		if c.incarnation[to] != inc || c.crashed(to, c.Sim.Now()) {
 			return
 		}
 		if c.prevers != nil && engine.NeedsCheck(msg.Kind) && !c.prevers[to].Check(msg) {

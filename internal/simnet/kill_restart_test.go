@@ -1,0 +1,242 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hammerhead/internal/bullshark"
+	"hammerhead/internal/engine"
+	"hammerhead/internal/execution"
+	"hammerhead/internal/types"
+)
+
+// killRestartCluster builds an execution-enabled, WAL-recorded cluster with a
+// per-validator commit timeline for post-crash liveness assertions.
+func killRestartCluster(t *testing.T, factory SchedulerFactory, seed int64) (*Cluster, *[]commitAt) {
+	t.Helper()
+	committee, err := types.NewEqualStakeCommittee(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastSimEngineConfig()
+	cfg.MinRoundDelay = 30 * time.Millisecond
+	cfg.LeaderTimeout = 300 * time.Millisecond
+	cfg.ResyncInterval = 150 * time.Millisecond
+	if cfg.GCDepth != engine.DefaultConfig().GCDepth {
+		t.Fatalf("test must run at the default GCDepth, got %d", cfg.GCDepth)
+	}
+	timeline := &[]commitAt{}
+	cluster, err := NewCluster(ClusterConfig{
+		Committee:          committee,
+		Engine:             cfg,
+		Latency:            Uniform{Base: 20 * time.Millisecond, Jitter: 0.1},
+		NewScheduler:       factory,
+		Execution:          true,
+		CheckpointInterval: 8,
+		Seed:               seed,
+		OnCommit: func(node types.ValidatorID, sub bullshark.CommittedSubDAG, nowNanos int64) {
+			*timeline = append(*timeline, commitAt{node: node, at: nowNanos})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.RecordWALs()
+	return cluster, timeline
+}
+
+type commitAt struct {
+	node types.ValidatorID
+	at   int64
+}
+
+// submitKVLoad schedules an open-loop PutOp stream across the live
+// validators so the ledger state is non-trivial and roots have teeth.
+func submitKVLoad(cluster *Cluster, until time.Duration) {
+	var tick func()
+	seq := uint64(0)
+	tick = func() {
+		if cluster.Sim.Now() >= until.Nanoseconds() {
+			return
+		}
+		seq++
+		key := []byte(fmt.Sprintf("k%03d", seq%211))
+		val := []byte(fmt.Sprintf("v%d", seq))
+		_ = cluster.SubmitTx(types.ValidatorID(seq%4), types.Transaction{
+			ID:      seq,
+			Payload: execution.PutOp(key, val),
+		})
+		cluster.Sim.After(5*time.Millisecond, tick)
+	}
+	cluster.Sim.After(5*time.Millisecond, tick)
+}
+
+// TestFullCommitteeKillRestartConverges is the acceptance test for the
+// crash-rejoin handshake: EVERY validator is SIGKILLed mid-flight and
+// restarted from its WAL simultaneously, at the default GCDepth. Before the
+// handshake this wedged the committee at its pre-crash round forever —
+// replay-time proposals were never on the wire, so round pulls found nothing
+// new and nobody could complete the round. With it, commits must resume
+// within the run budget and every validator's chained state root must agree
+// at a common commit sequence.
+func TestFullCommitteeKillRestartConverges(t *testing.T) {
+	const (
+		killAt   = 8 * time.Second
+		downtime = 1 * time.Second
+		runFor   = 30 * time.Second
+	)
+	cluster, timeline := killRestartCluster(t, roundRobinFactory, 11)
+	cluster.KillRestartAll(killAt, downtime)
+	submitKVLoad(cluster, 25*time.Second)
+
+	// Capture the pre-crash frontier just before the kill lands.
+	var preKillOrdered types.Round
+	cluster.Sim.After(killAt-time.Millisecond, func() {
+		preKillOrdered = cluster.Engine(0).Committer().LastOrderedRound()
+	})
+
+	cluster.Start()
+	cluster.Sim.RunFor(runFor)
+
+	if got := cluster.Restarts(); got != 4 {
+		t.Fatalf("restarts = %d, want 4", got)
+	}
+	if preKillOrdered < 20 {
+		t.Fatalf("committee ordered only %d rounds before the kill; test lost its teeth", preKillOrdered)
+	}
+	restartNanos := (killAt + downtime).Nanoseconds()
+	fresh := make(map[types.ValidatorID]int)
+	for _, c := range *timeline {
+		if c.at >= restartNanos {
+			fresh[c.node]++
+		}
+	}
+	for i := 0; i < 4; i++ {
+		id := types.ValidatorID(i)
+		st := cluster.Engine(id).Stats()
+		if st.RejoinsCompleted == 0 {
+			t.Fatalf("v%d never completed the rejoin handshake: %+v", i, st)
+		}
+		if fresh[id] == 0 {
+			t.Fatalf("v%d delivered no fresh commits after the restart (pre-kill round %d, now at %d)",
+				i, preKillOrdered, cluster.Engine(id).Committer().LastOrderedRound())
+		}
+		if got := cluster.Engine(id).Committer().LastOrderedRound(); got <= preKillOrdered {
+			t.Fatalf("v%d wedged at round %d (pre-kill %d)", i, got, preKillOrdered)
+		}
+	}
+
+	// Convergence: every executor chained the same state root at the lowest
+	// commonly applied commit sequence — identical post-restart histories.
+	minSeq := ^uint64(0)
+	for i := 0; i < 4; i++ {
+		if seq := cluster.Executor(types.ValidatorID(i)).AppliedSeq(); seq < minSeq {
+			minSeq = seq
+		}
+	}
+	if minSeq == 0 || minSeq == ^uint64(0) {
+		t.Fatal("some executor applied nothing")
+	}
+	ref, ok := cluster.Executor(0).RootAt(minSeq)
+	if !ok {
+		t.Fatalf("v0 no longer retains root at seq %d", minSeq)
+	}
+	for i := 1; i < 4; i++ {
+		root, ok := cluster.Executor(types.ValidatorID(i)).RootAt(minSeq)
+		if !ok {
+			t.Fatalf("v%d no longer retains root at seq %d (applied %d)",
+				i, minSeq, cluster.Executor(types.ValidatorID(i)).AppliedSeq())
+		}
+		if root != ref {
+			t.Fatalf("state roots diverged at seq %d: v0=%s v%d=%s", minSeq, ref, i, root)
+		}
+	}
+}
+
+// TestFullCommitteeKillRestartUnderHammerHead runs the same correlated
+// SIGKILL under the reputation scheduler: the engine cannot fast-forward
+// from a local snapshot there, so recovery leans entirely on full WAL replay
+// plus the rejoin handshake — which must still re-establish liveness and
+// agreement.
+func TestFullCommitteeKillRestartUnderHammerHead(t *testing.T) {
+	const (
+		killAt   = 8 * time.Second
+		downtime = 1 * time.Second
+	)
+	cluster, timeline := killRestartCluster(t, hammerheadFactory(10), 13)
+	cluster.KillRestartAll(killAt, downtime)
+	submitKVLoad(cluster, 22*time.Second)
+	cluster.Start()
+	cluster.Sim.RunFor(28 * time.Second)
+
+	restartNanos := (killAt + downtime).Nanoseconds()
+	fresh := make(map[types.ValidatorID]int)
+	for _, c := range *timeline {
+		if c.at >= restartNanos {
+			fresh[c.node]++
+		}
+	}
+	for i := 0; i < 4; i++ {
+		id := types.ValidatorID(i)
+		if cluster.Engine(id).Stats().RejoinsCompleted == 0 {
+			t.Fatalf("v%d never completed the rejoin handshake", i)
+		}
+		if fresh[id] == 0 {
+			t.Fatalf("v%d delivered no fresh commits after the restart", i)
+		}
+	}
+	minSeq := ^uint64(0)
+	for i := 0; i < 4; i++ {
+		if seq := cluster.Executor(types.ValidatorID(i)).AppliedSeq(); seq < minSeq {
+			minSeq = seq
+		}
+	}
+	if minSeq == 0 || minSeq == ^uint64(0) {
+		t.Fatal("some executor applied nothing")
+	}
+	ref, ok := cluster.Executor(0).RootAt(minSeq)
+	if !ok {
+		t.Fatalf("v0 no longer retains root at seq %d", minSeq)
+	}
+	for i := 1; i < 4; i++ {
+		if root, ok := cluster.Executor(types.ValidatorID(i)).RootAt(minSeq); !ok || root != ref {
+			t.Fatalf("v%d root at seq %d = %s (ok=%v), want %s", i, minSeq, root, ok, ref)
+		}
+	}
+}
+
+// TestPartialKillRestartRejoinsLiveCommittee kills and restarts a single
+// validator while the rest keep committing: the restarted validator must
+// gather its rejoin quorum from the live majority, merge their frontier and
+// catch back up — the handshake subsumes the old single-node recovery path.
+func TestPartialKillRestartRejoinsLiveCommittee(t *testing.T) {
+	cluster, timeline := killRestartCluster(t, roundRobinFactory, 17)
+	cluster.KillRestart([]types.ValidatorID{3}, 6*time.Second, 2*time.Second)
+	submitKVLoad(cluster, 20*time.Second)
+	cluster.Start()
+	cluster.Sim.RunFor(25 * time.Second)
+
+	if got := cluster.Restarts(); got != 1 {
+		t.Fatalf("restarts = %d, want 1", got)
+	}
+	st := cluster.Engine(3).Stats()
+	if st.RejoinsCompleted == 0 {
+		t.Fatalf("restarted validator never completed rejoin: %+v", st)
+	}
+	restartNanos := (8 * time.Second).Nanoseconds()
+	var fresh int
+	for _, c := range *timeline {
+		if c.node == 3 && c.at >= restartNanos {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		t.Fatal("restarted validator delivered no fresh commits")
+	}
+	obs := cluster.Engine(0).Committer().LastOrderedRound()
+	rec := cluster.Engine(3).Committer().LastOrderedRound()
+	if rec+20 < obs {
+		t.Fatalf("restarted validator lags: round %d vs observer %d", rec, obs)
+	}
+}

@@ -259,11 +259,84 @@ func ReplayPrefix(path string, fn func(*engine.Certificate) error) (int64, error
 	}
 }
 
+// WALInfo summarizes a log's replayable prefix: how many certificates a
+// restart would recover and the round span they cover. LowestRound is the
+// log's replay frontier floor — checkpoint-driven compaction raises it as
+// the executor's checkpoint floor advances.
+type WALInfo struct {
+	// Certs is the number of intact records in the valid prefix.
+	Certs uint64
+	// LowestRound and HighestRound bound the recorded certificate rounds
+	// (both zero when the log is empty).
+	LowestRound  types.Round
+	HighestRound types.Round
+	// ValidBytes is the byte length of the valid record prefix.
+	ValidBytes int64
+}
+
+// Inspect scans the log and reports its replayable frontier. It shares
+// ReplayPrefix's record iteration exactly, so what it reports is precisely
+// what a restart will replay.
+func Inspect(path string) (WALInfo, error) {
+	var info WALInfo
+	valid, err := ReplayPrefix(path, func(cert *engine.Certificate) error {
+		r := cert.Header.Round
+		if info.Certs == 0 || r < info.LowestRound {
+			info.LowestRound = r
+		}
+		if r > info.HighestRound {
+			info.HighestRound = r
+		}
+		info.Certs++
+		return nil
+	})
+	info.ValidBytes = valid
+	return info, err
+}
+
+// CompactTo rewrites an OPEN log in place, keeping only certificates with
+// round >= floor, and restores the append session over the compacted file.
+// The node's WAL writer calls it when the executor's checkpoint floor
+// advances: certificates below the floor are covered by a persisted
+// checkpoint, so replaying them after a restart is redundant and the log
+// would otherwise grow without bound. Must be called from the goroutine that
+// owns Append (the write handle is closed and reopened around the rewrite).
+// On a reopen failure the WAL transitions to closed; a compaction failure
+// with a healthy reopen leaves the original log intact and appendable.
+func (w *WAL) CompactTo(floor types.Round) error {
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.writer.Flush(); err != nil {
+		return err
+	}
+	if err := w.file.Close(); err != nil {
+		w.closed = true
+		return fmt.Errorf("storage: closing WAL for compaction: %w", err)
+	}
+	compactErr := Compact(w.path, floor)
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.closed = true
+		return fmt.Errorf("storage: reopening WAL after compaction: %w", err)
+	}
+	w.file = f
+	w.writer = bufio.NewWriterSize(f, 1<<20)
+	return compactErr
+}
+
 // Compact rewrites the log keeping only certificates with round >= floor,
 // using a temp-file-and-rename so a crash mid-compaction leaves either the
-// old or the new log intact. The WAL must be closed by the caller first.
+// old or the new log intact. The WAL must be closed by the caller first
+// (open sessions use CompactTo, which handles the handle swap).
 func Compact(path string, floor types.Round) error {
 	tmp := path + ".compact"
+	// A crash mid-compaction can leave a stale temp file; OpenWAL would
+	// APPEND after its valid prefix, renaming below-floor and duplicate
+	// records into the live log. Start from scratch instead.
+	if err := os.Remove(tmp); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("storage: clearing stale compaction file: %w", err)
+	}
 	out, err := OpenWAL(tmp)
 	if err != nil {
 		return err

@@ -382,3 +382,144 @@ func TestSyncEveryAppend(t *testing.T) {
 		t.Fatalf("replayed %d, want 1", len(got))
 	}
 }
+
+func TestInspectReportsReplayFrontier(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal", "certs.log")
+
+	// A missing log is an empty frontier, not an error (mirrors Replay).
+	info, err := Inspect(path)
+	if err != nil || info.Certs != 0 || info.ValidBytes != 0 {
+		t.Fatalf("missing log: info=%+v err=%v", info, err)
+	}
+
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := types.Round(3); r <= 7; r++ {
+		if err := w.Append(testCert(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err = Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Certs != 5 || info.LowestRound != 3 || info.HighestRound != 7 {
+		t.Fatalf("info = %+v, want 5 certs over rounds [3,7]", info)
+	}
+	if st, err := os.Stat(path); err != nil || info.ValidBytes != st.Size() {
+		t.Fatalf("ValidBytes = %d, want full size %v (err=%v)", info.ValidBytes, st, err)
+	}
+
+	// A torn tail is excluded from the frontier, exactly as replay excludes it.
+	if err := os.Truncate(path, info.ValidBytes-1); err != nil {
+		t.Fatal(err)
+	}
+	info, err = Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Certs != 4 || info.HighestRound != 6 {
+		t.Fatalf("torn-tail info = %+v, want 4 certs up to round 6", info)
+	}
+}
+
+func TestCompactToShrinksOpenWALAndKeepsAppending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal", "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := types.Round(1); r <= 10; r++ {
+		if err := w.Append(testCert(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compact the OPEN log: rounds below 6 are covered by a checkpoint.
+	if err := w.CompactTo(6); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.LowestRound != 6 || after.Certs != 5 {
+		t.Fatalf("compacted info = %+v, want 5 certs from round 6", after)
+	}
+	if after.ValidBytes >= before.ValidBytes {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", before.ValidBytes, after.ValidBytes)
+	}
+
+	// The append session survives the handle swap.
+	if err := w.Append(testCert(11, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, path)
+	if len(got) != 6 || got[0].Header.Round != 6 || got[5].Header.Round != 11 {
+		rounds := make([]types.Round, len(got))
+		for i, c := range got {
+			rounds[i] = c.Header.Round
+		}
+		t.Fatalf("post-compaction replay rounds = %v, want [6..10, 11]", rounds)
+	}
+
+	// Compacting a closed WAL is refused.
+	if err := w.CompactTo(8); err == nil {
+		t.Fatal("CompactTo on a closed WAL must fail")
+	}
+}
+
+func TestCompactIgnoresStaleTempFile(t *testing.T) {
+	// A crash mid-compaction leaves <path>.compact behind; the next
+	// compaction must start from scratch, not append after the stale prefix
+	// (which would rename below-floor and duplicate records into the live
+	// log).
+	path := filepath.Join(t.TempDir(), "wal", "certs.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := types.Round(1); r <= 6; r++ {
+		if err := w.Append(testCert(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fabricate the stale temp file: valid records well below the floor.
+	stale, err := OpenWAL(path + ".compact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := types.Round(1); r <= 3; r++ {
+		if err := stale.Append(testCert(r, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := stale.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := w.CompactTo(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range replayAll(t, path) {
+		if c.Header.Round < 4 {
+			t.Fatalf("stale temp-file record (round %d, v%d) leaked into the compacted log",
+				c.Header.Round, c.Header.Source)
+		}
+	}
+}
