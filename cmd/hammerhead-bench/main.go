@@ -15,6 +15,7 @@
 //	hammerhead-bench -experiment executor-replay      # standalone executor on a recorded trace
 //	hammerhead-bench -experiment snapshot-catchup     # state-sync recovery beyond the GC horizon
 //	hammerhead-bench -experiment crash-restart        # full-committee SIGKILL + WAL restart + rejoin
+//	hammerhead-bench -experiment client-load          # REAL cluster + RPC gateway + open-loop HTTP load (wall clock)
 //	hammerhead-bench -experiment all
 //	  -sizes 10,50,100  -loads 1000,2000,3000,4000  -duration 60s -warmup 30s -seed 1
 package main
@@ -100,6 +101,7 @@ func run(cfg benchConfig) error {
 		"executor-replay":  runExecutorReplay,
 		"snapshot-catchup": runSnapshotCatchUp,
 		"crash-restart":    runCrashRestart,
+		"client-load":      runClientLoad,
 	}
 	if cfg.experiment == "all" {
 		for _, name := range []string{"fig1", "fig2", "incident", "utilization", "recovery", "ablation-epoch", "ablation-scoring", "executor-replay", "snapshot-catchup", "crash-restart"} {
@@ -448,6 +450,40 @@ func runCrashRestart(cfg benchConfig) error {
 		fmt.Printf("%-12s tput=%.0f tx/s last_ordered_round=%d\n",
 			m, res.ThroughputTxPerSec, res.LastOrderedRound)
 	}
+	return nil
+}
+
+// runClientLoad measures the serving layer end to end: a REAL in-process
+// 4-node cluster (wall clock, goroutines, HTTP gateways) under open-loop
+// client load — submit-ack latency, submit-to-commit latency via the SSE
+// stream, cross-validator KV read-back and chained-root agreement. This is
+// the one experiment that cannot run in the discrete-event simulator: it
+// exercises the actual HTTP surface clients use.
+func runClientLoad(cfg benchConfig) error {
+	fmt.Printf("\n==== Client load: RPC gateway, fair admission, submit->commit->read (wall clock) ====\n")
+	load := 500.0
+	if len(cfg.loads) > 0 {
+		load = cfg.loads[0]
+	}
+	duration := cfg.duration
+	if duration > 30*time.Second {
+		// Wall-clock run; the simulated experiments' 60s default would just
+		// burn real time without changing the numbers.
+		duration = 30 * time.Second
+	}
+	s := hammerhead.NewClientLoadScenario(4, load, duration)
+	res, err := hammerhead.RunClientLoad(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n=%d rate=%.0f tx/s duration=%v clients=%d lanes-per-node=%d\n",
+		s.N, s.RateTxPerSec, duration, s.Clients, s.Clients)
+	fmt.Printf("submitted=%d accepted=%d rejected=%d committed=%d tput=%.0f tx/s\n",
+		res.Submitted, res.Accepted, res.Rejected, res.Committed, res.ThroughputTxPerSec)
+	fmt.Printf("submit-ack p50=%v p95=%v   submit->commit p50=%v p95=%v\n",
+		res.SubmitLatency.P50, res.SubmitLatency.P95, res.CommitLatency.P50, res.CommitLatency.P95)
+	fmt.Printf("kv-readback=%d/%d state_roots_agree=%v sse_resume=%v drained=%v\n",
+		res.KVChecked-res.KVMismatches, res.KVChecked, res.StateRootsAgree, res.ResumeOK, res.Drained)
 	return nil
 }
 

@@ -55,6 +55,8 @@ func run(args []string) error {
 	pipelineDepth := fs.Int("pipeline-depth", engine.DefaultPipelineDepth, "order-stage queue depth; 0 runs the committer inline on the ingest path")
 	mempoolSize := fs.Int("mempool-size", 0, "transaction pool capacity (0 = default 1<<20)")
 	mempoolShards := fs.Int("mempool-shards", 0, "transaction pool shard count, rounded to a power of two (0 = sized to the machine)")
+	rpcAddr := fs.String("rpc-addr", "", "address for the client gateway (HTTP/JSON tx submission, KV reads, commit streaming; empty disables)")
+	rpcLanes := fs.Int("rpc-lanes", 0, "fair-admission mempool lanes for gateway clients (<=1 keeps a single lane)")
 	execution := fs.Bool("execution", false, "enable the execution subsystem: deterministic KV state machine, checkpoints, snapshot state-sync")
 	checkpointInterval := fs.Uint64("checkpoint-interval", 0, "commits between execution checkpoints (0 = default 32; needs -execution)")
 	snapshotDir := fs.String("snapshot-dir", "", "directory persisting execution checkpoints (empty = in-memory; needs -execution)")
@@ -135,6 +137,8 @@ func run(args []string) error {
 		WALPath:            *walPath,
 		MempoolSize:        *mempoolSize,
 		MempoolShards:      *mempoolShards,
+		MempoolLanes:       *rpcLanes,
+		RPCAddr:            *rpcAddr,
 		Execution:          *execution,
 		CheckpointInterval: *checkpointInterval,
 		SnapshotDir:        *snapshotDir,
@@ -160,6 +164,9 @@ func serve(nd *node.Node, tr transport.Transport, logger *log.Logger, reg *metri
 	}
 	defer nd.Close()
 	logger.Printf("validator %s running", self)
+	if gw := nd.Gateway(); gw != nil {
+		logger.Printf("client gateway on http://%s (POST /v1/tx, GET /v1/kv/{key}, GET /v1/commits, GET /v1/status)", gw.Addr())
+	}
 
 	if metricsAddr != "" {
 		srv := &http.Server{Addr: metricsAddr, Handler: reg}

@@ -25,8 +25,10 @@ import (
 	"hammerhead/internal/execution"
 	"hammerhead/internal/experiment"
 	"hammerhead/internal/leader"
+	"hammerhead/internal/mempool"
 	"hammerhead/internal/metrics"
 	"hammerhead/internal/node"
+	"hammerhead/internal/rpc"
 	"hammerhead/internal/simnet"
 	"hammerhead/internal/storage"
 	"hammerhead/internal/transport"
@@ -120,6 +122,17 @@ type (
 	KeyPair = crypto.KeyPair
 	// MetricsRegistry exposes Prometheus-style metrics.
 	MetricsRegistry = metrics.Registry
+	// Gateway is a node's embedded client RPC gateway (tx submission, KV
+	// reads, commit streaming, status). See NodeConfig.RPCAddr and
+	// pkg/client for the Go client.
+	Gateway = rpc.Gateway
+	// GatewayConfig assembles a standalone gateway (advanced use; nodes
+	// build their own from NodeConfig.RPCAddr).
+	GatewayConfig = rpc.Config
+	// FairMempool is the weighted-lane fair-admission transaction pool.
+	FairMempool = mempool.FairPool
+	// FairMempoolConfig parameterizes a FairMempool.
+	FairMempoolConfig = mempool.FairConfig
 )
 
 // DefaultEngineConfig returns production-shaped engine defaults.
@@ -264,6 +277,25 @@ var NewCrashRestartScenario = experiment.NewCrashRestartScenario
 
 // RunExperiment executes a scenario and returns its measurements.
 var RunExperiment = experiment.Run
+
+// Client-load experiment: a REAL in-process cluster (wall clock, HTTP
+// gateways) under open-loop load from pkg/client — end-to-end
+// submit->commit->read measurement.
+type (
+	// ClientLoadScenario parameterizes the client-gateway experiment.
+	ClientLoadScenario = experiment.ClientLoadScenario
+	// ClientLoadResult is its measurements.
+	ClientLoadResult = experiment.ClientLoadResult
+)
+
+// NewClientLoadScenario returns a calibrated client-load scenario.
+var NewClientLoadScenario = experiment.NewClientLoadScenario
+
+// RunClientLoad executes a client-load scenario on a real in-process cluster.
+var RunClientLoad = experiment.RunClientLoad
+
+// NewFairMempool builds a weighted-lane fair-admission pool.
+var NewFairMempool = mempool.NewFair
 
 // NewSimCluster assembles a simulated deployment (advanced use; most callers
 // want RunExperiment).

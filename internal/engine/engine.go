@@ -107,11 +107,18 @@ type Engine struct {
 	verifier  *crypto.BatchVerifier
 	batches   BatchProvider
 
-	dagStore  *dag.DAG
-	committer *bullshark.Committer
-	scheduler leader.Scheduler
-	sink      CommitSink
-	persist   func(*Certificate)
+	dagStore        *dag.DAG
+	committer       *bullshark.Committer
+	scheduler       leader.Scheduler
+	sink            CommitSink
+	persist         func(*Certificate)
+	persistProposal func(*Header)
+	// proposalFloor is the voted-round high-water mark restored from the WAL:
+	// the engine never CONSTRUCTS a new header at a round at or below it (the
+	// restored header itself is re-transmitted instead), because a fresh
+	// header for an already-signed slot could equivocate it (see
+	// RestoreProposal).
+	proposalFloor types.Round
 	// Snapshot state-sync: snapshots serves local checkpoints to peers;
 	// installSnapshot verifies and applies a fetched one; schedFastForward
 	// is non-nil when the scheduler tolerates jumping past ordering history
@@ -209,6 +216,14 @@ type Params struct {
 	// sequence; the crash-rejoin handshake carries it in frontiers so
 	// restarting peers can see how far each survivor's executor reaches.
 	AppliedSeq func() uint64
+	// PersistProposal, when non-nil, is invoked on the engine goroutine with
+	// every header this validator signs and proposes, before it is broadcast.
+	// Real nodes append it to the WAL: after a crash, the replayed proposal is
+	// the voted-round high-water mark — the engine re-adopts the recorded
+	// header (re-transmitting it verbatim) instead of building a fresh,
+	// conflicting one for a slot whose certificate may have survived only in
+	// a peer's WAL, which would equivocate the slot and fork the DAG.
+	PersistProposal func(*Header)
 }
 
 // New constructs an engine. Call Init before feeding messages.
@@ -259,6 +274,7 @@ func New(p Params) (*Engine, error) {
 		scheduler:        p.Scheduler,
 		sink:             sink,
 		persist:          p.Persist,
+		persistProposal:  p.PersistProposal,
 		snapshots:        p.Snapshots,
 		installSnapshot:  p.InstallSnapshot,
 		appliedSeq:       p.AppliedSeq,
@@ -369,6 +385,13 @@ func (e *Engine) Init(nowNanos int64) *Output {
 
 // Round returns the round of the engine's latest proposal.
 func (e *Engine) Round() types.Round { return e.round }
+
+// CurrentProposal returns the header the engine most recently built for its
+// own slot (nil when none, or when the slot was adopted/forfeited during
+// recovery). Engine-goroutine only. The node uses it to persist a proposal
+// built while WAL appends were still suppressed (the initial proposal of a
+// fresh boot).
+func (e *Engine) CurrentProposal() *Header { return e.curHeader }
 
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -1072,6 +1095,21 @@ func (e *Engine) tryAdvance(nowNanos int64, out *Output) {
 }
 
 func (e *Engine) propose(round types.Round, nowNanos int64, out *Output) {
+	if round <= e.proposalFloor {
+		// The WAL records a header we already signed at or above this round.
+		// Building a second header for an already-signed slot could
+		// equivocate it (its certificate may have survived only in a peer's
+		// WAL); forfeit the slot instead — the round completes from the other
+		// validators' headers, and our restored header covers the high-water
+		// round itself. Practically unreachable after RestoreProposal (the
+		// engine resumes at or above the floor); kept as the enforcement
+		// backstop.
+		e.round = round
+		e.curHeader = nil
+		e.ownCertFormed = true
+		e.roundDelayOK = true
+		return
+	}
 	parents := e.dagStore.RoundVertices(round - 1)
 	edges := make([]types.Digest, len(parents))
 	for i, p := range parents {
@@ -1104,6 +1142,11 @@ func (e *Engine) propose(round types.Round, nowNanos int64, out *Output) {
 	e.lastProposeNanos = nowNanos
 	e.votedFor[voteKey{origin: e.self, round: round}] = digest
 	e.stats.HeadersProposed++
+	if e.persistProposal != nil {
+		// Durability hook: record the signed header before it can reach the
+		// wire, so a restart can re-adopt it instead of equivocating the slot.
+		e.persistProposal(header)
+	}
 
 	out.broadcast(&Message{Kind: KindHeader, Header: header})
 	out.timer(Timer{Kind: TimerRoundDelay, Round: uint64(round), Delay: e.config.MinRoundDelay})

@@ -291,11 +291,21 @@ func (r *RejoinRequest) EncodedSize() int { return 8 + 8 + 8 }
 type RejoinResponse struct {
 	Frontier Frontier
 	Certs    []*Certificate
+	// Offer, when non-nil, advertises the responder's latest execution
+	// checkpoint (round + digests). A far-behind rejoiner — one whose gap can
+	// only close through snapshot state-sync — uses it to start the fetch
+	// immediately, pinned to the offered checkpoint, instead of first
+	// discovering via a blind SnapshotRequest which checkpoint the responder
+	// holds: one round-trip saved exactly when the node is slowest.
+	Offer *SnapshotMeta
 }
 
 // EncodedSize approximates the wire size in bytes.
 func (r *RejoinResponse) EncodedSize() int {
 	n := 8 + 8 + 8 + 8
+	if r.Offer != nil {
+		n += 8 + 8 + 2*types.DigestSize
+	}
 	for _, c := range r.Certs {
 		n += c.EncodedSize()
 	}
@@ -372,7 +382,8 @@ func (m *Message) Clone() *Message {
 			for i, cert := range m.RejoinResponse.Certs {
 				certs[i] = cert.clone()
 			}
-			c.RejoinResponse = &RejoinResponse{Frontier: m.RejoinResponse.Frontier, Certs: certs}
+			// The Offer is read-only metadata; sharing it is safe.
+			c.RejoinResponse = &RejoinResponse{Frontier: m.RejoinResponse.Frontier, Certs: certs, Offer: m.RejoinResponse.Offer}
 		}
 	}
 	// CertRequest / RoundRequest / RejoinRequest / Snapshot* payloads are

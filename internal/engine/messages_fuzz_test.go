@@ -98,6 +98,12 @@ func FuzzMessageRoundTrip(f *testing.F) {
 			if got.RejoinResponse.Frontier != msg.RejoinResponse.Frontier {
 				t.Fatal("rejoin frontier changed across the wire")
 			}
+			if (got.RejoinResponse.Offer == nil) != (msg.RejoinResponse.Offer == nil) {
+				t.Fatal("checkpoint offer presence changed across the wire")
+			}
+			if msg.RejoinResponse.Offer != nil && *got.RejoinResponse.Offer != *msg.RejoinResponse.Offer {
+				t.Fatal("checkpoint offer changed across the wire")
+			}
 			if len(got.RejoinResponse.Certs) != len(msg.RejoinResponse.Certs) {
 				t.Fatal("certificate count changed across the wire")
 			}
@@ -205,6 +211,14 @@ func buildMessage(kindSel uint8, round uint64, source uint32, blob, sig []byte, 
 			LastOrdered:  types.Round(round >> 2),
 			AppliedSeq:   uint64(source),
 		}}
+		if nSub%2 == 1 {
+			resp.Offer = &SnapshotMeta{
+				Round:       types.Round(round >> 1),
+				CommitSeq:   round ^ 0xc0ffee,
+				StateRoot:   types.HashBytes(blob),
+				StateDigest: types.HashBytes(sig),
+			}
+		}
 		for i := uint8(0); i < nSub%3; i++ {
 			c := &Certificate{Header: *mkHeader()}
 			c.Header.Round = types.Round(round + uint64(i))

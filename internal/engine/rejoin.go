@@ -3,6 +3,7 @@ package engine
 import (
 	"time"
 
+	"hammerhead/internal/crypto"
 	"hammerhead/internal/types"
 )
 
@@ -58,6 +59,60 @@ func (e *Engine) rejoinRetryDelay() time.Duration {
 	}
 	return 2 * e.config.ResyncInterval
 }
+
+// RestoreProposal re-adopts the highest proposal header recovered from the
+// WAL — the voted-round high-water mark. Call it on the engine goroutine
+// after WAL replay, before the node goes live.
+//
+// Replay rebuilds certificates, but the header this validator was proposing
+// when it died exists only as a WAL proposal record. Without it, recovery
+// builds a FRESH header for the same round (different batch, possibly
+// different edges — a different digest), and if the pre-crash header's
+// certificate survived anywhere (a live peer, a dead peer's WAL tail),
+// transmitting the fresh one equivocates the slot and forks the DAG at
+// receivers holding the old certificate. Restoring the recorded header makes
+// recovery re-transmit the IDENTICAL proposal: peers that voted pre-crash
+// simply re-vote the same digest (their votedFor check passes), and the slot
+// can never fork.
+//
+// The restored round also becomes the engine's proposal floor: propose()
+// refuses to construct any new header at or below it, narrowing the WAL-tail
+// slot-equivocation window to proposals whose record itself was lost in a
+// torn tail (the same hazard class as async certificate-append tail loss).
+func (e *Engine) RestoreProposal(h *Header) {
+	if h == nil || h.Source != e.self || h.Round < 1 {
+		return
+	}
+	if h.Round > e.proposalFloor {
+		e.proposalFloor = h.Round
+	}
+	if _, certified := e.certAt(h.Round, e.self); certified {
+		// The proposal's certificate survived in our own WAL; the adopt path
+		// in completeRejoin (or normal operation) covers the slot.
+		return
+	}
+	if h.Round < e.round {
+		// Replay already moved past this round (catch-up jump): the slot was
+		// forfeited, and the floor above keeps it that way.
+		return
+	}
+	digest := h.Digest()
+	sig, err := e.keys.Sign(digest[:])
+	if err != nil {
+		return // unreachable with well-formed keys; the floor still holds
+	}
+	e.round = h.Round
+	e.curHeader = h
+	e.curHeaderDigest = digest
+	e.votes = map[types.ValidatorID]crypto.Signature{e.self: sig}
+	e.ownCertFormed = false
+	e.roundDelayOK = true
+	e.votedFor[voteKey{origin: e.self, round: h.Round}] = digest
+}
+
+// ProposalFloor returns the restored voted-round high-water mark (0 when no
+// proposal was recovered).
+func (e *Engine) ProposalFloor() types.Round { return e.proposalFloor }
 
 // Frontier reports the engine's current recovery frontier — what a
 // RejoinRequest would carry right now.
@@ -126,17 +181,26 @@ func (e *Engine) onRejoinTimer(nowNanos int64, out *Output) {
 // onRejoinRequest serves a restarted peer: our frontier plus retained
 // certificates from its frontier round on. Every committee member answers —
 // including one that is itself mid-rejoin, since in a correlated restart the
-// quorum can only be assembled from validators in exactly that state.
+// quorum can only be assembled from validators in exactly that state. When an
+// execution checkpoint exists it rides along as an offer, so a requester too
+// far behind for certificate sync can start its snapshot fetch without first
+// probing for one.
 func (e *Engine) onRejoinRequest(from types.ValidatorID, req *RejoinRequest, out *Output) {
 	if req == nil || from == e.self {
 		e.stats.InvalidMessages++
 		return
 	}
 	e.stats.RejoinResponses++
-	out.unicast(from, &Message{Kind: KindRejoinResponse, RejoinResponse: &RejoinResponse{
+	resp := &RejoinResponse{
 		Frontier: e.Frontier(),
 		Certs:    e.certRange(req.Frontier.HighestRound),
-	}})
+	}
+	if e.snapshots != nil {
+		if meta, _, ok := e.snapshots.LatestSnapshot(); ok {
+			resp.Offer = &meta
+		}
+	}
+	out.unicast(from, &Message{Kind: KindRejoinResponse, RejoinResponse: resp})
 }
 
 // onRejoinResponse merges one survivor's view: its certificates go through
@@ -151,6 +215,14 @@ func (e *Engine) onRejoinResponse(from types.ValidatorID, resp *RejoinResponse, 
 	}
 	for _, c := range resp.Certs {
 		e.onCertificate(c, nowNanos, out)
+	}
+	if resp.Offer != nil && resp.Offer.Round > e.lastOrderedRound()+types.Round(e.config.GCDepth) {
+		// The responder's checkpoint sits beyond our GC horizon: certificate
+		// sync can never close that gap, and the offer already tells us which
+		// checkpoint to fetch. Start the download now, pinned to the offered
+		// round — the blind discovery request (and, under checkpoint rotation,
+		// a from-scratch restart) is skipped entirely.
+		e.startOfferedSnapshotFetch(from, *resp.Offer, nowNanos, out)
 	}
 	if resp.Frontier.LastOrdered > e.lastOrderedRound()+types.Round(e.config.GCDepth) {
 		// The responder ordered so far past us that its certificate history
@@ -193,10 +265,17 @@ func (e *Engine) completeRejoin(nowNanos int64, out *Output) {
 	switch {
 	case e.round > target:
 		// Already proposing above every gathered frontier (a live committee
-		// pulled us forward while responses were in flight): nothing to
-		// re-establish beyond un-sticking the pacing gate, whose timer may be
-		// a replay phantom.
+		// pulled us forward while responses were in flight, or a restored
+		// pre-crash proposal sits above the merged quorum because our WAL
+		// retained more than any responder's): un-stick the pacing gate,
+		// whose timer may be a replay phantom, and put an untransmitted
+		// restored header on the wire — recovery suppressed its original
+		// broadcast, and nobody retransmits it for us.
 		e.roundDelayOK = true
+		if !e.ownCertFormed && e.curHeader != nil && e.curHeader.Round == e.round {
+			out.broadcast(&Message{Kind: KindHeader, Header: e.curHeader})
+			out.timer(Timer{Kind: TimerHeaderRetry, Round: uint64(e.round), Delay: e.config.ResyncInterval})
+		}
 	case hasOwn(e.certAt(target, e.self)):
 		// Our pre-crash proposal for the fresh round certified and the
 		// certificate survived in a WAL: adopt it — proposing again (or

@@ -246,3 +246,171 @@ func TestRejoinLoneValidatorCompletesImmediately(t *testing.T) {
 		}
 	}
 }
+
+// TestRejoinResponseCarriesCheckpointOffer: a responder with an execution
+// checkpoint advertises it in every rejoin response, and a requester whose
+// gap exceeds the GC horizon starts its snapshot fetch directly from the
+// offer — the first SnapshotRequest is already pinned to the offered round
+// (no blind discovery round-trip) and the seeded fetch completes.
+func TestRejoinResponseCarriesCheckpointOffer(t *testing.T) {
+	blob := []byte("0123456789abcdef0123456789abcdef0123456789") // 3 chunks at 16B
+	serve := &stubSnapshots{meta: snapMeta(40, 20, blob), blob: blob, ok: true}
+	rig, installers := newSyncRig(t, 4, serve)
+	for i := range rig.engines {
+		rig.engines[i].Init(0)
+	}
+	requester := rig.engines[3]
+
+	out := requester.StartRejoin(0)
+	req := findBroadcast(t, out, KindRejoinRequest)
+
+	resp := rejoinResponseFrom(t, rig, 0, 3, req)
+	if resp.RejoinResponse.Offer == nil {
+		t.Fatal("responder with a checkpoint must attach an offer")
+	}
+	if *resp.RejoinResponse.Offer != serve.meta {
+		t.Fatalf("offer = %+v, want %+v", *resp.RejoinResponse.Offer, serve.meta)
+	}
+
+	// The offered round (40) sits far beyond the requester's GC horizon
+	// (last ordered 0 + GCDepth 4): the fetch must start immediately, pinned.
+	out = requester.OnMessage(0, resp, 0)
+	snapReq := findUnicastTo(out, 0, KindSnapshotRequest)
+	if snapReq == nil {
+		t.Fatal("offer beyond the GC horizon must start a snapshot fetch")
+	}
+	if got := snapReq.SnapshotRequest.Round; got != serve.meta.Round {
+		t.Fatalf("first snapshot request pinned round %d, want the offered %d", got, serve.meta.Round)
+	}
+	if snapReq.SnapshotRequest.Chunk != 0 {
+		t.Fatalf("first snapshot request chunk = %d, want 0", snapReq.SnapshotRequest.Chunk)
+	}
+
+	// Drive the exchange to completion: the offer-seeded fetch must install.
+	serveSnapshotLoop(t, rig, requester, out, nil)
+	if installers[3].installs != 1 {
+		t.Fatalf("installs = %d, want 1", installers[3].installs)
+	}
+	if got := requester.Stats().SnapshotInstalls; got != 1 {
+		t.Fatalf("SnapshotInstalls = %d, want 1", got)
+	}
+}
+
+// TestRejoinOfferNearFrontierIgnored: an offer within the GC horizon must not
+// trigger a snapshot fetch — certificate sync is cheaper and sufficient.
+func TestRejoinOfferNearFrontierIgnored(t *testing.T) {
+	blob := []byte("tiny")
+	serve := &stubSnapshots{meta: snapMeta(3, 2, blob), blob: blob, ok: true}
+	rig, _ := newSyncRig(t, 4, serve)
+	for i := range rig.engines {
+		rig.engines[i].Init(0)
+	}
+	requester := rig.engines[3]
+	out := requester.StartRejoin(0)
+	req := findBroadcast(t, out, KindRejoinRequest)
+	resp := rejoinResponseFrom(t, rig, 0, 3, req)
+	if resp.RejoinResponse.Offer == nil {
+		t.Fatal("responder with a checkpoint must attach an offer")
+	}
+	out = requester.OnMessage(0, resp, 0)
+	if m := findUnicastTo(out, 0, KindSnapshotRequest); m != nil {
+		t.Fatalf("offer within the GC horizon started a fetch: %v", m)
+	}
+}
+
+// TestRestoreProposalRetransmitsIdenticalHeader is the WAL-tail
+// slot-equivocation regression: a restarted validator whose pre-crash
+// proposal was recorded re-adopts the IDENTICAL header and re-transmits it at
+// rejoin completion instead of building a fresh (digest-conflicting) one for
+// the same slot.
+func TestRestoreProposalRetransmitsIdenticalHeader(t *testing.T) {
+	rig := newTestRig(t, 4)
+	for i := range rig.engines {
+		rig.engines[i].Init(0)
+	}
+	var replayCerts []*Certificate
+	for i := 0; i < 4; i++ {
+		replayCerts = append(replayCerts, certifyRound(t, rig, nil)...)
+	}
+	e3 := rig.engines[3]
+	preHeader := e3.CurrentProposal()
+	if preHeader == nil {
+		t.Fatal("engine 3 has no live proposal")
+	}
+	preDigest := preHeader.Digest()
+	preRound := preHeader.Round
+
+	// "Restart": a fresh engine with the same identity replays the recorded
+	// certificates, then restores the recorded proposal.
+	rig2 := newTestRig(t, 4)
+	e3r := rig2.engines[3]
+	e3r.Init(0)
+	for _, c := range replayCerts {
+		e3r.OnMessage(3, (&Message{Kind: KindCertificate, Cert: c}).Clone(), 0)
+	}
+	e3r.RestoreProposal(preHeader)
+	if got := e3r.ProposalFloor(); got != preRound {
+		t.Fatalf("proposal floor = %d, want %d", got, preRound)
+	}
+	if got := e3r.CurrentProposal(); got == nil || got.Digest() != preDigest {
+		t.Fatal("restored engine did not re-adopt the recorded header")
+	}
+
+	// Complete the rejoin handshake against live peers: the output must carry
+	// the IDENTICAL header (retransmit), not a fresh proposal.
+	proposedBefore := e3r.Stats().HeadersProposed
+	out := e3r.StartRejoin(0)
+	req := findBroadcast(t, out, KindRejoinRequest)
+	for _, from := range []types.ValidatorID{0, 1} {
+		resp := rejoinResponseFrom(t, rig, from, 3, req)
+		out = e3r.OnMessage(from, resp, 0)
+	}
+	if e3r.Rejoining() {
+		t.Fatal("handshake did not complete at quorum")
+	}
+	hdr := findBroadcast(t, out, KindHeader)
+	if hdr.Header.Digest() != preDigest {
+		t.Fatalf("re-transmitted header digest %s, want the recorded proposal's %s — the slot was equivocated",
+			hdr.Header.Digest(), preDigest)
+	}
+	if got := e3r.Stats().HeadersProposed; got != proposedBefore {
+		t.Fatalf("rejoin built %d fresh proposals for an already-signed slot", got-proposedBefore)
+	}
+	// Peers that voted pre-crash accept the re-transmit (same digest passes
+	// their votedFor check) — it must not count as an equivocation.
+	invalidBefore := rig.engines[0].Stats().InvalidMessages
+	rig.engines[0].OnMessage(3, (&Message{Kind: KindHeader, Header: hdr.Header}).Clone(), 0)
+	if got := rig.engines[0].Stats().InvalidMessages; got != invalidBefore {
+		t.Fatal("peer rejected the re-transmitted header as conflicting")
+	}
+}
+
+// TestProposalFloorRefusesNewHeader unit-tests the enforcement backstop:
+// propose() at or below the restored voted-round mark forfeits the slot
+// instead of constructing a second header for it.
+func TestProposalFloorRefusesNewHeader(t *testing.T) {
+	rig := newTestRig(t, 4)
+	e := rig.engines[0]
+	e.Init(0)
+	e.proposalFloor = e.round + 1
+	before := e.stats.HeadersProposed
+
+	out := &Output{}
+	e.propose(e.round+1, 0, out)
+	if len(out.Broadcasts) != 0 {
+		t.Fatalf("propose at the floor broadcast %d messages, want forfeit", len(out.Broadcasts))
+	}
+	if e.stats.HeadersProposed != before {
+		t.Fatal("propose at the floor built a header")
+	}
+	if e.round != e.proposalFloor || e.curHeader != nil || !e.ownCertFormed {
+		t.Fatalf("slot not forfeited: round=%d curHeader=%v ownCertFormed=%v", e.round, e.curHeader, e.ownCertFormed)
+	}
+
+	// Strictly above the floor, proposing resumes.
+	out = &Output{}
+	e.propose(e.round+1, 0, out)
+	if e.stats.HeadersProposed != before+1 {
+		t.Fatal("propose above the floor did not build a header")
+	}
+}

@@ -144,6 +144,29 @@ func (e *Engine) maybeSnapshotSync(hint types.ValidatorID, nowNanos int64, out *
 	out.timer(Timer{Kind: TimerSnapshot, Delay: 2 * e.config.ResyncInterval})
 }
 
+// startOfferedSnapshotFetch begins a snapshot download seeded by a rejoin
+// response's checkpoint offer: the fetch is pinned to the offered checkpoint
+// from its very first request, so the responder serves chunk zero of that
+// round directly (and keeps serving it from retention if it rotates to a
+// newer checkpoint mid-fetch) instead of the requester first discovering the
+// checkpoint identity from a blind first response. No-op when snapshot sync
+// is disabled or a fetch is already running.
+func (e *Engine) startOfferedSnapshotFetch(from types.ValidatorID, offer SnapshotMeta, nowNanos int64, out *Output) {
+	if !e.snapshotSyncEnabled() || e.snapFetch.active || offer.Round == 0 {
+		return
+	}
+	if offer.Round <= e.lastOrderedRound() {
+		return // offer is behind what we already applied
+	}
+	target, ok := e.syncPeer(from)
+	if !ok {
+		return
+	}
+	e.snapFetch = snapFetch{active: true, target: target, meta: offer, lastAttempt: nowNanos}
+	e.requestSnapshotChunk(out)
+	out.timer(Timer{Kind: TimerSnapshot, Delay: 2 * e.config.ResyncInterval})
+}
+
 // requestSnapshotChunk asks the pinned responder for the fetch's next chunk.
 func (e *Engine) requestSnapshotChunk(out *Output) {
 	f := &e.snapFetch
@@ -263,10 +286,12 @@ func (e *Engine) onSnapshotResponse(from types.ValidatorID, resp *SnapshotRespon
 		e.stats.SnapshotChunkRejects++
 		return
 	}
-	if f.meta.Round != resp.Round {
-		// First chunk, or the responder rotated its checkpoint mid-fetch:
-		// (re)start assembly. A non-zero first chunk cannot seed a fetch —
-		// re-request from chunk zero of the responder's current checkpoint.
+	if f.meta.Round != resp.Round || f.chunks == 0 {
+		// First chunk (blind or pinned by a rejoin checkpoint offer, which
+		// seeds the metadata but cannot know the chunk count), or the
+		// responder rotated its checkpoint mid-fetch: (re)start assembly. A
+		// non-zero first chunk cannot seed a fetch — re-request from chunk
+		// zero of the responder's current checkpoint.
 		f.meta = SnapshotMeta{
 			Round:       resp.Round,
 			CommitSeq:   resp.CommitSeq,

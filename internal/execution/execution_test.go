@@ -307,3 +307,53 @@ func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mangled snapshot: %+v", got)
 	}
 }
+
+// TestExecutorReadKV covers the gateway's read path: value, write version and
+// the consistency cursor all come from one locked snapshot of the executor.
+func TestExecutorReadKV(t *testing.T) {
+	x := NewExecutor(NewKVState(), Config{})
+	if r, ok := x.ReadKV([]byte("a")); !ok || r.Found || r.AppliedSeq != 0 {
+		t.Fatalf("empty executor read = %+v (ok=%v), want not-found at seq 0", r, ok)
+	}
+	x.ApplyCommit(makeCommit(1, 2, [][]byte{PutOp([]byte("a"), []byte("1"))}))
+	x.ApplyCommit(makeCommit(2, 4, [][]byte{PutOp([]byte("a"), []byte("2")), PutOp([]byte("b"), []byte("3"))}))
+
+	r, ok := x.ReadKV([]byte("a"))
+	if !ok || !r.Found || string(r.Value) != "2" {
+		t.Fatalf("a = %+v (ok=%v), want value 2", r, ok)
+	}
+	if r.Version != 2 {
+		t.Fatalf("a version = %d, want 2 (second KV op wrote it)", r.Version)
+	}
+	if r.AppliedSeq != 2 || r.Round != 4 || r.StateRoot != x.StateRoot() {
+		t.Fatalf("cursor = seq %d round %d root %s, want 2/4/%s", r.AppliedSeq, r.Round, r.StateRoot, x.StateRoot())
+	}
+	if r, _ := x.ReadKV([]byte("missing")); r.Found {
+		t.Fatal("missing key reported found")
+	}
+
+	// A non-KV state machine has no generic read surface.
+	type opaque struct{ StateMachine }
+	y := NewExecutor(opaque{NewKVState()}, Config{})
+	if _, ok := y.ReadKV([]byte("a")); ok {
+		t.Fatal("ReadKV against a custom state machine must report ok=false")
+	}
+}
+
+// TestExecutorSnapshotFloor: no checkpoint -> 0; after a checkpoint the floor
+// tracks the boundary window.
+func TestExecutorSnapshotFloor(t *testing.T) {
+	x := NewExecutor(NewKVState(), Config{CheckpointInterval: 1000, BoundaryRounds: 4})
+	if got := x.SnapshotFloor(); got != 0 {
+		t.Fatalf("floor before any checkpoint = %d, want 0", got)
+	}
+	for seq := uint64(1); seq <= 10; seq++ {
+		x.ApplyCommit(makeCommit(seq, types.Round(seq*2), [][]byte{PutOp([]byte{byte(seq)}, []byte("v"))}))
+	}
+	if _, err := x.ForceCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.SnapshotFloor(); got != 20+1-4 {
+		t.Fatalf("floor = %d, want %d", got, 20+1-4)
+	}
+}

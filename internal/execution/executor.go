@@ -263,6 +263,54 @@ func (x *Executor) RootAt(seq uint64) (types.Digest, bool) {
 	return e.root, true
 }
 
+// KVRead is one consistent read against the executor's KV ledger: the value
+// and write version under a key, plus the executor cursor — applied commit
+// sequence, anchor round and chained state root — at the instant of the read.
+// The cursor is what lets a client (or a cross-validator test) check that two
+// reads at the same sequence came from identical applied histories.
+type KVRead struct {
+	Value      []byte
+	Version    uint64
+	Found      bool
+	AppliedSeq uint64
+	Round      types.Round
+	StateRoot  types.Digest
+}
+
+// ReadKV serves the RPC gateway's GET /v1/kv path: a point read with its
+// consistency cursor, taken atomically under the executor's lock so the value
+// and the (seq, root) pair always belong to the same applied prefix. ok is
+// false when the executor's state machine is not a KVState (a custom
+// StateMachine has no generic read surface). Safe for concurrent use; the
+// returned value slice is stable (KVState never mutates entries in place).
+func (x *Executor) ReadKV(key []byte) (KVRead, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	kv, ok := x.sm.(*KVState)
+	if !ok {
+		return KVRead{}, false
+	}
+	r := KVRead{
+		AppliedSeq: x.appliedSeq,
+		Round:      x.appliedRound,
+		StateRoot:  x.stateRoot,
+	}
+	r.Value, r.Version, r.Found = kv.GetVersioned(key)
+	return r, true
+}
+
+// SnapshotFloor returns the latest persisted checkpoint's retention floor (0
+// when no checkpoint exists yet) — the round below which this node's WAL and
+// DAG history are covered by a snapshot. Exposed on /v1/status.
+func (x *Executor) SnapshotFloor() types.Round {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if !x.haveLatest {
+		return 0
+	}
+	return x.latest.Floor
+}
+
 // Checkpoints returns how many checkpoints were cut.
 func (x *Executor) Checkpoints() uint64 {
 	x.mu.Lock()

@@ -142,6 +142,14 @@ func (s *KVState) Get(key []byte) ([]byte, bool) {
 	return e.Value, ok
 }
 
+// GetVersioned returns the value under key plus the global op version that
+// last wrote it. The returned slice is never mutated in place (Apply replaces
+// entries wholesale), so callers may hold it across further applies.
+func (s *KVState) GetVersioned(key []byte) (value []byte, version uint64, ok bool) {
+	e, ok := s.entries[string(key)]
+	return e.Value, e.Version, ok
+}
+
 // Len returns the number of live keys.
 func (s *KVState) Len() int { return len(s.entries) }
 

@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClientLoadEndToEnd is the serving-layer acceptance test: a 4-node
+// cluster with gateways takes open-loop HTTP load, every accepted transaction
+// commits and is readable on EVERY validator with agreeing values, chained
+// state roots agree at the common applied sequence, and a fresh SSE
+// subscription resumes correctly from a mid-stream sequence.
+func TestClientLoadEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-runtime cluster test")
+	}
+	s := NewClientLoadScenario(4, 400, 3*time.Second)
+	s.Scheme = "insecure" // signature cost is not what this test measures
+	s.Clients = 3
+	s.Keys = 64
+	s.DrainTimeout = 20 * time.Second
+
+	res, err := RunClientLoad(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("submitted=%d accepted=%d committed=%d commits=%d tput=%.0f submit_p95=%v commit_p95=%v kv=%d/%d roots=%v resume=%v drained=%v",
+		res.Submitted, res.Accepted, res.Committed, res.Commits, res.ThroughputTxPerSec,
+		res.SubmitLatency.P95, res.CommitLatency.P95, res.KVChecked-res.KVMismatches, res.KVChecked,
+		res.StateRootsAgree, res.ResumeOK, res.Drained)
+
+	if res.Accepted == 0 {
+		t.Fatal("no transactions were accepted")
+	}
+	if !res.Drained {
+		t.Fatalf("accepted transactions never committed: %d of %d", res.Committed, res.Accepted)
+	}
+	if res.Commits == 0 || res.Committed == 0 {
+		t.Fatal("no commits reached the stream")
+	}
+	if res.KVChecked == 0 || res.KVMismatches != 0 {
+		t.Fatalf("KV read-back: %d checked, %d mismatches", res.KVChecked, res.KVMismatches)
+	}
+	if !res.StateRootsAgree || res.StateRootsCompared < 2 {
+		t.Fatalf("state roots: agree=%v compared=%d", res.StateRootsAgree, res.StateRootsCompared)
+	}
+	if !res.ResumeOK {
+		t.Fatal("SSE resume from a mid-stream sequence failed")
+	}
+	if res.CommitLatency.Count == 0 {
+		t.Fatal("no commit latencies were measured")
+	}
+}

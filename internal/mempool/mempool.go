@@ -164,6 +164,28 @@ func (p *Pool) NextBatch(_ int64, maxTx int) *types.Batch {
 	return &types.Batch{Transactions: txs}
 }
 
+// PopOne removes and returns the single oldest transaction across shards
+// (round-robin, like NextBatch) without allocating a Batch — the
+// fair-admission drain interleaves lanes one transaction at a time, and a
+// per-transaction Batch allocation on the engine's header-build path would
+// be pure garbage. Same single-drainer contract as NextBatch.
+func (p *Pool) PopOne() (types.Transaction, bool) {
+	if p.pending.Load() == 0 {
+		return types.Transaction{}, false
+	}
+	n := uint64(len(p.shards))
+	for tries := uint64(0); tries < n; tries++ {
+		tx, ok := p.shards[p.drainAt&p.mask].pop()
+		p.drainAt++
+		if ok {
+			p.pending.Add(-1)
+			p.drained.Add(1)
+			return tx, true
+		}
+	}
+	return types.Transaction{}, false
+}
+
 // Pending returns the number of queued transactions.
 func (p *Pool) Pending() int { return int(p.pending.Load()) }
 

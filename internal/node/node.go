@@ -5,6 +5,7 @@
 package node
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"hammerhead/internal/leader"
 	"hammerhead/internal/mempool"
 	"hammerhead/internal/metrics"
+	"hammerhead/internal/rpc"
 	"hammerhead/internal/storage"
 	"hammerhead/internal/transport"
 	"hammerhead/internal/types"
@@ -54,6 +56,16 @@ type Config struct {
 	// power of two (0 sizes it to the machine). Each shard has its own
 	// lock, so concurrent clients do not serialize on one mutex.
 	MempoolShards int
+	// MempoolLanes is the fair-admission lane count: client IDs arriving
+	// through the RPC gateway hash onto lanes, each with its own capacity
+	// share of MempoolSize, so one saturating client cannot starve the
+	// others' admission. <= 1 keeps a single lane with the classic pool
+	// semantics (the node's own Submit path always uses lane 0).
+	MempoolLanes int
+	// RPCAddr, when non-empty, serves the client gateway (HTTP/JSON: tx
+	// submission, KV reads, commit streaming, status) on this address.
+	// ":0" binds an ephemeral port — read it back via Gateway().Addr().
+	RPCAddr string
 	// OnCommit receives ordered sub-DAGs (may be nil).
 	OnCommit CommitHandler
 	// Execution enables the execution subsystem: a deterministic state
@@ -78,9 +90,13 @@ type Config struct {
 type Node struct {
 	cfg   Config
 	eng   *engine.Engine
-	pool  *mempool.Pool
+	pool  *mempool.FairPool
 	trans transport.Transport
 	wal   *storage.WAL
+	// gw is the embedded client gateway (nil without Config.RPCAddr): it
+	// feeds client submissions into the pool's fair-admission lanes and
+	// observes the commit stream for SSE subscribers.
+	gw *rpc.Gateway
 	// exec is the execution subsystem (nil when Config.Execution is off):
 	// commits fan out to it from the commit loop, it applies them on its own
 	// goroutine and owns checkpointing and snapshot install.
@@ -111,7 +127,7 @@ type Node struct {
 	// the recovery invariant the synchronous append used to give: a commit
 	// handed to the executor with replayed=false is re-derivable from the
 	// WAL, so it can never be re-delivered as fresh after a crash.
-	walq    chan *engine.Certificate
+	walq    chan walEntry
 	walWg   sync.WaitGroup
 	walMu   sync.Mutex
 	walCond *sync.Cond
@@ -124,6 +140,13 @@ type Node struct {
 	// on, round-robin scheduler — HammerHead's reputation state cannot
 	// fast-forward from a snapshot yet, so its WAL must retain full history).
 	compactFloor atomic.Uint64
+
+	// Thread-safe status mirror for the gateway's /v1/status: the engine is
+	// owned by the loop goroutine, so dispatch and commit delivery publish
+	// the fields HTTP handlers read.
+	statusRound     atomic.Uint64
+	statusOrdered   atomic.Uint64
+	statusRejoining atomic.Bool
 
 	tasks   chan func()
 	done    chan struct{}
@@ -160,6 +183,15 @@ type commitDelivery struct {
 	walSeq   uint64
 }
 
+// walEntry is one record awaiting the WAL writer: an inserted certificate
+// (tracked by the durability watermark) or this validator's own signed
+// proposal header (the voted-round high-water mark; commits never wait on
+// it).
+type walEntry struct {
+	cert     *engine.Certificate
+	proposal *engine.Header
+}
+
 // New builds a node bound to the given transport-joining function. Call
 // Start to boot it. The returned node owns the WAL (if configured).
 func New(cfg Config, trans transport.Transport) (*Node, error) {
@@ -169,7 +201,11 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 	if cfg.MempoolSize == 0 {
 		cfg.MempoolSize = 1 << 20
 	}
-	pool := mempool.NewSharded(cfg.MempoolSize, cfg.MempoolShards)
+	pool := mempool.NewFair(mempool.FairConfig{
+		MaxSize: cfg.MempoolSize,
+		Shards:  cfg.MempoolShards,
+		Lanes:   cfg.MempoolLanes,
+	})
 	d := dag.New(cfg.Committee)
 
 	var sched leader.Scheduler
@@ -237,9 +273,10 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		params.AppliedSeq = n.exec.AppliedSeq
 	}
 	if cfg.WALPath != "" {
-		n.walq = make(chan *engine.Certificate, 1024)
+		n.walq = make(chan walEntry, 1024)
 		n.walCond = sync.NewCond(&n.walMu)
 		params.Persist = n.persistCert
+		params.PersistProposal = n.persistProposal
 		// Until Start finishes recovery and goes live, inserted certificates
 		// are not appended (pre-replay arrivals were never persisted before
 		// either; WAL-replayed ones must not be re-appended) and commits are
@@ -279,7 +316,46 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		n.compactsMetric = cfg.Metrics.Counter("hammerhead_wal_compactions_total")
 		n.compactFailsMet = cfg.Metrics.Counter("hammerhead_wal_compaction_failures_total")
 	}
+	if cfg.RPCAddr != "" {
+		gwCfg := rpc.Config{
+			Addr:      cfg.RPCAddr,
+			Validator: cfg.Self,
+			Submit:    n.SubmitClient,
+			Lane:      pool.LaneFor,
+			LaneStats: pool.LaneStats,
+			Status:    n.statusSnapshot,
+			Metrics:   cfg.Metrics,
+		}
+		if n.exec != nil {
+			gwCfg.ReadKV = n.exec.ReadKV
+			gwCfg.RootAt = n.exec.RootAt
+		}
+		gw, err := rpc.New(gwCfg)
+		if err != nil {
+			return nil, fmt.Errorf("node: binding RPC gateway: %w", err)
+		}
+		n.gw = gw
+	}
 	return n, nil
+}
+
+// statusSnapshot assembles the node-level half of /v1/status from the
+// thread-safe mirrors (the gateway fills in commit and mempool counters).
+func (n *Node) statusSnapshot() rpc.StatusResponse {
+	st := rpc.StatusResponse{
+		Round:        n.statusRound.Load(),
+		HighestRound: uint64(n.eng.DAG().HighestRound()),
+		LastOrdered:  n.statusOrdered.Load(),
+		Rejoining:    n.statusRejoining.Load(),
+	}
+	if n.exec != nil {
+		st.AppliedSeq = n.exec.AppliedSeq()
+		st.AppliedRound = uint64(n.exec.AppliedRound())
+		root := n.exec.StateRoot()
+		st.StateRoot = hex.EncodeToString(root[:])
+		st.SnapshotFloor = uint64(n.exec.SnapshotFloor())
+	}
+	return st
 }
 
 // persistCert is the engine's Persist hook: it runs on the ingest
@@ -294,7 +370,7 @@ func (n *Node) persistCert(cert *engine.Certificate) {
 	n.walSeq++
 	n.walMu.Unlock()
 	select {
-	case n.walq <- cert:
+	case n.walq <- walEntry{cert: cert}:
 		if n.walQMetric != nil {
 			n.walQMetric.Set(int64(len(n.walq)))
 		}
@@ -305,6 +381,26 @@ func (n *Node) persistCert(cert *engine.Certificate) {
 		n.walDone++
 		n.walMu.Unlock()
 		n.walCond.Broadcast()
+	}
+}
+
+// persistProposal is the engine's PersistProposal hook: it records this
+// validator's own signed header — the voted-round high-water mark — so a
+// restart re-adopts the identical proposal instead of equivocating the slot.
+// Runs on the engine goroutine at propose time, before the header's
+// broadcast is dispatched; replay-time proposals are suppressed exactly like
+// certificate appends. Proposals do not advance the commit durability
+// watermark (no commit depends on them).
+func (n *Node) persistProposal(h *engine.Header) {
+	if n.replaying.Load() {
+		return
+	}
+	select {
+	case n.walq <- walEntry{proposal: h}:
+		if n.walQMetric != nil {
+			n.walQMetric.Set(int64(len(n.walq)))
+		}
+	case <-n.done:
 	}
 }
 
@@ -368,6 +464,12 @@ func (n *Node) deliverCommit(sub bullshark.CommittedSubDAG, replayed bool) {
 		n.commitsMetric.Inc()
 		n.txsMetric.Add(uint64(sub.TxCount()))
 	}
+	n.statusOrdered.Store(uint64(sub.Anchor.Round))
+	if n.gw != nil {
+		// The gateway's commit ring feeds SSE subscribers; replayed commits
+		// are included so resume history survives a restart.
+		n.gw.ObserveCommit(sub)
+	}
 	if n.exec != nil {
 		// The executor dedupes by commit sequence, so replayed commits that
 		// were already applied (from a pre-crash run resumed via a local
@@ -388,11 +490,17 @@ func (n *Node) deliverCommit(sub bullshark.CommittedSubDAG, replayed bool) {
 // goroutine owns the file handle, so the rewrite needs no extra locking.
 func (n *Node) walLoop() {
 	defer n.walWg.Done()
-	for cert := range n.walq {
+	for entry := range n.walq {
 		if n.walQMetric != nil {
 			n.walQMetric.Set(int64(len(n.walq)))
 		}
-		if err := n.wal.Append(cert); errors.Is(err, storage.ErrClosed) {
+		appendEntry := func() error {
+			if entry.cert != nil {
+				return n.wal.Append(entry.cert)
+			}
+			return n.wal.AppendProposal(entry.proposal)
+		}
+		if err := appendEntry(); errors.Is(err, storage.ErrClosed) {
 			// The only closed-while-running path is a compaction whose reopen
 			// failed. The log itself lives on disk; reopen it and retry this
 			// record, so a transient FS error costs at most the records
@@ -400,8 +508,13 @@ func (n *Node) walLoop() {
 			// durability for the rest of the process lifetime.
 			if w, oerr := storage.OpenWAL(n.cfg.WALPath); oerr == nil {
 				n.wal = w
-				_ = n.wal.Append(cert)
+				_ = appendEntry()
 			}
+		}
+		if entry.cert == nil {
+			// Proposal records are not part of the commit durability
+			// watermark; nothing waits on them.
+			continue
 		}
 		n.walMu.Lock()
 		n.walDone++
@@ -536,6 +649,13 @@ func (n *Node) Start() error {
 	if n.exec != nil {
 		n.exec.Start()
 	}
+	if n.gw != nil {
+		// The gateway accepts submissions from the start: traffic arriving
+		// during recovery simply queues in the mempool lanes until the node
+		// goes live — exactly what clients of a briefly-restarting validator
+		// should see (backpressure, not connection errors).
+		n.gw.Start()
+	}
 
 	var walErr error
 	startup := make(chan struct{})
@@ -569,18 +689,31 @@ func (n *Node) Start() error {
 			// Recovery: replay persisted certificates through the normal
 			// message path. Commits are re-derived deterministically and
 			// reach the handler through the sink flagged replayed; no
-			// messages go out (outputs suppressed).
+			// messages go out (outputs suppressed). Proposal records are
+			// collected alongside: the highest one is the voted-round
+			// high-water mark restored below.
 			var validBytes int64
-			validBytes, walErr = storage.ReplayPrefix(n.cfg.WALPath, func(cert *engine.Certificate) error {
+			var lastProposal *engine.Header
+			validBytes, walErr = storage.ReplayPrefixRecords(n.cfg.WALPath, func(cert *engine.Certificate) error {
 				n.eng.OnMessage(n.cfg.Self, &engine.Message{
 					Kind: engine.KindCertificate,
 					Cert: cert,
 				}, time.Now().UnixNano())
 				return nil
+			}, func(h *engine.Header) error {
+				if h.Source == n.cfg.Self && (lastProposal == nil || h.Round > lastProposal.Round) {
+					lastProposal = h
+				}
+				return nil
 			})
 			if walErr != nil {
 				return
 			}
+			// Re-adopt the recorded pre-crash proposal (if any): recovery will
+			// re-transmit the identical header instead of building a fresh one
+			// for a slot whose certificate may have survived elsewhere —
+			// re-proposing would equivocate the slot.
+			n.eng.RestoreProposal(lastProposal)
 			// Reuse the replay's measured prefix: the open truncates any torn
 			// tail without re-scanning the file (appending after garbage
 			// would strand everything written after it at the NEXT replay).
@@ -598,6 +731,32 @@ func (n *Node) Start() error {
 		// initial proposal and arm its timers.
 		n.eng.Flush()
 		n.replaying.Store(false)
+		if n.cfg.WALPath != "" {
+			// Init ran before replay: when the log moved the engine past that
+			// first proposal, its queued broadcast is a stale header for an
+			// already-signed slot — transmitting it would look like (and be
+			// refused as) slot equivocation by peers that voted pre-crash.
+			// Only the engine's CURRENT proposal may go out.
+			cur := n.eng.CurrentProposal()
+			kept := initOut.Broadcasts[:0]
+			for _, m := range initOut.Broadcasts {
+				if m.Kind == engine.KindHeader && m.Header != cur {
+					continue
+				}
+				kept = append(kept, m)
+			}
+			initOut.Broadcasts = kept
+		}
+		if n.walq != nil {
+			// A proposal built while appends were suppressed (the initial
+			// proposal of a fresh boot) is about to go on the wire; record it
+			// first so a crash cannot force a conflicting re-proposal of the
+			// slot. Restored proposals are already in the log (their round
+			// equals the floor) and are not re-appended.
+			if h := n.eng.CurrentProposal(); h != nil && h.Round > n.eng.ProposalFloor() {
+				n.persistProposal(h)
+			}
+		}
 		n.dispatch(initOut, true)
 		// Crash-rejoin handshake: proposals made and timers armed while
 		// replaying were never transmitted (outputs suppressed). A single
@@ -624,6 +783,18 @@ func (n *Node) Submit(tx types.Transaction) error {
 	return n.pool.Submit(tx)
 }
 
+// SubmitClient hands a client-attributed transaction to the fair-admission
+// mempool (the RPC gateway's path; Submit uses the default lane).
+func (n *Node) SubmitClient(client string, tx types.Transaction) error {
+	if tx.SubmitTimeNanos == 0 {
+		tx.SubmitTimeNanos = time.Now().UnixNano()
+	}
+	return n.pool.SubmitClient(client, tx)
+}
+
+// Gateway exposes the embedded RPC gateway (nil without Config.RPCAddr).
+func (n *Node) Gateway() *rpc.Gateway { return n.gw }
+
 // Engine exposes the engine for stats and inspection (reads must happen
 // from commit handlers or after Close, as the loop owns the engine).
 func (n *Node) Engine() *engine.Engine { return n.eng }
@@ -632,8 +803,8 @@ func (n *Node) Engine() *engine.Engine { return n.eng }
 // off). Its status accessors are safe for concurrent use.
 func (n *Node) Executor() *execution.Executor { return n.exec }
 
-// Pool exposes the mempool.
-func (n *Node) Pool() *mempool.Pool { return n.pool }
+// Pool exposes the fair-admission mempool.
+func (n *Node) Pool() *mempool.FairPool { return n.pool }
 
 // Close stops the loop, closes the WAL and the transport.
 func (n *Node) Close() error {
@@ -645,6 +816,10 @@ func (n *Node) Close() error {
 	n.closed = true
 	n.startMu.Unlock()
 
+	if n.gw != nil {
+		// Stop accepting client traffic before tearing the engine down.
+		_ = n.gw.Close()
+	}
 	close(n.done)
 	if n.walCond != nil {
 		// Wake a commit delivery parked on the durability watermark.
@@ -721,6 +896,8 @@ func (n *Node) dispatch(out *engine.Output, transmit bool) {
 			})
 		})
 	}
+	n.statusRound.Store(uint64(n.eng.Round()))
+	n.statusRejoining.Store(n.eng.Rejoining())
 	if n.roundMetric != nil {
 		n.roundMetric.Set(int64(n.eng.Round()))
 	}

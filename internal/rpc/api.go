@@ -1,0 +1,51 @@
+// Package rpc is the client-facing gateway embedded in each validator node:
+// an HTTP/JSON API for transaction submission, committed-state reads,
+// commit-stream subscription and node status. It is the first surface through
+// which anything outside the validator process reaches the consensus core —
+// the serving layer the ROADMAP's "heavy traffic from millions of users"
+// north star needs.
+//
+// Endpoints:
+//
+//	POST /v1/tx        — submit a batch of transactions (fair-admission lanes
+//	                     keyed by client ID; 429 + per-tx errors on lane
+//	                     backpressure)
+//	GET  /v1/kv/{key}  — read the executor's KV ledger: value + write version
+//	                     + applied commit seq + chained state root, one
+//	                     consistent cursor
+//	GET  /v1/commits   — Server-Sent Events stream of committed transactions,
+//	                     resumable from a sequence number (?from= or
+//	                     Last-Event-ID)
+//	GET  /v1/status    — round, frontier, rejoining, snapshot floor, mempool
+//	                     lane depths
+//	GET  /metrics      — Prometheus text exposition (when a registry is
+//	                     attached)
+//
+// The wire types are defined in hammerhead/pkg/rpcapi — an importable
+// package, so external consumers of pkg/client can name them — and aliased
+// here, keeping gateway and client pinned to one definition.
+package rpc
+
+import "hammerhead/pkg/rpcapi"
+
+// Wire types, aliased from pkg/rpcapi (see that package for field docs).
+type (
+	// SubmitTx is one transaction in a submission batch.
+	SubmitTx = rpcapi.SubmitTx
+	// SubmitRequest is the POST /v1/tx body.
+	SubmitRequest = rpcapi.SubmitRequest
+	// SubmitResponse reports per-batch admission results.
+	SubmitResponse = rpcapi.SubmitResponse
+	// SubmitError names one rejected transaction.
+	SubmitError = rpcapi.SubmitError
+	// KVResponse is the GET /v1/kv/{key} body.
+	KVResponse = rpcapi.KVResponse
+	// LaneStatus is one admission lane's view in /v1/status.
+	LaneStatus = rpcapi.LaneStatus
+	// StatusResponse is the GET /v1/status body.
+	StatusResponse = rpcapi.StatusResponse
+	// CommitEvent is one SSE event on GET /v1/commits.
+	CommitEvent = rpcapi.CommitEvent
+	// GapEvent announces that a resume point aged out of retained history.
+	GapEvent = rpcapi.GapEvent
+)

@@ -1,0 +1,485 @@
+package rpc
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hammerhead/internal/bullshark"
+	"hammerhead/internal/execution"
+	"hammerhead/internal/mempool"
+	"hammerhead/internal/metrics"
+	"hammerhead/internal/types"
+)
+
+const (
+	// DefaultHistoryDepth is how many recent commits the gateway retains for
+	// SSE resume. A client further behind receives a gap event and resumes
+	// from the oldest retained sequence.
+	DefaultHistoryDepth = 4096
+	// maxSubmitBody bounds one POST /v1/tx body.
+	maxSubmitBody = 8 << 20
+	// maxTxIDsPerEvent caps the per-commit ID list carried on the stream;
+	// TxCount always reports the true size.
+	maxTxIDsPerEvent = 1 << 14
+)
+
+// Config wires a Gateway to its node. Submit is required; everything else
+// degrades gracefully when absent (reads 501, status partial).
+type Config struct {
+	// Addr is the listen address (":0" binds an ephemeral port; see Addr()).
+	Addr string
+	// Validator is the serving node's ID, echoed in /v1/status.
+	Validator types.ValidatorID
+	// Submit admits one client transaction into the node's fair-admission
+	// mempool. It must be safe for concurrent use and is expected to return
+	// mempool.ErrFull under lane backpressure.
+	Submit func(client string, tx types.Transaction) error
+	// Lane maps a client ID to its admission lane (echoed to clients so they
+	// can reason about fairness); nil reports lane 0.
+	Lane func(client string) int
+	// LaneStats feeds /v1/status and the lane-depth gauge; nil omits lanes.
+	LaneStats func() []mempool.LaneStats
+	// ReadKV serves GET /v1/kv; nil (execution disabled) answers 501.
+	ReadKV func(key []byte) (execution.KVRead, bool)
+	// RootAt resolves the executor's chained root at a commit sequence for
+	// stream events; nil leaves event roots empty.
+	RootAt func(seq uint64) (types.Digest, bool)
+	// Status supplies the node-level fields of /v1/status (engine round,
+	// frontier, execution cursor); the gateway fills in commit and mempool
+	// counters. Nil leaves those fields zero.
+	Status func() StatusResponse
+	// Metrics, when non-nil, receives gateway counters
+	// (hammerhead_rpc_requests_total, hammerhead_rpc_submit_latency_seconds,
+	// hammerhead_mempool_lane_depth) and is mounted at /metrics.
+	Metrics *metrics.Registry
+	// HistoryDepth overrides the SSE resume window (0 =
+	// DefaultHistoryDepth).
+	HistoryDepth int
+}
+
+// Gateway is the embedded HTTP server. Create with New (binds the listener),
+// then Start; Close is idempotent.
+type Gateway struct {
+	cfg      Config
+	listener net.Listener
+	server   *http.Server
+
+	// Commit history for SSE resume: a circular buffer ordered by seq
+	// (oldest at head). mu/cond guard it and wake streaming subscribers;
+	// ObserveCommit is the only writer, and appends are O(1) — this runs on
+	// the node's commit-delivery goroutine.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ring    []CommitEvent
+	head    int
+	lastSeq uint64
+	commits uint64
+	closed  bool
+
+	txSeq     atomic.Uint64
+	closeOnce sync.Once
+
+	reqsMetric    *metrics.Counter
+	submitLatency *metrics.Histogram
+	laneDepth     *metrics.Gauge
+}
+
+// New binds the gateway's listener (so ":0" callers can read Addr before
+// serving) and assembles the routes. Call Start to begin serving.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Submit == nil {
+		return nil, fmt.Errorf("rpc: Config.Submit is required")
+	}
+	if cfg.HistoryDepth <= 0 {
+		cfg.HistoryDepth = DefaultHistoryDepth
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listening on %s: %w", cfg.Addr, err)
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		listener: ln,
+		ring:     make([]CommitEvent, 0, cfg.HistoryDepth),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	if cfg.Metrics != nil {
+		g.reqsMetric = cfg.Metrics.Counter("hammerhead_rpc_requests_total")
+		g.submitLatency = cfg.Metrics.Histogram("hammerhead_rpc_submit_latency_seconds",
+			[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1})
+		g.laneDepth = cfg.Metrics.Gauge("hammerhead_mempool_lane_depth")
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/tx", g.counted(g.handleSubmit))
+	mux.HandleFunc("/v1/commits", g.counted(g.handleCommits))
+	mux.HandleFunc("/v1/status", g.counted(g.handleStatus))
+	if cfg.Metrics != nil {
+		mux.Handle("/metrics", cfg.Metrics)
+	}
+	// The KV route bypasses ServeMux: its path cleaning 301-redirects keys
+	// containing "//" or dot segments to a DIFFERENT key (KV keys are
+	// arbitrary byte strings), silently breaking read-your-writes. handleKV
+	// parses the escaped path itself.
+	kv := g.counted(g.handleKV)
+	g.server = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.EscapedPath(), "/v1/kv/") {
+			kv(w, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})}
+	return g, nil
+}
+
+// Addr returns the bound listen address.
+func (g *Gateway) Addr() string { return g.listener.Addr().String() }
+
+// Start begins serving in a background goroutine.
+func (g *Gateway) Start() {
+	go func() { _ = g.server.Serve(g.listener) }()
+}
+
+// Close stops the server, terminating open streams. Idempotent.
+func (g *Gateway) Close() error {
+	var err error
+	g.closeOnce.Do(func() {
+		g.mu.Lock()
+		g.closed = true
+		g.mu.Unlock()
+		g.cond.Broadcast()
+		// Close (not Shutdown): open SSE streams would hold a graceful
+		// shutdown forever.
+		err = g.server.Close()
+	})
+	return err
+}
+
+// ObserveCommit records one ordered sub-DAG for the commit stream and status
+// counters. Called from the node's commit-delivery goroutine — it appends to
+// the ring and wakes subscribers, nothing slower.
+func (g *Gateway) ObserveCommit(sub bullshark.CommittedSubDAG) {
+	ev := CommitEvent{
+		Seq:     sub.Index,
+		Round:   uint64(sub.Anchor.Round),
+		TxCount: sub.TxCount(),
+	}
+	for _, v := range sub.Vertices {
+		if v.Batch == nil {
+			continue
+		}
+		for i := range v.Batch.Transactions {
+			if len(ev.TxIDs) >= maxTxIDsPerEvent {
+				break
+			}
+			ev.TxIDs = append(ev.TxIDs, v.Batch.Transactions[i].ID)
+		}
+	}
+	g.mu.Lock()
+	if sub.Index > g.lastSeq {
+		if len(g.ring) < cap(g.ring) {
+			g.ring = append(g.ring, ev)
+		} else {
+			// Full: overwrite the oldest slot and advance the head.
+			g.ring[g.head] = ev
+			g.head = (g.head + 1) % len(g.ring)
+		}
+		g.lastSeq = sub.Index
+	}
+	g.commits++
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// ringAt returns the i-th oldest retained event. Caller holds g.mu.
+func (g *Gateway) ringAt(i int) *CommitEvent {
+	return &g.ring[(g.head+i)%len(g.ring)]
+}
+
+// counted wraps a handler with the request counter.
+func (g *Gateway) counted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if g.reqsMetric != nil {
+			g.reqsMetric.Inc()
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// clientID resolves the submitter identity for lane selection: explicit
+// request field, then the X-Client-ID header, then the remote host.
+func clientID(req *SubmitRequest, r *http.Request) string {
+	if req.Client != "" {
+		return req.Client
+	}
+	if h := r.Header.Get("X-Client-ID"); h != "" {
+		return h
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, SubmitError{Error: "POST only"})
+		return
+	}
+	start := time.Now()
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, SubmitError{Error: "decoding body: " + err.Error()})
+		return
+	}
+	client := clientID(&req, r)
+	resp := SubmitResponse{}
+	if g.cfg.Lane != nil {
+		resp.Lane = g.cfg.Lane(client)
+	}
+	now := time.Now().UnixNano()
+	for i := range req.Txs {
+		tx := types.Transaction{
+			ID:              req.Txs[i].ID,
+			SubmitTimeNanos: now,
+			Payload:         req.Txs[i].Payload,
+		}
+		if tx.ID == 0 {
+			tx.ID = g.txSeq.Add(1)
+		}
+		if err := g.cfg.Submit(client, tx); err != nil {
+			resp.Rejected++
+			resp.Errors = append(resp.Errors, SubmitError{Index: i, Error: err.Error()})
+			continue
+		}
+		resp.Accepted++
+	}
+	if g.submitLatency != nil {
+		g.submitLatency.Observe(time.Since(start).Seconds())
+	}
+	if g.laneDepth != nil && g.cfg.LaneStats != nil {
+		depth := 0
+		for _, ls := range g.cfg.LaneStats() {
+			if ls.Depth > depth {
+				depth = ls.Depth
+			}
+		}
+		g.laneDepth.Set(int64(depth))
+	}
+	status := http.StatusOK
+	if resp.Accepted == 0 && resp.Rejected > 0 {
+		// Every transaction bounced off the lane cap: surface backpressure as
+		// 429 so clients (and proxies) back off.
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(w, status, resp)
+}
+
+func (g *Gateway) handleKV(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, SubmitError{Error: "GET only"})
+		return
+	}
+	if g.cfg.ReadKV == nil {
+		writeJSON(w, http.StatusNotImplemented, SubmitError{Error: "execution subsystem disabled on this node"})
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/kv/")
+	key, err := url.PathUnescape(raw)
+	if err != nil || key == "" {
+		writeJSON(w, http.StatusBadRequest, SubmitError{Error: "bad key"})
+		return
+	}
+	read, ok := g.cfg.ReadKV([]byte(key))
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, SubmitError{Error: "state machine has no KV read surface"})
+		return
+	}
+	resp := KVResponse{
+		Key:          []byte(key),
+		Value:        read.Value,
+		Found:        read.Found,
+		Version:      read.Version,
+		AppliedSeq:   read.AppliedSeq,
+		AppliedRound: uint64(read.Round),
+		StateRoot:    hex.EncodeToString(read.StateRoot[:]),
+	}
+	status := http.StatusOK
+	if !read.Found {
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, resp)
+}
+
+func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, SubmitError{Error: "GET only"})
+		return
+	}
+	var resp StatusResponse
+	if g.cfg.Status != nil {
+		resp = g.cfg.Status()
+	}
+	resp.Validator = uint32(g.cfg.Validator)
+	if g.cfg.LaneStats != nil {
+		for _, ls := range g.cfg.LaneStats() {
+			resp.MempoolPending += ls.Depth
+			resp.MempoolCapacity += ls.Cap
+			resp.Lanes = append(resp.Lanes, LaneStatus{
+				Lane:      ls.Lane,
+				Depth:     ls.Depth,
+				Cap:       ls.Cap,
+				Weight:    ls.Weight,
+				Submitted: ls.Stats.Submitted,
+				Rejected:  ls.Stats.Rejected,
+				Drained:   ls.Stats.Drained,
+			})
+		}
+	}
+	g.mu.Lock()
+	resp.Commits = g.commits
+	g.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCommits streams commits as Server-Sent Events. ?from=SEQ (or the
+// Last-Event-ID header on reconnect) resumes after the given sequence; absent,
+// the stream starts at the live tail. A resume point older than the retained
+// ring yields a gap event, then streaming continues from the oldest retained
+// commit.
+func (g *Gateway) handleCommits(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, SubmitError{Error: "GET only"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, SubmitError{Error: "streaming unsupported"})
+		return
+	}
+	from, fromSet, err := resumePoint(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, SubmitError{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	// Wake the cond wait when the client goes away. The broadcast must
+	// serialize with the handler's check-then-wait under g.mu: a bare
+	// broadcast could land in the window between the handler evaluating
+	// ctx.Err() and entering Wait, stranding the goroutine (and the dead
+	// connection) until the next commit.
+	ctx := r.Context()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			g.mu.Lock()
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+
+	g.mu.Lock()
+	next := g.lastSeq + 1 // live tail by default
+	if fromSet {
+		next = from + 1
+	}
+	for {
+		for !g.closed && ctx.Err() == nil && g.lastSeq < next {
+			g.cond.Wait()
+		}
+		if g.closed || ctx.Err() != nil {
+			g.mu.Unlock()
+			return
+		}
+		// Copy the deliverable tail out (the ring is seq-ordered, so the
+		// start position is a binary search), then emit without the lock.
+		var gap *GapEvent
+		n := len(g.ring)
+		if n > 0 && g.ringAt(0).Seq > next {
+			gap = &GapEvent{Oldest: g.ringAt(0).Seq}
+			next = g.ringAt(0).Seq
+		}
+		start := sort.Search(n, func(i int) bool { return g.ringAt(i).Seq >= next })
+		batch := make([]CommitEvent, 0, n-start)
+		for i := start; i < n; i++ {
+			batch = append(batch, *g.ringAt(i))
+		}
+		if len(batch) > 0 {
+			next = batch[len(batch)-1].Seq + 1
+		}
+		g.mu.Unlock()
+
+		if gap != nil {
+			// The gap frame's id is Oldest-1: a client reconnecting with
+			// Last-Event-ID after seeing only the gap must still receive the
+			// commit at Oldest (id semantics are "last seq caught up to").
+			if err := writeEvent(w, "gap", gap.Oldest-1, gap); err != nil {
+				return
+			}
+		}
+		for i := range batch {
+			if g.cfg.RootAt != nil && batch[i].StateRoot == "" {
+				if root, ok := g.cfg.RootAt(batch[i].Seq); ok {
+					batch[i].StateRoot = hex.EncodeToString(root[:])
+				}
+			}
+			if err := writeEvent(w, "commit", batch[i].Seq, batch[i]); err != nil {
+				return
+			}
+		}
+		flusher.Flush()
+		g.mu.Lock()
+	}
+}
+
+// resumePoint parses the stream resume sequence from ?from= or Last-Event-ID.
+func resumePoint(r *http.Request) (seq uint64, set bool, err error) {
+	raw := r.URL.Query().Get("from")
+	if raw == "" {
+		raw = r.Header.Get("Last-Event-ID")
+	}
+	if raw == "" {
+		return 0, false, nil
+	}
+	seq, err = strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, false, errors.New("bad resume sequence: " + raw)
+	}
+	return seq, true, nil
+}
+
+// writeEvent emits one SSE frame: id, event name, JSON data.
+func writeEvent(w http.ResponseWriter, name string, id uint64, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, name, data)
+	return err
+}

@@ -9,10 +9,20 @@
 // implementation persists through RocksDB; a CRC-framed log file is the
 // stdlib equivalent with the same contract (DESIGN.md §4).
 //
+// Two record kinds share the log. Certificate records rebuild the DAG.
+// Proposal records persist the header this validator signed for its own slot
+// each round — the voted-round high-water mark: on replay the engine
+// re-adopts the highest recorded proposal and re-transmits it verbatim
+// instead of building a fresh (digest-conflicting) header for a slot whose
+// certificate may have survived only in a peer's WAL, which would equivocate
+// the slot.
+//
 // Record layout: 4-byte big-endian body length, 4-byte CRC32C of the body,
-// then the gob-encoded certificate. A torn tail (partial final record,
-// truncated file, CRC mismatch at the end) is tolerated on replay, as a
-// crash mid-append must not poison recovery.
+// then a version-tagged body (0x01 + gob-encoded record envelope; bodies
+// without the tag are legacy bare-certificate records and replay
+// losslessly). A torn tail (partial final record, truncated file, CRC
+// mismatch at the end) is tolerated on replay, as a crash mid-append must
+// not poison recovery.
 package storage
 
 import (
@@ -97,6 +107,27 @@ func openWALAppend(path string) (*WAL, error) {
 	return &WAL{path: path, file: f, writer: bufio.NewWriterSize(f, 1<<20)}, nil
 }
 
+// walRecord is the gob envelope of one log record: exactly one field is set.
+type walRecord struct {
+	Cert     *engine.Certificate
+	Proposal *engine.Header
+}
+
+// valid reports whether the envelope is well-formed (exactly one payload).
+func (r *walRecord) valid() bool {
+	return (r.Cert != nil) != (r.Proposal != nil)
+}
+
+// _recordV1 tags envelope-format record bodies. Legacy logs (bare
+// gob-encoded certificates, pre-proposal-records) have a gob stream as the
+// first body byte — a uvarint message length that is never 1 (the first gob
+// message is a type descriptor) — so the tag is unambiguous. Without the
+// tag, gob would "decode" a legacy certificate into an EMPTY walRecord
+// (field names don't overlap), the valid-prefix scan would stop at record
+// one, and the reopen truncation would silently erase the node's entire
+// pre-upgrade history.
+const _recordV1 = 0x01
+
 // validPrefix scans the log and returns the byte length of its longest valid
 // record prefix, plus the total file size. Validity matches Replay exactly
 // (same readRecord/decodeRecord pair): a CRC-intact but undecodable record
@@ -150,13 +181,25 @@ func readRecord(r *bufio.Reader) (body []byte, ok bool) {
 	return body, true
 }
 
-// decodeRecord parses a record body into a certificate.
-func decodeRecord(body []byte) (*engine.Certificate, bool) {
+// decodeRecord parses a record body into its envelope. Bodies without the
+// version tag are legacy bare-certificate records (pre-upgrade logs replay
+// losslessly; their rewrite on the next compaction migrates them).
+func decodeRecord(body []byte) (walRecord, bool) {
+	if len(body) > 0 && body[0] == _recordV1 {
+		var rec walRecord
+		if err := gob.NewDecoder(bytes.NewReader(body[1:])).Decode(&rec); err != nil {
+			return walRecord{}, false
+		}
+		if !rec.valid() {
+			return walRecord{}, false
+		}
+		return rec, true
+	}
 	var cert engine.Certificate
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&cert); err != nil {
-		return nil, false
+		return walRecord{}, false
 	}
-	return &cert, true
+	return walRecord{Cert: &cert}, true
 }
 
 // Path returns the log's file path.
@@ -167,12 +210,24 @@ func (w *WAL) Appended() uint64 { return w.appended }
 
 // Append writes one certificate record.
 func (w *WAL) Append(cert *engine.Certificate) error {
+	return w.appendRecord(walRecord{Cert: cert})
+}
+
+// AppendProposal writes one proposal record: the header this validator signed
+// for its own slot. On replay the highest recorded proposal becomes the
+// voted-round high-water mark (engine.RestoreProposal).
+func (w *WAL) AppendProposal(h *engine.Header) error {
+	return w.appendRecord(walRecord{Proposal: h})
+}
+
+func (w *WAL) appendRecord(rec walRecord) error {
 	if w.closed {
 		return ErrClosed
 	}
 	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(cert); err != nil {
-		return fmt.Errorf("storage: encoding certificate: %w", err)
+	body.WriteByte(_recordV1)
+	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
+		return fmt.Errorf("storage: encoding WAL record: %w", err)
 	}
 	var header [8]byte
 	binary.BigEndian.PutUint32(header[:4], uint32(body.Len()))
@@ -219,10 +274,11 @@ func (w *WAL) Close() error {
 	return w.file.Close()
 }
 
-// Replay streams every intact record to fn in append order. A torn or
-// corrupt tail ends replay silently (crash-consistent); corruption in the
-// middle also stops there — the protocol's sync path backfills anything
-// lost. fn returning an error aborts replay with that error.
+// Replay streams every intact certificate record to fn in append order
+// (proposal records are skipped). A torn or corrupt tail ends replay silently
+// (crash-consistent); corruption in the middle also stops there — the
+// protocol's sync path backfills anything lost. fn returning an error aborts
+// replay with that error.
 func Replay(path string, fn func(*engine.Certificate) error) error {
 	_, err := ReplayPrefix(path, fn)
 	return err
@@ -232,6 +288,14 @@ func Replay(path string, fn func(*engine.Certificate) error) error {
 // valid record prefix it consumed. Callers about to OpenWAL the same log
 // pass it through OpenWALTrimmed, sparing the open its own validity scan.
 func ReplayPrefix(path string, fn func(*engine.Certificate) error) (int64, error) {
+	return ReplayPrefixRecords(path, fn, nil)
+}
+
+// ReplayPrefixRecords streams certificate records to certFn and proposal
+// records to propFn (either may be nil), in append order, returning the byte
+// length of the valid record prefix. The node's recovery path uses it to
+// rebuild the DAG and recover the voted-round high-water mark in one scan.
+func ReplayPrefixRecords(path string, certFn func(*engine.Certificate) error, propFn func(*engine.Header) error) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -248,12 +312,19 @@ func ReplayPrefix(path string, fn func(*engine.Certificate) error) (int64, error
 		if !ok {
 			return valid, nil // clean EOF, torn record, or corruption: stop
 		}
-		cert, ok := decodeRecord(body)
+		rec, ok := decodeRecord(body)
 		if !ok {
 			return valid, nil // undecodable body: stop
 		}
-		if err := fn(cert); err != nil {
-			return valid, err
+		switch {
+		case rec.Cert != nil && certFn != nil:
+			if err := certFn(rec.Cert); err != nil {
+				return valid, err
+			}
+		case rec.Proposal != nil && propFn != nil:
+			if err := propFn(rec.Proposal); err != nil {
+				return valid, err
+			}
 		}
 		valid += int64(8 + len(body))
 	}
@@ -264,12 +335,16 @@ func ReplayPrefix(path string, fn func(*engine.Certificate) error) (int64, error
 // log's replay frontier floor — checkpoint-driven compaction raises it as
 // the executor's checkpoint floor advances.
 type WALInfo struct {
-	// Certs is the number of intact records in the valid prefix.
+	// Certs is the number of intact certificate records in the valid prefix.
 	Certs uint64
 	// LowestRound and HighestRound bound the recorded certificate rounds
 	// (both zero when the log is empty).
 	LowestRound  types.Round
 	HighestRound types.Round
+	// Proposals counts recorded own-slot proposal headers; HighestProposal is
+	// the voted-round high-water mark a restart will restore.
+	Proposals       uint64
+	HighestProposal types.Round
 	// ValidBytes is the byte length of the valid record prefix.
 	ValidBytes int64
 }
@@ -279,7 +354,7 @@ type WALInfo struct {
 // what a restart will replay.
 func Inspect(path string) (WALInfo, error) {
 	var info WALInfo
-	valid, err := ReplayPrefix(path, func(cert *engine.Certificate) error {
+	valid, err := ReplayPrefixRecords(path, func(cert *engine.Certificate) error {
 		r := cert.Header.Round
 		if info.Certs == 0 || r < info.LowestRound {
 			info.LowestRound = r
@@ -288,6 +363,12 @@ func Inspect(path string) (WALInfo, error) {
 			info.HighestRound = r
 		}
 		info.Certs++
+		return nil
+	}, func(h *engine.Header) error {
+		info.Proposals++
+		if h.Round > info.HighestProposal {
+			info.HighestProposal = h.Round
+		}
 		return nil
 	})
 	info.ValidBytes = valid
@@ -325,10 +406,13 @@ func (w *WAL) CompactTo(floor types.Round) error {
 	return compactErr
 }
 
-// Compact rewrites the log keeping only certificates with round >= floor,
-// using a temp-file-and-rename so a crash mid-compaction leaves either the
-// old or the new log intact. The WAL must be closed by the caller first
-// (open sessions use CompactTo, which handles the handle swap).
+// Compact rewrites the log keeping only records with round >= floor, using a
+// temp-file-and-rename so a crash mid-compaction leaves either the old or the
+// new log intact. The highest proposal record is always retained even below
+// the floor: it is the voted-round high-water mark, and dropping it would
+// silently widen the slot-equivocation window after the next restart. The
+// WAL must be closed by the caller first (open sessions use CompactTo, which
+// handles the handle swap).
 func Compact(path string, floor types.Round) error {
 	tmp := path + ".compact"
 	// A crash mid-compaction can leave a stale temp file; OpenWAL would
@@ -341,12 +425,30 @@ func Compact(path string, floor types.Round) error {
 	if err != nil {
 		return err
 	}
-	replayErr := Replay(path, func(cert *engine.Certificate) error {
+	// Single pass: proposals at or above the floor copy through; the highest
+	// below-floor proposal is buffered and appended at the end ONLY when no
+	// above-floor proposal preserved the mark (replay takes the highest, so
+	// record order does not matter for proposals).
+	var bestBelow *engine.Header
+	keptMark := false
+	_, replayErr := ReplayPrefixRecords(path, func(cert *engine.Certificate) error {
 		if cert.Header.Round < floor {
 			return nil
 		}
 		return out.Append(cert)
+	}, func(h *engine.Header) error {
+		if h.Round >= floor {
+			keptMark = true
+			return out.AppendProposal(h)
+		}
+		if bestBelow == nil || h.Round > bestBelow.Round {
+			bestBelow = h
+		}
+		return nil
 	})
+	if replayErr == nil && !keptMark && bestBelow != nil {
+		replayErr = out.AppendProposal(bestBelow)
+	}
 	if replayErr != nil {
 		_ = out.Close()
 		_ = os.Remove(tmp)

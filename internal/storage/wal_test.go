@@ -1,6 +1,10 @@
 package storage
 
 import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -521,5 +525,166 @@ func TestCompactIgnoresStaleTempFile(t *testing.T) {
 			t.Fatalf("stale temp-file record (round %d, v%d) leaked into the compacted log",
 				c.Header.Round, c.Header.Source)
 		}
+	}
+}
+
+// testProposal builds a signed-looking own-slot header record.
+func testProposal(round types.Round, source types.ValidatorID) *engine.Header {
+	return &engine.Header{
+		Round:     round,
+		Source:    source,
+		Signature: []byte("proposal-sig"),
+	}
+}
+
+// TestProposalRecordsRoundTrip: proposal records interleave with certificate
+// records, replay keeps the two streams separate and in order, and the
+// certificate-only Replay skips proposals entirely.
+func TestProposalRecordsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testCert(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendProposal(testProposal(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testCert(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendProposal(testProposal(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var certs, props []types.Round
+	if _, err := ReplayPrefixRecords(path, func(c *engine.Certificate) error {
+		certs = append(certs, c.Header.Round)
+		return nil
+	}, func(h *engine.Header) error {
+		props = append(props, h.Round)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(certs) != 2 || certs[0] != 1 || certs[1] != 2 {
+		t.Fatalf("cert rounds = %v, want [1 2]", certs)
+	}
+	if len(props) != 2 || props[0] != 2 || props[1] != 3 {
+		t.Fatalf("proposal rounds = %v, want [2 3]", props)
+	}
+
+	// Certificate-only replay must skip proposal records.
+	if got := replayAll(t, path); len(got) != 2 {
+		t.Fatalf("Replay yielded %d certs, want 2", len(got))
+	}
+
+	info, err := Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Proposals != 2 || info.HighestProposal != 3 {
+		t.Fatalf("Inspect proposals = %d highest = %d, want 2/3", info.Proposals, info.HighestProposal)
+	}
+}
+
+// TestCompactKeepsProposalHighWaterMark: compaction drops below-floor
+// proposal records like certificates, but the HIGHEST proposal always
+// survives — it is the anti-equivocation mark, and losing it would widen the
+// slot-equivocation window after the next restart.
+func TestCompactKeepsProposalHighWaterMark(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := types.Round(1); r <= 6; r++ {
+		if err := w.Append(testCert(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendProposal(testProposal(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Floor above every proposal: the mark at round 6 must still survive.
+	if err := Compact(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Certs != 0 {
+		t.Fatalf("compaction kept %d below-floor certs", info.Certs)
+	}
+	if info.Proposals != 1 || info.HighestProposal != 6 {
+		t.Fatalf("proposals after compaction = %d highest = %d, want the round-6 mark only", info.Proposals, info.HighestProposal)
+	}
+}
+
+// TestLegacyCertificateRecordsReplay is the upgrade-path regression: logs
+// written before the record envelope (bare gob-encoded certificates, no
+// version tag) must replay losslessly — without the tag discrimination, the
+// valid-prefix scan would stop at record one and the reopen truncation would
+// silently erase the node's entire pre-upgrade history.
+func TestLegacyCertificateRecordsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := types.Round(1); r <= 3; r++ {
+		var body bytes.Buffer
+		if err := gob.NewEncoder(&body).Encode(testCert(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+		var header [8]byte
+		binary.BigEndian.PutUint32(header[:4], uint32(body.Len()))
+		binary.BigEndian.PutUint32(header[4:], crc32.Checksum(body.Bytes(), crc32.MakeTable(crc32.Castagnoli)))
+		if _, err := f.Write(header[:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(body.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, path)
+	if len(got) != 3 {
+		t.Fatalf("legacy log replayed %d certs, want 3", len(got))
+	}
+	// Reopening must keep (not truncate) the legacy prefix and append new
+	// envelope records after it.
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testCert(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendProposal(testProposal(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Certs != 4 || info.HighestRound != 4 || info.Proposals != 1 || info.HighestProposal != 5 {
+		t.Fatalf("mixed-format log: %+v, want 4 certs to round 4 + the round-5 proposal", info)
 	}
 }

@@ -20,8 +20,14 @@ const (
 	_maxFrameSize = 64 << 20
 	_dialTimeout  = 3 * time.Second
 	_redialDelay  = 500 * time.Millisecond
-	_sendQueueLen = 4096
 )
+
+// SendQueueLen is each peer's outbound queue bound. A saturated peer (slow,
+// partitioned, or down) drops the NEWEST frames beyond it — Send never
+// blocks the caller, which is what keeps an RPC-driven ingest path from
+// stalling on one dead validator; the protocol's resync machinery backfills
+// whatever the drops cost.
+const SendQueueLen = 4096
 
 // TCPConfig configures a TCP endpoint.
 type TCPConfig struct {
@@ -78,7 +84,7 @@ func NewTCP(cfg TCPConfig) (*TCPTransport, error) {
 		if id == cfg.Self {
 			continue
 		}
-		p := &tcpPeer{addr: addr, queue: make(chan []byte, _sendQueueLen)}
+		p := &tcpPeer{addr: addr, queue: make(chan []byte, SendQueueLen)}
 		t.peers[id] = p
 		t.wg.Add(1)
 		go t.sendLoop(p)

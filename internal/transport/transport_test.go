@@ -3,6 +3,7 @@ package transport_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -381,4 +382,175 @@ func ExampleChannelNetwork() {
 	_ = tr0.Send(1, &engine.Message{Kind: engine.KindVote, Vote: &engine.Vote{}})
 	<-done
 	// Output: got vote from v0
+}
+
+// TestTCPPeerRestartResumesDelivery models the RPC-driven serving scenario:
+// a sender keeps submitting at a steady clip while its peer process dies and
+// a new transport rebinds the same address. The redial loop must reconnect
+// and deliver the post-restart traffic without the sender ever blocking.
+func TestTCPPeerRestartResumesDelivery(t *testing.T) {
+	colA := newCollector()
+	first := newCollector()
+
+	peer1, err := transport.NewTCP(transport.TCPConfig{
+		Self: 1, ListenAddr: "127.0.0.1:0",
+		PeerAddrs: map[types.ValidatorID]string{},
+		Handler:   first.handler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerAddr := peer1.Addr()
+
+	sender, err := transport.NewTCP(transport.TCPConfig{
+		Self: 0, ListenAddr: "127.0.0.1:0",
+		PeerAddrs: map[types.ValidatorID]string{1: peerAddr},
+		Handler:   colA.handler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	// Sustained submission stream: rounds are a monotone sequence so the
+	// receiver can prove post-restart delivery.
+	stop := make(chan struct{})
+	var sent atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = sender.Send(1, voteMsg(0, types.Round(sent.Add(1))))
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	first.waitFor(t, 1, 10*time.Second) // connection established, traffic flows
+	if err := peer1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The peer is dead for a while; the sender must keep running (drops, no
+	// blocking — submissions keep being accepted upstream).
+	time.Sleep(300 * time.Millisecond)
+
+	second := newCollector()
+	var peer2 *transport.TCPTransport
+	for attempt := 0; ; attempt++ {
+		peer2, err = transport.NewTCP(transport.TCPConfig{
+			Self: 1, ListenAddr: peerAddr,
+			PeerAddrs: map[types.ValidatorID]string{},
+			Handler:   second.handler,
+		})
+		if err == nil {
+			break
+		}
+		if attempt > 50 {
+			t.Fatalf("rebinding %s: %v", peerAddr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	defer peer2.Close()
+
+	// The restarted peer must start receiving NEW traffic: a round sent
+	// after its rebind has to arrive.
+	rebindFloor := types.Round(sent.Load())
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		got := func() bool {
+			second.mu.Lock()
+			defer second.mu.Unlock()
+			for _, r := range second.msgs {
+				if r.msg.Vote.Round > rebindFloor {
+					return true
+				}
+			}
+			return false
+		}()
+		if got {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no post-restart traffic delivered: redial did not resume")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestTCPSaturatedPeerDropsNewest pins the backpressure contract at a dead
+// peer: sends past the outbound queue bound return immediately (drop-newest,
+// never block), and once the peer appears only the oldest ~SendQueueLen
+// frames are delivered.
+func TestTCPSaturatedPeerDropsNewest(t *testing.T) {
+	late := newCollector()
+	// Reserve an address that is not listening yet.
+	probe, err := transport.NewTCP(transport.TCPConfig{
+		Self: 1, ListenAddr: "127.0.0.1:0",
+		PeerAddrs: map[types.ValidatorID]string{},
+		Handler:   late.handler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateAddr := probe.Addr()
+	_ = probe.Close()
+
+	sender, err := transport.NewTCP(transport.TCPConfig{
+		Self: 0, ListenAddr: "127.0.0.1:0",
+		PeerAddrs: map[types.ValidatorID]string{1: lateAddr},
+		Handler:   newCollector().handler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	// Twice the queue bound, all at once. Every Send must return promptly
+	// even though nothing is draining.
+	total := 2 * transport.SendQueueLen
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		if err := sender.Send(1, voteMsg(0, types.Round(i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sends against a saturated peer took %v: Send blocked", elapsed)
+	}
+
+	peer, err := transport.NewTCP(transport.TCPConfig{
+		Self: 1, ListenAddr: lateAddr,
+		PeerAddrs: map[types.ValidatorID]string{},
+		Handler:   late.handler,
+	})
+	if err != nil {
+		t.Fatalf("late peer failed to bind: %v", err)
+	}
+	defer peer.Close()
+
+	late.waitFor(t, 1, 15*time.Second)
+	// Give the queue time to drain, then check the drop side: deliveries are
+	// bounded by the queue and come from the OLDEST sends (the failed-dial
+	// path may drop a few head frames; none may come from past the bound).
+	time.Sleep(2 * time.Second)
+	late.mu.Lock()
+	defer late.mu.Unlock()
+	if len(late.msgs) > transport.SendQueueLen {
+		t.Fatalf("delivered %d > queue bound %d: overflow was not dropped", len(late.msgs), transport.SendQueueLen)
+	}
+	for _, r := range late.msgs {
+		// Head frames can be consumed by failed dial windows (one per redial
+		// delay); everything delivered must come from the first
+		// SendQueueLen+headDrops sends, never the overflow tail.
+		if r.msg.Vote.Round >= types.Round(transport.SendQueueLen+16) {
+			t.Fatalf("round %d delivered: a frame past the queue bound survived (drop-newest violated)", r.msg.Vote.Round)
+		}
+	}
 }

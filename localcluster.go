@@ -20,6 +20,8 @@ type localClusterOptions struct {
 	scheme          string
 	execution       bool
 	snapshotDir     string
+	rpc             bool
+	rpcLanes        int
 	onCommit        func(id ValidatorID, sub CommittedSubDAG, replayed bool)
 	metrics         *MetricsRegistry
 	metricsTargetID ValidatorID
@@ -57,6 +59,16 @@ func WithExecution(snapshotDir string) LocalClusterOption {
 	return func(o *localClusterOptions) {
 		o.execution = true
 		o.snapshotDir = snapshotDir
+	}
+}
+
+// WithRPC serves each node's client gateway on an ephemeral loopback port
+// (see RPCAddrs) with the given number of fair-admission mempool lanes
+// (<= 1 keeps a single lane). Pair with WithExecution for KV reads.
+func WithRPC(lanes int) LocalClusterOption {
+	return func(o *localClusterOptions) {
+		o.rpc = true
+		o.rpcLanes = lanes
 	}
 }
 
@@ -139,6 +151,10 @@ func StartLocalCluster(n int, opts ...LocalClusterOption) (*LocalCluster, error)
 				cfg.SnapshotDir = filepath.Join(options.snapshotDir, fmt.Sprintf("validator-%d", i))
 			}
 		}
+		if options.rpc {
+			cfg.RPCAddr = "127.0.0.1:0"
+			cfg.MempoolLanes = options.rpcLanes
+		}
 		if options.onCommit != nil {
 			hook := options.onCommit
 			cfg.OnCommit = func(sub CommittedSubDAG, replayed bool) { hook(id, sub, replayed) }
@@ -170,6 +186,18 @@ func StartLocalCluster(n int, opts ...LocalClusterOption) (*LocalCluster, error)
 		}
 	}
 	return cluster, nil
+}
+
+// RPCAddrs lists each node's client-gateway base address ("host:port"), in
+// validator order. Empty without WithRPC.
+func (c *LocalCluster) RPCAddrs() []string {
+	var addrs []string
+	for _, nd := range c.Nodes {
+		if gw := nd.Gateway(); gw != nil {
+			addrs = append(addrs, gw.Addr())
+		}
+	}
+	return addrs
 }
 
 // Submit hands a transaction to the given validator's mempool.

@@ -1,0 +1,354 @@
+// Package client is the Go client for a HammerHead validator's RPC gateway
+// (internal/rpc): transaction submission with retry and multi-validator
+// failover, committed-KV reads, node status, and a resumable subscription to
+// the commit stream. The load generator (cmd/hammerhead-loadgen) and the
+// client-load experiment are built on it.
+//
+// Failover model: the client holds one base URL per validator gateway and
+// rotates deterministically — a request that fails at the network layer, or
+// that a gateway answers with a 5xx, moves to the next endpoint; 429 (lane
+// backpressure) backs off and retries, eventually also rotating, since
+// another validator's lane for this client may have headroom. Submissions are
+// NOT idempotent across validators (each validator has its own mempool), so a
+// retried submit can commit twice; clients that care deduplicate by
+// transaction ID, exactly like any at-least-once ingress.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hammerhead/internal/execution"
+	"hammerhead/pkg/rpcapi"
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// Endpoints are gateway base addresses, one per validator: "host:port" or
+	// full "http://host:port" URLs. At least one is required.
+	Endpoints []string
+	// ClientID names this client for fair admission (the gateway's lane key).
+	// Empty lets the gateway fall back to the remote address.
+	ClientID string
+	// HTTPClient overrides the transport (nil uses a client with sane
+	// timeouts for request/response calls; streams strip the timeout).
+	HTTPClient *http.Client
+	// Attempts bounds the total tries per call across endpoints (0 = twice
+	// the endpoint count, so every endpoint is tried at least once with one
+	// full failover round).
+	Attempts int
+	// Backoff is the pause after a 429 before retrying (0 = 50ms). Doubled
+	// per consecutive backpressure response, capped at 8x.
+	Backoff time.Duration
+}
+
+// Client talks to one or more validator gateways. Safe for concurrent use.
+type Client struct {
+	cfg    Config
+	bases  []string
+	http   *http.Client
+	stream *http.Client
+	next   atomic.Uint64
+}
+
+// New validates the configuration and builds a client.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, errors.New("client: at least one endpoint is required")
+	}
+	bases := make([]string, len(cfg.Endpoints))
+	for i, ep := range cfg.Endpoints {
+		base := ep
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		u, err := url.Parse(base)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("client: bad endpoint %q", ep)
+		}
+		bases[i] = strings.TrimRight(base, "/")
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 2 * len(bases)
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	httpClient := cfg.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	// The stream client must not carry a global timeout: an SSE subscription
+	// is supposed to stay open. Share the transport, drop the deadline.
+	streamClient := &http.Client{Transport: httpClient.Transport}
+	return &Client{cfg: cfg, bases: bases, http: httpClient, stream: streamClient}, nil
+}
+
+// Endpoints returns the normalized base URLs.
+func (c *Client) Endpoints() []string { return append([]string(nil), c.bases...) }
+
+// errBackpressure marks a 429 so the retry loop can back off instead of
+// failing over immediately.
+type errBackpressure struct{ resp rpcapi.SubmitResponse }
+
+func (errBackpressure) Error() string { return "client: gateway backpressure (429)" }
+
+// do runs one call with rotation and retry. fn performs the request against a
+// base URL and reports a retryable error to move on.
+func (c *Client) do(ctx context.Context, fn func(base string) error) error {
+	start := c.next.Add(1) - 1
+	backoff := c.cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		base := c.bases[(start+uint64(attempt))%uint64(len(c.bases))]
+		err := fn(base)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if errors.As(err, &errBackpressure{}) {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if backoff < 8*c.cfg.Backoff {
+				backoff *= 2
+			}
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) getJSON(ctx context.Context, base, path string, out any, okStatuses ...int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	allowed := false
+	for _, s := range okStatuses {
+		if resp.StatusCode == s {
+			allowed = true
+		}
+	}
+	if !allowed {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("client: %s%s: status %d: %s", base, path, resp.StatusCode, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts one batch of raw transaction payloads, assigning IDs is left
+// to the gateway. See SubmitTxs for explicit IDs.
+func (c *Client) Submit(ctx context.Context, payloads ...[]byte) (rpcapi.SubmitResponse, error) {
+	txs := make([]rpcapi.SubmitTx, len(payloads))
+	for i, p := range payloads {
+		txs[i] = rpcapi.SubmitTx{Payload: p}
+	}
+	return c.SubmitTxs(ctx, txs)
+}
+
+// SubmitTxs posts one batch of transactions, failing over across endpoints
+// and backing off on lane backpressure. The returned response is the first
+// gateway answer that admitted at least one transaction (or the final
+// rejection once attempts are exhausted).
+func (c *Client) SubmitTxs(ctx context.Context, txs []rpcapi.SubmitTx) (rpcapi.SubmitResponse, error) {
+	body, err := json.Marshal(rpcapi.SubmitRequest{Client: c.cfg.ClientID, Txs: txs})
+	if err != nil {
+		return rpcapi.SubmitResponse{}, err
+	}
+	var out rpcapi.SubmitResponse
+	err = c.do(ctx, func(base string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/tx", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if c.cfg.ClientID != "" {
+			req.Header.Set("X-Client-ID", c.cfg.ClientID)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return json.NewDecoder(resp.Body).Decode(&out)
+		case http.StatusTooManyRequests:
+			var rejected rpcapi.SubmitResponse
+			_ = json.NewDecoder(resp.Body).Decode(&rejected)
+			return errBackpressure{resp: rejected}
+		default:
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return fmt.Errorf("client: %s/v1/tx: status %d: %s", base, resp.StatusCode, raw)
+		}
+	})
+	if err != nil {
+		var bp errBackpressure
+		if errors.As(err, &bp) {
+			// Surface the gateway's per-tx rejection detail alongside the error.
+			return bp.resp, err
+		}
+		return rpcapi.SubmitResponse{}, err
+	}
+	return out, nil
+}
+
+// Get reads a key from the committed KV ledger, failing over across
+// endpoints. Missing keys return Found=false with a nil error — the cursor
+// fields still report where the read landed.
+func (c *Client) Get(ctx context.Context, key []byte) (rpcapi.KVResponse, error) {
+	var out rpcapi.KVResponse
+	err := c.do(ctx, func(base string) error {
+		return c.getJSON(ctx, base, "/v1/kv/"+url.PathEscape(string(key)), &out,
+			http.StatusOK, http.StatusNotFound)
+	})
+	return out, err
+}
+
+// GetAt reads a key from one specific endpoint (index into Endpoints) — the
+// cross-validator convergence checks read the same key everywhere and compare
+// state roots.
+func (c *Client) GetAt(ctx context.Context, endpoint int, key []byte) (rpcapi.KVResponse, error) {
+	var out rpcapi.KVResponse
+	base := c.bases[endpoint%len(c.bases)]
+	err := c.getJSON(ctx, base, "/v1/kv/"+url.PathEscape(string(key)), &out,
+		http.StatusOK, http.StatusNotFound)
+	return out, err
+}
+
+// Status reads one validator's /v1/status (failing over across endpoints).
+func (c *Client) Status(ctx context.Context) (rpcapi.StatusResponse, error) {
+	var out rpcapi.StatusResponse
+	err := c.do(ctx, func(base string) error {
+		return c.getJSON(ctx, base, "/v1/status", &out, http.StatusOK)
+	})
+	return out, err
+}
+
+// StatusAt reads a specific endpoint's status.
+func (c *Client) StatusAt(ctx context.Context, endpoint int) (rpcapi.StatusResponse, error) {
+	var out rpcapi.StatusResponse
+	err := c.getJSON(ctx, c.bases[endpoint%len(c.bases)], "/v1/status", &out, http.StatusOK)
+	return out, err
+}
+
+// CommitHandler observes one commit-stream event. Returning an error stops
+// the stream and is returned from StreamCommits.
+type CommitHandler func(ev rpcapi.CommitEvent) error
+
+// StreamCommits subscribes to the commit stream, resuming after fromSeq
+// (0 starts at the live tail of the first connection). The subscription
+// reconnects with failover on broken streams, resuming from the last seen
+// sequence, until ctx is done or the handler errors. Gap events (history aged
+// out of the gateway's ring) are folded in transparently: streaming continues
+// from the oldest retained commit.
+func (c *Client) StreamCommits(ctx context.Context, fromSeq uint64, fn CommitHandler) error {
+	last := fromSeq
+	seen := fromSeq > 0
+	endpoint := int(c.next.Add(1) - 1)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		base := c.bases[endpoint%len(c.bases)]
+		err := c.streamOnce(ctx, base, &last, &seen, fn)
+		switch {
+		case err == nil:
+			return nil // handler asked to stop
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return err
+		}
+		var stop errStopStream
+		if errors.As(err, &stop) {
+			return stop.err
+		}
+		// Broken stream: fail over and resume from the last seen sequence.
+		endpoint++
+		select {
+		case <-time.After(c.cfg.Backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// errStopStream wraps a handler error (terminal, no reconnect).
+type errStopStream struct{ err error }
+
+func (e errStopStream) Error() string { return e.err.Error() }
+
+// streamOnce runs a single SSE connection until it breaks (error) or the
+// handler stops it (nil).
+func (c *Client) streamOnce(ctx context.Context, base string, last *uint64, seen *bool, fn CommitHandler) error {
+	path := base + "/v1/commits"
+	if *seen {
+		path += fmt.Sprintf("?from=%d", *last)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.stream.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: %s: stream status %d", path, resp.StatusCode)
+	}
+	reader := bufio.NewReader(resp.Body)
+	var event string
+	var data []byte
+	for {
+		line, err := reader.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && data != nil:
+			if event == "commit" {
+				var ev rpcapi.CommitEvent
+				if err := json.Unmarshal(data, &ev); err == nil {
+					*last, *seen = ev.Seq, true
+					if err := fn(ev); err != nil {
+						return errStopStream{err: err}
+					}
+				}
+			}
+			// Gap events only move the resume cursor implicitly: the next
+			// commit event's Seq does that for us.
+			event, data = "", nil
+		}
+	}
+}
+
+// PutPayload encodes a KV put for the built-in execution state machine.
+func PutPayload(key, value []byte) []byte { return execution.PutOp(key, value) }
+
+// DeletePayload encodes a KV delete.
+func DeletePayload(key []byte) []byte { return execution.DeleteOp(key) }

@@ -1,0 +1,139 @@
+// Package rpcapi defines the wire types of the validator's client gateway
+// (internal/rpc) — the JSON bodies of POST /v1/tx, GET /v1/kv, GET
+// /v1/status and the SSE commit-stream events. They live outside internal/
+// so external consumers of hammerhead/pkg/client can name them; the gateway
+// aliases them, so the two can never drift.
+//
+// The gateway itself:
+// an HTTP/JSON API for transaction submission, committed-state reads,
+// commit-stream subscription and node status. It is the first surface through
+// which anything outside the validator process reaches the consensus core —
+// the serving layer the ROADMAP's "heavy traffic from millions of users"
+// north star needs.
+//
+// Endpoints:
+//
+//	POST /v1/tx        — submit a batch of transactions (fair-admission lanes
+//	                     keyed by client ID; 429 + per-tx errors on lane
+//	                     backpressure)
+//	GET  /v1/kv/{key}  — read the executor's KV ledger: value + write version
+//	                     + applied commit seq + chained state root, one
+//	                     consistent cursor
+//	GET  /v1/commits   — Server-Sent Events stream of committed transactions,
+//	                     resumable from a sequence number (?from= or
+//	                     Last-Event-ID)
+//	GET  /v1/status    — round, frontier, rejoining, snapshot floor, mempool
+//	                     lane depths
+//	GET  /metrics      — Prometheus text exposition (when a registry is
+//	                     attached)
+//
+// The wire types below are shared with pkg/client, so the Go client library
+// and the gateway can never drift apart.
+package rpcapi
+
+// SubmitTx is one transaction in a submission batch. Payload is opaque to
+// consensus; the built-in KV state machine executes execution.PutOp /
+// execution.DeleteOp encodings and counts everything else as an opaque op.
+type SubmitTx struct {
+	// ID is the client-chosen transaction identifier, echoed in commit-stream
+	// events so clients can match submissions to finality. 0 lets the gateway
+	// assign one.
+	ID      uint64 `json:"id,omitempty"`
+	Payload []byte `json:"payload"`
+}
+
+// SubmitRequest is the POST /v1/tx body.
+type SubmitRequest struct {
+	// Client identifies the submitter for fair admission (lane selection).
+	// Empty falls back to the X-Client-ID header, then the remote address.
+	Client string     `json:"client,omitempty"`
+	Txs    []SubmitTx `json:"txs"`
+}
+
+// SubmitResponse reports per-batch admission results.
+type SubmitResponse struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	// Errors lists the rejected transactions by batch index ("mempool: pool
+	// is full" under lane backpressure — the client should back off).
+	Errors []SubmitError `json:"errors,omitempty"`
+	// Lane is the admission lane the client's transactions were routed to.
+	Lane int `json:"lane"`
+}
+
+// SubmitError names one rejected transaction.
+type SubmitError struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// KVResponse is the GET /v1/kv/{key} body: a point read plus the consistency
+// cursor it was taken under. Two validators returning the same (applied_seq,
+// state_root) pair served reads from identical applied histories.
+type KVResponse struct {
+	Key     []byte `json:"key"`
+	Value   []byte `json:"value,omitempty"`
+	Found   bool   `json:"found"`
+	Version uint64 `json:"version,omitempty"`
+	// AppliedSeq and StateRoot are the executor's cursor at read time.
+	AppliedSeq   uint64 `json:"applied_seq"`
+	AppliedRound uint64 `json:"applied_round"`
+	StateRoot    string `json:"state_root"`
+}
+
+// LaneStatus is one admission lane's view in /v1/status.
+type LaneStatus struct {
+	Lane      int    `json:"lane"`
+	Depth     int    `json:"depth"`
+	Cap       int    `json:"cap"`
+	Weight    int    `json:"weight"`
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Drained   uint64 `json:"drained"`
+}
+
+// StatusResponse is the GET /v1/status body.
+type StatusResponse struct {
+	Validator uint32 `json:"validator"`
+	// Round is the engine's current proposing round; HighestRound the DAG
+	// frontier; LastOrdered the committer's ordering floor.
+	Round        uint64 `json:"round"`
+	HighestRound uint64 `json:"highest_round"`
+	LastOrdered  uint64 `json:"last_ordered_round"`
+	// Rejoining is true while the crash-rejoin handshake is still gathering.
+	Rejoining bool `json:"rejoining"`
+	// Execution cursor (zero values when the execution subsystem is off).
+	AppliedSeq   uint64 `json:"applied_seq"`
+	AppliedRound uint64 `json:"applied_round"`
+	StateRoot    string `json:"state_root,omitempty"`
+	// SnapshotFloor is the latest checkpoint's retention floor (0 = no
+	// checkpoint yet).
+	SnapshotFloor uint64 `json:"snapshot_floor"`
+	// Commits counts ordered sub-DAGs delivered since boot (replayed ones
+	// included).
+	Commits uint64 `json:"commits"`
+	// Mempool occupancy and per-lane admission state.
+	MempoolPending  int          `json:"mempool_pending"`
+	MempoolCapacity int          `json:"mempool_capacity"`
+	Lanes           []LaneStatus `json:"lanes,omitempty"`
+}
+
+// CommitEvent is one SSE event on GET /v1/commits: an ordered sub-DAG's
+// identity plus the IDs of the transactions it finalized. StateRoot is the
+// executor's chained root at this sequence when already applied ("" while
+// execution still trails the commit stream, or without execution).
+type CommitEvent struct {
+	Seq       uint64   `json:"seq"`
+	Round     uint64   `json:"round"`
+	TxCount   int      `json:"tx_count"`
+	TxIDs     []uint64 `json:"tx_ids,omitempty"`
+	StateRoot string   `json:"state_root,omitempty"`
+}
+
+// GapEvent is sent on the commit stream when the requested resume point has
+// aged out of the gateway's retained history: the client missed the range
+// (from, oldest) and the stream continues from Oldest.
+type GapEvent struct {
+	// Oldest is the first sequence still retained; streaming resumes there.
+	Oldest uint64 `json:"oldest"`
+}
