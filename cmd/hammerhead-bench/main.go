@@ -15,12 +15,14 @@
 //	hammerhead-bench -experiment executor-replay      # standalone executor on a recorded trace
 //	hammerhead-bench -experiment snapshot-catchup     # state-sync recovery beyond the GC horizon
 //	hammerhead-bench -experiment crash-restart        # full-committee SIGKILL + WAL restart + rejoin
+//	hammerhead-bench -experiment scheduler            # byzantine leaders: round-robin vs reputation, emits BENCH_scheduler.json
 //	hammerhead-bench -experiment client-load          # REAL cluster + RPC gateway + open-loop HTTP load (wall clock)
 //	hammerhead-bench -experiment all
 //	  -sizes 10,50,100  -loads 1000,2000,3000,4000  -duration 60s -warmup 30s -seed 1
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -101,10 +103,11 @@ func run(cfg benchConfig) error {
 		"executor-replay":  runExecutorReplay,
 		"snapshot-catchup": runSnapshotCatchUp,
 		"crash-restart":    runCrashRestart,
+		"scheduler":        runScheduler,
 		"client-load":      runClientLoad,
 	}
 	if cfg.experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "incident", "utilization", "recovery", "ablation-epoch", "ablation-scoring", "executor-replay", "snapshot-catchup", "crash-restart"} {
+		for _, name := range []string{"fig1", "fig2", "incident", "utilization", "recovery", "ablation-epoch", "ablation-scoring", "executor-replay", "snapshot-catchup", "crash-restart", "scheduler"} {
 			if err := experiments[name](cfg); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -449,6 +452,100 @@ func runCrashRestart(cfg benchConfig) error {
 			m, recovered, res.StateRootsAgree, res.MinAppliedSeq)
 		fmt.Printf("%-12s tput=%.0f tx/s last_ordered_round=%d\n",
 			m, res.ThroughputTxPerSec, res.LastOrderedRound)
+	}
+	return nil
+}
+
+// schedulerBenchRow is one mechanism's measurements in BENCH_scheduler.json.
+type schedulerBenchRow struct {
+	Mechanism          string   `json:"mechanism"`
+	N                  int      `json:"n"`
+	Crashed            int      `json:"crashed"`
+	Withholding        int      `json:"withholding"`
+	Slow               int      `json:"slow"`
+	LoadTxPerSec       float64  `json:"load_tx_per_sec"`
+	ThroughputTxPerSec float64  `json:"throughput_tx_per_sec"`
+	CommitLatencyMeanS float64  `json:"commit_latency_mean_s"`
+	CommitLatencyP50S  float64  `json:"commit_latency_p50_s"`
+	CommitLatencyP95S  float64  `json:"commit_latency_p95_s"`
+	SkippedAnchors     uint64   `json:"skipped_anchors"`
+	LeaderTimeouts     uint64   `json:"leader_timeouts"`
+	ScheduleSwitches   int      `json:"schedule_switches"`
+	Excluded           []uint32 `json:"excluded,omitempty"`
+}
+
+// schedulerBench is the BENCH_scheduler.json artifact layout.
+type schedulerBench struct {
+	Experiment           string              `json:"experiment"`
+	DurationS            float64             `json:"duration_s"`
+	Seed                 int64               `json:"seed"`
+	Rows                 []schedulerBenchRow `json:"rows"`
+	LatencyImprovementPc float64             `json:"hammerhead_mean_latency_improvement_pct"`
+}
+
+// runScheduler is the reputation scheduler's payoff measurement: the
+// byzantine-leader scenario (one crashed, one selectively-withholding, one
+// lagging leader in a committee of 10) under both mechanisms. Round-robin
+// keeps re-electing the faulty trio and eats a leader timeout on most of
+// their anchor rounds; HammerHead scores them out after a few epochs. The
+// comparison lands in BENCH_scheduler.json for CI to archive.
+func runScheduler(cfg benchConfig) error {
+	fmt.Printf("\n==== Scheduler payoff: byzantine leaders, round-robin vs reputation ====\n")
+	load := 200.0
+	if len(cfg.loads) > 0 {
+		load = cfg.loads[0]
+	}
+	out := schedulerBench{Experiment: "byzantine-leader", Seed: cfg.seed}
+	printHeader("commit latency under 1 crashed + 1 withholding + 1 lagging leader (n=10)")
+	var meanByMech [2]float64
+	for i, m := range []hammerhead.Mechanism{hammerhead.Bullshark, hammerhead.HammerHead} {
+		s := hammerhead.NewByzantineLeaderScenario(m, 10, load)
+		s.Duration = 3 * cfg.duration
+		s.Warmup = s.Duration / 3 // scoring needs epochs to react; compare steady state
+		s.Seed = cfg.seed
+		out.DurationS = s.Duration.Seconds()
+		res, err := hammerhead.RunExperiment(s)
+		if err != nil {
+			return err
+		}
+		printRow(res)
+		fmt.Printf("%-12s schedule switches=%d excluded=%v\n", m, res.ScheduleSwitches, res.Excluded)
+		meanByMech[i] = res.Latency.Mean.Seconds()
+		row := schedulerBenchRow{
+			Mechanism:          m.String(),
+			N:                  s.N,
+			Crashed:            s.Faults,
+			Withholding:        s.WithholdCount,
+			Slow:               s.SlowCount,
+			LoadTxPerSec:       s.LoadTxPerSec,
+			ThroughputTxPerSec: res.ThroughputTxPerSec,
+			CommitLatencyMeanS: res.Latency.Mean.Seconds(),
+			CommitLatencyP50S:  res.Latency.P50.Seconds(),
+			CommitLatencyP95S:  res.Latency.P95.Seconds(),
+			SkippedAnchors:     res.SkippedAnchors,
+			LeaderTimeouts:     res.LeaderTimeouts,
+			ScheduleSwitches:   res.ScheduleSwitches,
+		}
+		for _, id := range res.Excluded {
+			row.Excluded = append(row.Excluded, uint32(id))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	if meanByMech[0] > 0 {
+		out.LatencyImprovementPc = 100 * (meanByMech[0] - meanByMech[1]) / meanByMech[0]
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_scheduler.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("hammerhead mean commit latency improvement: %.0f%% -> BENCH_scheduler.json\n",
+		out.LatencyImprovementPc)
+	if meanByMech[1] >= meanByMech[0] {
+		return fmt.Errorf("scheduler payoff inverted: hammerhead mean %.2fs >= bullshark %.2fs",
+			meanByMech[1], meanByMech[0])
 	}
 	return nil
 }

@@ -275,6 +275,12 @@ var NewSnapshotCatchUpScenario = experiment.NewSnapshotCatchUpScenario
 // ExperimentResult.TimeToFirstPostCrashCommit.
 var NewCrashRestartScenario = experiment.NewCrashRestartScenario
 
+// NewByzantineLeaderScenario returns the faulty-leader showcase (one
+// crashed, one selectively withholding, one lagging leader): the scenario
+// behind the BENCH_scheduler.json artifact comparing commit latency under
+// round-robin vs reputation scheduling.
+var NewByzantineLeaderScenario = experiment.NewByzantineLeaderScenario
+
 // RunExperiment executes a scenario and returns its measurements.
 var RunExperiment = experiment.Run
 

@@ -38,6 +38,11 @@ type CommittedSubDAG struct {
 	// Direct reports whether the anchor was committed by the direct rule
 	// (f+1 votes observed) rather than recursively through a later anchor.
 	Direct bool
+	// SchedulerState is the scheduler's exported state immediately after this
+	// commit was ordered — exactly what a node restoring from a checkpoint
+	// cut at this commit must resume with. Nil when the scheduler carries no
+	// state (the round-robin baseline).
+	SchedulerState leader.SchedulerState
 }
 
 // TxCount returns the number of transactions carried by the sub-DAG.
@@ -83,6 +88,9 @@ type Committer struct {
 	committee *types.Committee
 	dag       *dag.DAG
 	scheduler leader.Scheduler
+	// exporter is non-nil when the scheduler's state must ride in commits
+	// (HammerHead's core.Manager); the round-robin baseline exports nothing.
+	exporter leader.StateExporter
 
 	lastOrderedRound types.Round
 	ordered          map[types.Digest]types.Round
@@ -95,13 +103,17 @@ type Committer struct {
 // New builds a committer over the validator's DAG and scheduler. The
 // scheduler must be exclusive to this committer (it mutates on commit).
 func New(committee *types.Committee, d *dag.DAG, scheduler leader.Scheduler) *Committer {
-	return &Committer{
+	c := &Committer{
 		committee: committee,
 		dag:       d,
 		scheduler: scheduler,
 		ordered:   make(map[types.Digest]types.Round),
 		votes:     make(map[types.Round]*anchorVotes),
 	}
+	if exp, ok := scheduler.(leader.StateExporter); ok {
+		c.exporter = exp
+	}
+	return c
 }
 
 // LastOrderedRound returns the round of the latest ordered anchor.
@@ -190,6 +202,13 @@ func (c *Committer) commitChain(tip *dag.Vertex) []CommittedSubDAG {
 			}
 			out = append(out, c.orderSubDAG(anchor, anchor == tip))
 			c.scheduler.OnAnchorOrdered(info)
+			if c.exporter != nil {
+				// Capture per anchor, AFTER the scheduler advanced: a
+				// checkpoint cut at this commit must carry the state a live
+				// node holds after processing exactly this commit — capturing
+				// once per chain would leak later anchors' effects backwards.
+				out[len(out)-1].SchedulerState = c.exporter.ExportState()
+			}
 		}
 		if !restart {
 			return out

@@ -100,6 +100,11 @@ type Manager struct {
 
 	// Observability.
 	decisions []SwapDecision
+	// Carried over from a RestoreState so SwitchCount/Excluded stay
+	// meaningful after a snapshot install (decisions restart empty).
+	restoredSwitches int
+	restoredExcluded []types.ValidatorID
+	restoredScores   Scores
 }
 
 var _ leader.Scheduler = (*Manager)(nil)
@@ -237,15 +242,16 @@ func (m *Manager) ActiveSchedule() *leader.Schedule { return m.history.Active() 
 // Decisions returns all swap decisions so far (shared slice; do not mutate).
 func (m *Manager) Decisions() []SwapDecision { return m.decisions }
 
-// SwitchCount returns how many schedule switches have occurred.
-func (m *Manager) SwitchCount() int { return len(m.decisions) }
+// SwitchCount returns how many schedule switches have occurred, including
+// those performed before a restored snapshot was cut.
+func (m *Manager) SwitchCount() int { return m.restoredSwitches + len(m.decisions) }
 
 // Excluded returns the validators currently without slots relative to their
-// base allocation, i.e. the B set of the latest decision. Empty before the
-// first switch.
+// base allocation, i.e. the B set of the latest decision (falling back to
+// the exclusions carried in a restored state). Empty before the first switch.
 func (m *Manager) Excluded() []types.ValidatorID {
 	if len(m.decisions) == 0 {
-		return nil
+		return append([]types.ValidatorID(nil), m.restoredExcluded...)
 	}
 	last := m.decisions[len(m.decisions)-1]
 	return append([]types.ValidatorID(nil), last.Bad...)

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"hammerhead/internal/leader"
+	"hammerhead/internal/types"
+)
+
+// _managerStateV1 tags the versioned ManagerState encoding. Bodies with an
+// unknown leading tag are rejected, so a future format change cannot be
+// silently misdecoded by an old binary.
+const _managerStateV1 = byte(0x01)
+
+// ManagerState is an immutable point-in-time export of a Manager: the
+// schedule suffix still covering retained rounds, the epoch cursor and the
+// partially accumulated Shoal scores (including skipped-anchor penalties),
+// plus the last epoch-end scores and exclusions for observability. It rides
+// inside execution checkpoints so a snapshot-synced validator re-establishes
+// the exact schedule the committee computed (paper Proposition 1: the
+// schedule is a deterministic function of the committed prefix — which is
+// precisely the prefix the snapshot covers).
+type ManagerState struct {
+	history   *leader.History
+	baseSlots []types.ValidatorID
+
+	commitsThisEpoch      int
+	shoalScores           Scores
+	lastOrderedAnchor     types.Round
+	haveLastOrderedAnchor bool
+
+	// Observability carried along so /v1/status keeps working after restore.
+	switches    int
+	excluded    []types.ValidatorID
+	epochScores Scores
+}
+
+var (
+	_ leader.SchedulerState = (*ManagerState)(nil)
+	_ leader.StateExporter  = (*Manager)(nil)
+	_ leader.StateRestorer  = (*Manager)(nil)
+)
+
+// scoreEntry is one validator's score in the deterministic wire form.
+type scoreEntry struct {
+	ID    types.ValidatorID
+	Score int64
+}
+
+// scheduleWire is one schedule in the wire form.
+type scheduleWire struct {
+	InitialRound types.Round
+	Slots        []types.ValidatorID
+}
+
+// managerStateWire is the gob body of a ManagerState (preceded by the
+// version tag byte). Score maps are flattened into ID-sorted slices so equal
+// states encode to equal bytes on every validator.
+type managerStateWire struct {
+	Schedules             []scheduleWire
+	BaseSlots             []types.ValidatorID
+	CommitsThisEpoch      int
+	ShoalScores           []scoreEntry
+	LastOrderedAnchor     types.Round
+	HaveLastOrderedAnchor bool
+	Switches              int
+	Excluded              []types.ValidatorID
+	EpochScores           []scoreEntry
+}
+
+func sortedScores(s Scores) []scoreEntry {
+	out := make([]scoreEntry, 0, len(s))
+	for id, score := range s {
+		out = append(out, scoreEntry{ID: id, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func scoresFromEntries(entries []scoreEntry) Scores {
+	out := make(Scores, len(entries))
+	for _, e := range entries {
+		out[e.ID] = e.Score
+	}
+	return out
+}
+
+// Encode implements leader.SchedulerState: version tag + gob body,
+// deterministic for equal states.
+func (st *ManagerState) Encode() ([]byte, error) {
+	wire := managerStateWire{
+		BaseSlots:             st.baseSlots,
+		CommitsThisEpoch:      st.commitsThisEpoch,
+		ShoalScores:           sortedScores(st.shoalScores),
+		LastOrderedAnchor:     st.lastOrderedAnchor,
+		HaveLastOrderedAnchor: st.haveLastOrderedAnchor,
+		Switches:              st.switches,
+		Excluded:              st.excluded,
+		EpochScores:           sortedScores(st.epochScores),
+	}
+	for _, s := range st.history.Schedules() {
+		wire.Schedules = append(wire.Schedules, scheduleWire{
+			InitialRound: s.InitialRound(),
+			Slots:        s.Slots(),
+		})
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(_managerStateV1)
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("core: encoding scheduler state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeManagerState parses an encoded ManagerState, validating the version
+// tag and the schedule suffix (non-empty, strictly ascending initial rounds).
+func DecodeManagerState(data []byte) (*ManagerState, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty scheduler state")
+	}
+	if data[0] != _managerStateV1 {
+		return nil, fmt.Errorf("core: unknown scheduler state version 0x%02x", data[0])
+	}
+	var wire managerStateWire
+	if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decoding scheduler state: %w", err)
+	}
+	if len(wire.Schedules) == 0 {
+		return nil, fmt.Errorf("core: scheduler state carries no schedules")
+	}
+	if len(wire.BaseSlots) == 0 {
+		return nil, fmt.Errorf("core: scheduler state carries no base slots")
+	}
+	var history *leader.History
+	for i, sw := range wire.Schedules {
+		s, err := leader.NewSchedule(sw.InitialRound, sw.Slots)
+		if err != nil {
+			return nil, fmt.Errorf("core: scheduler state schedule %d: %w", i, err)
+		}
+		if i == 0 {
+			history = leader.NewHistory(s)
+		} else if err := history.Append(s); err != nil {
+			return nil, fmt.Errorf("core: scheduler state schedule %d: %w", i, err)
+		}
+	}
+	return &ManagerState{
+		history:               history,
+		baseSlots:             append([]types.ValidatorID(nil), wire.BaseSlots...),
+		commitsThisEpoch:      wire.CommitsThisEpoch,
+		shoalScores:           scoresFromEntries(wire.ShoalScores),
+		lastOrderedAnchor:     wire.LastOrderedAnchor,
+		haveLastOrderedAnchor: wire.HaveLastOrderedAnchor,
+		switches:              wire.Switches,
+		excluded:              append([]types.ValidatorID(nil), wire.Excluded...),
+		epochScores:           scoresFromEntries(wire.EpochScores),
+	}, nil
+}
+
+// MinRetainedRound implements leader.SchedulerState, mirroring
+// Manager.MinRetainedRound at capture time.
+func (st *ManagerState) MinRetainedRound() types.Round {
+	start := st.history.Active().InitialRound()
+	if start == 0 {
+		return 0
+	}
+	return start - 1
+}
+
+// LeaderAt implements leader.SchedulerState via the captured schedule suffix.
+func (st *ManagerState) LeaderAt(round types.Round) types.ValidatorID {
+	return st.history.LeaderAt(round)
+}
+
+// Epoch returns how many schedule switches preceded this state — the active
+// schedule's ordinal (0 = initial schedule).
+func (st *ManagerState) Epoch() int { return st.switches }
+
+// EpochStartRound returns the active schedule's initial round.
+func (st *ManagerState) EpochStartRound() types.Round {
+	return st.history.Active().InitialRound()
+}
+
+// CommitsThisEpoch returns the epoch commit cursor at capture time.
+func (st *ManagerState) CommitsThisEpoch() int { return st.commitsThisEpoch }
+
+// Excluded returns the validators the latest swap scored out of the schedule
+// (shared slice; do not mutate). Empty before the first switch.
+func (st *ManagerState) Excluded() []types.ValidatorID { return st.excluded }
+
+// Scores returns the reputation scores that drove the latest schedule switch
+// (shared map; do not mutate). Empty before the first switch.
+func (st *ManagerState) Scores() Scores { return st.epochScores }
+
+// ExportState implements leader.StateExporter: a cheap immutable capture of
+// the Manager. Schedules are shared (they are immutable); only the score
+// maps are copied. Schedule history older than MinRetainedRound is pruned
+// from the export — a restored node's DAG never reaches below it, so those
+// schedules can never be consulted again.
+func (m *Manager) ExportState() leader.SchedulerState {
+	scheds := m.history.Schedules()
+	minRetained := m.MinRetainedRound()
+	first := 0
+	for i, s := range scheds {
+		if s.InitialRound() <= minRetained {
+			first = i
+		}
+	}
+	history := leader.NewHistory(scheds[first])
+	for _, s := range scheds[first+1:] {
+		if err := history.Append(s); err != nil {
+			// Unreachable: the source history is already strictly ascending.
+			panic(fmt.Sprintf("core: exporting schedule history: %v", err))
+		}
+	}
+	st := &ManagerState{
+		history:               history,
+		baseSlots:             m.baseSlots,
+		commitsThisEpoch:      m.commitsThisEpoch,
+		shoalScores:           m.shoalScores.Clone(),
+		lastOrderedAnchor:     m.lastOrderedAnchor,
+		haveLastOrderedAnchor: m.haveLastOrderedAnchor,
+		switches:              m.SwitchCount(),
+	}
+	if len(m.decisions) > 0 {
+		last := m.decisions[len(m.decisions)-1]
+		st.excluded = append([]types.ValidatorID(nil), last.Bad...)
+		st.epochScores = last.Scores.Clone()
+	} else {
+		st.excluded = append([]types.ValidatorID(nil), m.restoredExcluded...)
+		st.epochScores = m.restoredScores.Clone()
+	}
+	return st
+}
+
+// RestoreState implements leader.StateRestorer: it re-establishes an exported
+// state in this Manager, replacing the schedule history, epoch cursor and
+// Shoal scores wholesale. On a decode error the Manager is left untouched.
+// After a successful restore the Manager resumes exactly where the exporting
+// node stood right after the snapshot's last commit, so driving both with the
+// same subsequent anchor sequence yields bit-equal schedules (Proposition 1).
+func (m *Manager) RestoreState(data []byte) error {
+	st, err := DecodeManagerState(data)
+	if err != nil {
+		return err
+	}
+	m.history = st.history
+	m.baseSlots = st.baseSlots
+	m.commitsThisEpoch = st.commitsThisEpoch
+	m.shoalScores = st.shoalScores
+	m.lastOrderedAnchor = st.lastOrderedAnchor
+	m.haveLastOrderedAnchor = st.haveLastOrderedAnchor
+	m.decisions = nil
+	m.restoredSwitches = st.switches
+	m.restoredExcluded = st.excluded
+	m.restoredScores = st.epochScores
+	return nil
+}
+
+// FastForwardTo implements the engine's snapshot fast-forward. The engine
+// calls it only after RestoreState re-established the schedule the snapshot
+// was cut under, and the restored cursor already sits at the snapshot's last
+// ordered anchor — so this is normally a no-op. Defensively, a jump past the
+// restored cursor advances it without assigning skip penalties: the gap's
+// ordering history was never observed, and guessing penalties for it would
+// break Schedule Agreement.
+func (m *Manager) FastForwardTo(round types.Round) {
+	if m.haveLastOrderedAnchor && round <= m.lastOrderedAnchor {
+		return
+	}
+	m.lastOrderedAnchor = round
+	m.haveLastOrderedAnchor = true
+}

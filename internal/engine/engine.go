@@ -122,10 +122,13 @@ type Engine struct {
 	// Snapshot state-sync: snapshots serves local checkpoints to peers;
 	// installSnapshot verifies and applies a fetched one; schedFastForward
 	// is non-nil when the scheduler tolerates jumping past ordering history
-	// (requesting is disabled otherwise); snapFetch is the active download.
+	// (requesting is disabled otherwise); schedRestore is non-nil when the
+	// scheduler additionally needs its state restored from the snapshot
+	// before the jump (core.Manager); snapFetch is the active download.
 	snapshots        SnapshotProvider
 	installSnapshot  func(meta SnapshotMeta, data []byte) (*SnapshotInstall, error)
 	schedFastForward scheduleFastForwarder
+	schedRestore     leader.StateRestorer
 	snapFetch        snapFetch
 	// appliedSeq reports the execution layer's applied commit sequence for
 	// rejoin frontiers (nil without an executor); rejoin is the crash-rejoin
@@ -210,7 +213,8 @@ type Params struct {
 	// to the execution layer, returning how far the engine should
 	// fast-forward. Enables REQUESTING snapshot state-sync — additionally
 	// gated on the scheduler supporting the jump (leader.RoundRobin does;
-	// core.Manager's reputation state is not yet carried in snapshots).
+	// core.Manager does too, restoring its reputation state from the
+	// snapshot's scheduler-state payload first).
 	InstallSnapshot func(meta SnapshotMeta, data []byte) (*SnapshotInstall, error)
 	// AppliedSeq, when non-nil, reports the execution layer's applied commit
 	// sequence; the crash-rejoin handshake carries it in frontiers so
@@ -291,6 +295,9 @@ func New(p Params) (*Engine, error) {
 	}
 	if ff, ok := p.Scheduler.(scheduleFastForwarder); ok {
 		e.schedFastForward = ff
+	}
+	if sr, ok := p.Scheduler.(leader.StateRestorer); ok {
+		e.schedRestore = sr
 	}
 	if p.Config.PipelineDepth > 0 {
 		e.stage = newOrderStage(e.committer, e.scheduler, sink, p.Config.PipelineDepth,

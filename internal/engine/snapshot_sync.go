@@ -58,14 +58,20 @@ type SnapshotInstall struct {
 	// Ordered lists the snapshot's already-ordered vertices at rounds >=
 	// PruneTo (the committer must not re-order them).
 	Ordered []OrderedVertex
+	// SchedulerState is the snapshot's encoded scheduler state (empty for
+	// stateless schedulers and pre-upgrade snapshots). When the engine's
+	// scheduler is a leader.StateRestorer, it is restored before the
+	// committer fast-forwards, so ordering resumes under the exact schedule
+	// the snapshot was cut under.
+	SchedulerState []byte
 }
 
 // scheduleFastForwarder is implemented by schedulers whose leader resolution
 // stays correct when the engine jumps past unseen ordering history.
 // leader.RoundRobin implements it (the static schedule covers every round);
-// core.Manager does not yet — reputation state is not carried in snapshots —
-// so HammerHead-scheduled engines serve snapshots but never request them
-// (see ROADMAP).
+// core.Manager implements it together with leader.StateRestorer — its
+// reputation schedule rides in snapshots, is restored first, and the
+// fast-forward itself is then a cursor adjustment.
 type scheduleFastForwarder interface {
 	FastForwardTo(round types.Round)
 }
@@ -333,28 +339,43 @@ func (e *Engine) onSnapshotResponse(from types.ValidatorID, resp *SnapshotRespon
 	install, err := e.installSnapshot(meta, data)
 	if err != nil {
 		// Corrupted or forged snapshot (the installer recomputes the state
-		// digest), or stale relative to the executor. Count it and retry
-		// from scratch against another peer on the next trigger.
+		// digest), a snapshot missing required scheduler state, or one stale
+		// relative to the executor. Count it and retry from scratch against
+		// another peer on the next trigger.
 		e.stats.SnapshotInstallFailures++
 		return
 	}
-	e.stats.SnapshotInstalls++
-	e.applySnapshotInstall(meta, install, nowNanos, out)
+	if e.applySnapshotInstall(meta, install, nowNanos, out) {
+		e.stats.SnapshotInstalls++
+	}
 }
 
 // applySnapshotInstall fast-forwards the protocol state after the execution
-// layer accepted a snapshot: the committer resumes at the checkpoint's
-// commit cursor with the boundary's ordered set, the scheduler jumps, the
-// DAG and every ingest-owned map prune to the boundary floor, and pending
-// certificates that became insertable (their parents are now below the
-// floor) cascade into the DAG.
-func (e *Engine) applySnapshotInstall(meta SnapshotMeta, install *SnapshotInstall, nowNanos int64, out *Output) {
+// layer accepted a snapshot: the scheduler's state is restored first (when it
+// carries one), the committer resumes at the checkpoint's commit cursor with
+// the boundary's ordered set, the scheduler jumps, the DAG and every
+// ingest-owned map prune to the boundary floor, and pending certificates that
+// became insertable (their parents are now below the floor) cascade into the
+// DAG. Returns false — leaving ordering state untouched — when the scheduler
+// needs state the install does not carry (a pre-upgrade snapshot): the
+// runtime then falls back to WAL replay, with the executor's sequence dedupe
+// absorbing re-derived commits.
+func (e *Engine) applySnapshotInstall(meta SnapshotMeta, install *SnapshotInstall, nowNanos int64, out *Output) bool {
 	ordered := make(map[types.Digest]types.Round, len(install.Ordered))
 	for _, ov := range install.Ordered {
 		ordered[ov.Digest] = ov.Round
 	}
 	if e.stage != nil {
 		e.stage.mu.Lock()
+	}
+	if e.schedRestore != nil {
+		if len(install.SchedulerState) == 0 || e.schedRestore.RestoreState(install.SchedulerState) != nil {
+			if e.stage != nil {
+				e.stage.mu.Unlock()
+			}
+			e.stats.SnapshotInstallFailures++
+			return false
+		}
 	}
 	e.committer.FastForward(meta.Round, meta.CommitSeq, install.PruneTo, ordered)
 	if e.schedFastForward != nil {
@@ -376,6 +397,7 @@ func (e *Engine) applySnapshotInstall(meta SnapshotMeta, install *SnapshotInstal
 	}
 	e.drainPendingAfterInstall(nowNanos, out)
 	e.tryAdvance(nowNanos, out)
+	return true
 }
 
 // drainPendingAfterInstall re-attempts pending certificates the install made
@@ -407,8 +429,9 @@ func (e *Engine) drainPendingAfterInstall(nowNanos int64, out *Output) {
 
 // CanFastForwardSchedule reports whether the engine's scheduler stays
 // correct when ordering jumps past unseen history (snapshot install). True
-// for the round-robin baseline, false for HammerHead's reputation scheduler
-// (its state is a function of the skipped commit history).
+// for the round-robin baseline AND for HammerHead's reputation scheduler
+// (which additionally restores its state from the snapshot; a stateless
+// legacy snapshot makes the jump itself no-op at apply time).
 func (e *Engine) CanFastForwardSchedule() bool { return e.schedFastForward != nil }
 
 // FastForwardToSnapshot fast-forwards the protocol state to a checkpoint the
@@ -416,8 +439,10 @@ func (e *Engine) CanFastForwardSchedule() bool { return e.schedFastForward != ni
 // snapshot before WAL replay). Must be called from the engine's goroutine;
 // the returned output carries any follow-up work, dispatchable like any
 // other step's. No-op (empty output) when the scheduler cannot follow the
-// jump — the runtime should then rely on WAL replay to rebuild ordering
-// state, with the executor's sequence dedupe absorbing re-derived commits.
+// jump — including a stateful scheduler handed a pre-upgrade snapshot with
+// no scheduler state — in which case the runtime relies on WAL replay to
+// rebuild ordering state, with the executor's sequence dedupe absorbing
+// re-derived commits.
 func (e *Engine) FastForwardToSnapshot(meta SnapshotMeta, install *SnapshotInstall, nowNanos int64) *Output {
 	out := &Output{}
 	if !e.CanFastForwardSchedule() {

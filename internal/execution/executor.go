@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hammerhead/internal/bullshark"
+	"hammerhead/internal/leader"
 	"hammerhead/internal/metrics"
 	"hammerhead/internal/types"
 )
@@ -47,6 +48,13 @@ type Config struct {
 	// replay. Called with the executor's lock held — the hook must not call
 	// back into the executor; hand off to another goroutine for real work.
 	OnCheckpoint func(Snapshot)
+	// RequireSchedulerState, when true, makes InstallFromWire reject remote
+	// snapshots that carry no scheduler state — set by nodes running the
+	// HammerHead scheduler, whose ordering cannot follow a snapshot jump
+	// without the schedule the snapshot was cut under. The check runs before
+	// the state machine is touched, so a legacy (pre-upgrade) snapshot from a
+	// stale peer fails cleanly and another responder is tried.
+	RequireSchedulerState bool
 	// Metrics, when non-nil, receives executor gauges and counters.
 	Metrics *metrics.Registry
 }
@@ -77,6 +85,16 @@ type Executor struct {
 	ordered   map[types.Digest]types.Round
 	sinceCkpt uint64
 	ckptCount uint64
+
+	// schedState is the scheduler state attached to the last applied commit
+	// (nil under the stateless round-robin baseline). It is embedded into
+	// checkpoints and clamps the snapshot floor: the schedule's score scans
+	// reach back to the active epoch start, which can lie below the boundary
+	// window, and a restored node pruned past it would diverge.
+	// schedStateBytes holds the still-encoded state of an installed snapshot
+	// until the first post-install commit replaces it with a live export.
+	schedState      leader.SchedulerState
+	schedStateBytes []byte
 
 	// roots is a ring of recent (seq, root) pairs for cross-validator
 	// convergence checks at a common sequence number.
@@ -154,6 +172,10 @@ func (x *Executor) ApplyCommit(sub bullshark.CommittedSubDAG) {
 	if sub.Index <= x.appliedSeq {
 		return
 	}
+	if sub.SchedulerState != nil {
+		x.schedState = sub.SchedulerState
+		x.schedStateBytes = nil
+	}
 	for _, v := range sub.Vertices {
 		if v.Batch != nil {
 			for i := range v.Batch.Transactions {
@@ -198,12 +220,21 @@ func commitDigest(sub *bullshark.CommittedSubDAG) types.Digest {
 }
 
 // boundaryFloorLocked is the lowest round whose ordered status the window
-// still records: (appliedRound - BoundaryRounds, appliedRound].
+// still records: (appliedRound - BoundaryRounds, appliedRound], clamped down
+// to the scheduler state's retention floor when one rides along — an
+// installed node's DAG is pruned to the snapshot floor, and the scheduler's
+// epoch score scan must still find every retained round's vertices.
 func (x *Executor) boundaryFloorLocked() types.Round {
-	if x.appliedRound < x.cfg.BoundaryRounds {
-		return 0
+	var floor types.Round
+	if x.appliedRound >= x.cfg.BoundaryRounds {
+		floor = x.appliedRound + 1 - x.cfg.BoundaryRounds
 	}
-	return x.appliedRound + 1 - x.cfg.BoundaryRounds
+	if x.schedState != nil {
+		if m := x.schedState.MinRetainedRound(); m < floor {
+			floor = m
+		}
+	}
+	return floor
 }
 
 // pruneOrderedLocked drops ordered-window entries below the boundary.
@@ -339,6 +370,13 @@ func (x *Executor) checkpointLocked() (Snapshot, error) {
 		refs = append(refs, OrderedRef{Digest: d, Round: r})
 	}
 	sortOrderedRefs(refs)
+	schedBytes := x.schedStateBytes
+	if x.schedState != nil {
+		schedBytes, err = x.schedState.Encode()
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("execution: encoding scheduler state: %w", err)
+		}
+	}
 	snap := Snapshot{
 		Checkpoint: Checkpoint{
 			Round:       x.appliedRound,
@@ -346,9 +384,10 @@ func (x *Executor) checkpointLocked() (Snapshot, error) {
 			StateRoot:   x.stateRoot,
 			StateDigest: x.sm.Root(),
 		},
-		Floor:   x.boundaryFloorLocked(),
-		Ordered: refs,
-		Data:    data,
+		Floor:          x.boundaryFloorLocked(),
+		Ordered:        refs,
+		Data:           data,
+		SchedulerState: schedBytes,
 	}
 	if err := x.cfg.Store.Save(snap); err != nil {
 		return Snapshot{}, err
@@ -397,6 +436,11 @@ func (x *Executor) Install(snap Snapshot) error {
 	x.roots = [rootRingSize]rootAt{}
 	x.roots[snap.CommitSeq%rootRingSize] = rootAt{seq: snap.CommitSeq, root: snap.StateRoot}
 	x.sinceCkpt = 0
+	// Carry the snapshot's scheduler state forward still-encoded: re-saves of
+	// this checkpoint keep serving it, and the first post-install commit
+	// replaces it with a live export.
+	x.schedState = nil
+	x.schedStateBytes = snap.SchedulerState
 	if x.appliedMetric != nil {
 		x.appliedMetric.Set(int64(x.appliedRound))
 	}

@@ -56,6 +56,13 @@ type Snapshot struct {
 	Ordered []OrderedRef
 	// Data is StateMachine.Snapshot() at the checkpoint.
 	Data []byte
+	// SchedulerState is the leader scheduler's encoded state right after the
+	// checkpoint's commit (core.ManagerState under HammerHead; empty under
+	// the round-robin baseline and in pre-upgrade snapshots — gob tolerates
+	// the field's absence in old blobs, which is the legacy fallback).
+	// Installers running a stateful scheduler restore it before the engine
+	// fast-forwards, so the restored schedule is bit-equal to a live node's.
+	SchedulerState []byte
 }
 
 // EncodeSnapshot serializes a snapshot for the wire or disk.

@@ -78,6 +78,12 @@ func (x *Executor) InstallFromWire(meta engine.SnapshotMeta, data []byte) (*engi
 		return nil, fmt.Errorf("execution: snapshot payload does not match advertised checkpoint (round %d/%d seq %d/%d)",
 			snap.Round, meta.Round, snap.CommitSeq, meta.CommitSeq)
 	}
+	if x.cfg.RequireSchedulerState && len(snap.SchedulerState) == 0 {
+		// Reject BEFORE Install mutates the state machine: a stateful
+		// scheduler cannot follow the jump without the snapshot's schedule,
+		// and a clean error here lets the engine retry another responder.
+		return nil, fmt.Errorf("execution: snapshot at seq %d carries no scheduler state (pre-upgrade responder?)", snap.CommitSeq)
+	}
 	if err := x.Install(snap); err != nil {
 		return nil, err
 	}
@@ -91,7 +97,11 @@ func snapshotInstallPlan(snap Snapshot) *engine.SnapshotInstall {
 	for i, ref := range snap.Ordered {
 		ordered[i] = engine.OrderedVertex{Digest: ref.Digest, Round: ref.Round}
 	}
-	return &engine.SnapshotInstall{PruneTo: snap.Floor, Ordered: ordered}
+	return &engine.SnapshotInstall{
+		PruneTo:        snap.Floor,
+		Ordered:        ordered,
+		SchedulerState: snap.SchedulerState,
+	}
 }
 
 // InstallLocal installs a locally persisted snapshot (node restart) into the

@@ -180,9 +180,21 @@ func Run(s Scenario) (Result, error) {
 			cluster.Recover(id, s.RecoverAt)
 		}
 	}
-	// Incident injection: SlowCount validators (highest live IDs) degraded.
-	for i := 0; i < s.SlowCount; i++ {
+	// Byzantine injection: WithholdCount validators (below the crashed set)
+	// suppress their own headers toward the lower half of the committee — too
+	// few reachable voters for a quorum, so their vertices never certify.
+	withheldPeers := make([]types.ValidatorID, (s.N+1)/2)
+	for i := range withheldPeers {
+		withheldPeers[i] = types.ValidatorID(i)
+	}
+	for i := 0; i < s.WithholdCount; i++ {
 		id := types.ValidatorID(s.N - 1 - s.Faults - i)
+		cluster.Withhold(id, withheldPeers, s.WithholdAt)
+	}
+	// Incident injection: SlowCount validators (next-highest live IDs)
+	// degraded.
+	for i := 0; i < s.SlowCount; i++ {
+		id := types.ValidatorID(s.N - 1 - s.Faults - s.WithholdCount - i)
 		cluster.SlowDown(id, s.SlowFactor, s.SlowFrom, s.SlowUntil)
 	}
 	// Correlated crash-restart injection: kill the whole committee mid-run

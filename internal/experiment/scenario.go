@@ -82,10 +82,10 @@ type Scenario struct {
 	GCDepthRounds uint64
 
 	// Execution attaches a deterministic executor (KV ledger + periodic
-	// checkpoints) to every validator and enables snapshot state-sync.
-	// Requesting snapshots additionally requires the Bullshark mechanism
-	// (round-robin schedules fast-forward; HammerHead's reputation state is
-	// not carried in snapshots yet).
+	// checkpoints) to every validator and enables snapshot state-sync under
+	// either mechanism: round-robin schedules fast-forward trivially, and
+	// HammerHead's reputation state rides inside the checkpoints, so a
+	// snapshot install re-establishes the exact schedule.
 	Execution bool
 	// CheckpointCommits is the number of commits between checkpoints
 	// (0 = execution default). Ignored without Execution.
@@ -116,6 +116,15 @@ type Scenario struct {
 	SlowFactor float64
 	SlowFrom   time.Duration
 	SlowUntil  time.Duration
+
+	// Byzantine injection: WithholdCount validators (the highest live IDs
+	// below the crashed set) suppress their own header broadcasts toward the
+	// lower half of the committee from WithholdAt on. They keep voting and
+	// relaying — to the committee each looks like a live leader whose
+	// proposals never land, the §1 incident's selective-withholding shape —
+	// but their vertices can never gather a vote quorum.
+	WithholdCount int
+	WithholdAt    time.Duration
 
 	// TxPayloadBytes sizes transactions (the paper uses tiny counter
 	// increments).
@@ -200,9 +209,8 @@ func NewHighLoadScenario(m Mechanism, n, faults int, loadTxPerSec float64) Scena
 // arriving — the burst the engine's two-stage pipeline absorbs on real
 // nodes. Execution is on and GC runs at the DEFAULT depth: the gap exceeds
 // the horizon, so recovery goes through snapshot state-sync (the old
-// raised-GCDepthRounds workaround is gone). Use the Bullshark mechanism for
-// full recovery; under HammerHead the recovering validators stay behind
-// (reputation schedules cannot fast-forward yet).
+// raised-GCDepthRounds workaround is gone). Both mechanisms recover fully:
+// HammerHead's schedule state rides in the snapshot and fast-forwards.
 func NewCatchUpScenario(m Mechanism, n, faults int, loadTxPerSec float64) Scenario {
 	s := NewScenario(m, n, faults, loadTxPerSec)
 	s.Name = fmt.Sprintf("%s-catchup-n%d-f%d-load%.0f", m, n, faults, loadTxPerSec)
@@ -246,6 +254,28 @@ func NewCrashRestartScenario(m Mechanism, n int, loadTxPerSec float64) Scenario 
 	s.CheckpointCommits = 16
 	s.KillAllAt = s.Duration / 3
 	s.RestartDowntime = 2 * time.Second
+	return s
+}
+
+// NewByzantineLeaderScenario returns the faulty-leader showcase: a committee
+// of n (default 10) carrying the full tolerable mix of bad leaders — one
+// crash-faulty, one selectively withholding its headers from half the
+// committee, one badly lagging — all turning faulty shortly after genesis.
+// Under round-robin every one of them keeps its leader slots and each of its
+// anchor rounds eats the leader timeout; the reputation scheduler scores all
+// three out after a few epochs. The commit-latency gap between the two
+// mechanisms on this scenario is the scheduler's payoff in one number.
+func NewByzantineLeaderScenario(m Mechanism, n int, loadTxPerSec float64) Scenario {
+	s := NewScenario(m, n, 1, loadTxPerSec)
+	s.Name = fmt.Sprintf("%s-byzleader-n%d-load%.0f", m, n, loadTxPerSec)
+	s.EpochCommits = 6
+	s.CrashAt = 10 * time.Second
+	s.WithholdCount = 1
+	s.WithholdAt = 10 * time.Second
+	s.SlowCount = 1
+	s.SlowFactor = 8
+	s.SlowFrom = 10 * time.Second
+	s.SlowUntil = s.Duration
 	return s
 }
 
@@ -310,6 +340,13 @@ func (s Scenario) Validate() error {
 	}
 	if s.Warmup < 0 || s.Warmup >= s.Duration {
 		return fmt.Errorf("experiment: warmup %v must be within the %v duration", s.Warmup, s.Duration)
+	}
+	if s.WithholdCount < 0 {
+		return fmt.Errorf("experiment: withhold count must be >= 0")
+	}
+	if s.WithholdCount > 0 && s.Faults+s.WithholdCount+s.SlowCount >= s.N {
+		return fmt.Errorf("experiment: %d crashed + %d withholding + %d slow leaves no healthy validator in n=%d",
+			s.Faults, s.WithholdCount, s.SlowCount, s.N)
 	}
 	if s.KillAllAt < 0 || s.RestartDowntime < 0 {
 		return fmt.Errorf("experiment: crash-restart times must be >= 0")

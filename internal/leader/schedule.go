@@ -211,10 +211,10 @@ func (r *RoundRobin) OnAnchorOrdered(AnchorInfo) {}
 
 // FastForwardTo implements the engine's snapshot fast-forward: the static
 // schedule already covers every round, so jumping past unseen ordering
-// history needs no state adjustment. HammerHead's core.Manager deliberately
-// does NOT implement this — its reputation state is a function of the commit
-// history a snapshot-synced node never saw — which is what gates snapshot
-// state-sync to round-robin-scheduled deployments for now.
+// history needs no state adjustment. HammerHead's core.Manager also
+// implements it, but there the jump only works together with a restored
+// SchedulerState (carried in the snapshot) — its reputation schedule is a
+// function of commit history a snapshot-synced node never saw.
 func (r *RoundRobin) FastForwardTo(types.Round) {}
 
 // History exposes the (single-entry) schedule history.

@@ -160,11 +160,13 @@ func newExecCluster(t *testing.T, committee *types.Committee) *testCluster {
 }
 
 // TestNodeRestartWithSnapshotUnderHammerHead: restarting an -execution node
-// that runs the HammerHead scheduler must NOT engine-fast-forward from its
-// local snapshot (reputation state cannot jump) — and must not panic on the
-// nil fast-forwarder (regression: Start crashed on every restart with a
-// populated snapshot dir). The executor still restores; WAL replay rebuilds
-// ordering and the sequence dedupe absorbs the re-derived commits.
+// that runs the HammerHead scheduler engine-fast-forwards from its local
+// snapshot — the checkpoint carries core.ManagerState, restored before the
+// jump — then replays the retained WAL suffix on top. Executors must resume
+// at least at their checkpoints and consensus must produce fresh commits.
+// (Historic regressions pinned here: Start once crashed on a nil
+// fast-forwarder, and before scheduler state rode in checkpoints the
+// fast-forward was skipped entirely.)
 func TestNodeRestartWithSnapshotUnderHammerHead(t *testing.T) {
 	committee, err := types.NewEqualStakeCommittee(4)
 	if err != nil {
@@ -202,9 +204,9 @@ func TestNodeRestartWithSnapshotUnderHammerHead(t *testing.T) {
 		preSeq[i] = nd.Executor().AppliedSeq() // Close cut a final checkpoint
 	}
 
-	// Restart the whole committee from WALs + snapshot dirs: Start must not
-	// panic (the HammerHead scheduler has no snapshot fast-forward) and
-	// executors must resume at least at their checkpoints.
+	// Restart the whole committee from WALs + snapshot dirs: the engine
+	// restores the checkpoint's scheduler state, fast-forwards, and executors
+	// resume at least at their checkpoints.
 	tc2 := buildAll()
 	tc2.start(t)
 	for i, nd := range tc2.nodes {
@@ -214,6 +216,168 @@ func TestNodeRestartWithSnapshotUnderHammerHead(t *testing.T) {
 	}
 	// And consensus resumes: fresh (non-replayed) commits appear everywhere.
 	tc2.waitCommits(t, 2, 20*time.Second)
+	for _, nd := range tc2.nodes {
+		if err := nd.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Post-recovery schedule agreement: every restarted scheduler resolves
+	// the identical leader sequence (engines are quiescent after Close).
+	assertNodeSchedulesAgree(t, tc2.nodes)
+}
+
+// assertNodeSchedulesAgree compares the nodes' leader schedules over the
+// anchor-round window every scheduler retains. Engines must be closed or
+// otherwise quiescent.
+func assertNodeSchedulesAgree(t *testing.T, nodes []*node.Node) {
+	t.Helper()
+	from, to := types.Round(2), types.Round(1)<<62
+	for _, nd := range nodes {
+		m, ok := nd.Engine().Scheduler().(*core.Manager)
+		if !ok {
+			t.Fatal("expected a core.Manager scheduler")
+		}
+		if first := m.History().Schedules()[0].InitialRound(); first > from {
+			from = first
+		}
+		if last := nd.Engine().Committer().LastOrderedRound(); last < to {
+			to = last
+		}
+	}
+	if !from.IsAnchorRound() {
+		from++
+	}
+	if from >= to {
+		t.Fatalf("no overlapping schedule window: from %d, to %d", from, to)
+	}
+	ref := nodes[0].Engine().Scheduler()
+	for r := from; r <= to; r += 2 {
+		want := ref.LeaderAt(r)
+		for i, nd := range nodes[1:] {
+			if got := nd.Engine().Scheduler().LeaderAt(r); got != want {
+				t.Fatalf("schedules diverge at anchor round %d: v0 says %s, v%d says %s",
+					r, want, i+1, got)
+			}
+		}
+	}
+}
+
+// TestHammerHeadWALCompactionThenRestart is the reputation-scheduler variant
+// of TestCheckpointDrivenWALCompactionAndRestart — and the proof that the
+// compaction gate could be deleted: with scheduler state riding in
+// checkpoints, a HammerHead node's WAL writer compacts past the checkpoint
+// floor (previously forbidden: replay needed full history to rebuild the
+// schedule), and a restart from the compacted log restores the checkpoint's
+// schedule, replays the suffix, rejoins, and agrees with the live committee
+// on both state roots and the leader sequence.
+func TestHammerHeadWALCompactionThenRestart(t *testing.T) {
+	committee, err := types.NewEqualStakeCommittee(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	hh := core.DefaultConfig()
+	hh.EpochCommits = 3 // switch schedules often, so the restored state has teeth
+	walPath := filepath.Join(dir, "v0.wal")
+	snapDir := filepath.Join(dir, "v0-snapshots")
+	tc := newExecCluster(t, committee)
+	tc.nodes = append(tc.nodes, buildExecNodeHH(t, tc, 0, &hh, walPath, snapDir, nil))
+	for i := 1; i < 4; i++ {
+		tc.nodes = append(tc.nodes, buildExecNodeHH(t, tc, types.ValidatorID(i), &hh, "", "", nil))
+	}
+	for _, nd := range tc.nodes {
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closedLive := false
+	defer func() {
+		if !closedLive {
+			for _, nd := range tc.nodes[1:] {
+				_ = nd.Close()
+			}
+		}
+	}()
+	for i := 0; i < 60; i++ {
+		_ = tc.nodes[1].Submit(types.Transaction{
+			ID:      uint64(i + 1),
+			Payload: execution.PutOp([]byte(fmt.Sprintf("k%d", i%11)), []byte("v")),
+		})
+	}
+	tc.waitCommits(t, 20, 60*time.Second)
+	if err := tc.nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	preSeq := tc.nodes[0].Executor().AppliedSeq()
+	if preSeq == 0 {
+		t.Fatal("v0 executed nothing before the shutdown")
+	}
+
+	info, err := storage.Inspect(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Certs == 0 {
+		t.Fatal("WAL is empty")
+	}
+	// The very assertion the old gate made impossible: a HammerHead node's
+	// log compacted past round 1.
+	if info.LowestRound <= 1 {
+		t.Fatalf("HammerHead WAL was never compacted: lowest recorded round %d over %d certs",
+			info.LowestRound, info.Certs)
+	}
+
+	restarted := buildExecNodeHH(t, tc, 0, &hh, walPath, snapDir, nil)
+	if err := restarted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := restarted.Executor().AppliedSeq(); got < preSeq {
+		t.Fatalf("restarted executor at seq %d, want >= pre-shutdown %d", got, preSeq)
+	}
+	tc.mu.Lock()
+	base := len(tc.commits[0])
+	tc.mu.Unlock()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		tc.mu.Lock()
+		fresh := len(tc.commits[0]) - base
+		tc.mu.Unlock()
+		if fresh >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted HammerHead node never committed fresh sub-DAGs from the compacted WAL")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Quiesce everything, then check root and schedule agreement between the
+	// restarted node and the live committee.
+	if err := restarted.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range tc.nodes[1:] {
+		if err := nd.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closedLive = true
+	minSeq := restarted.Executor().AppliedSeq()
+	for _, nd := range tc.nodes[1:] {
+		if seq := nd.Executor().AppliedSeq(); seq < minSeq {
+			minSeq = seq
+		}
+	}
+	ref, ok := restarted.Executor().RootAt(minSeq)
+	if !ok {
+		t.Fatalf("restarted node lost root at seq %d", minSeq)
+	}
+	for i, nd := range tc.nodes[1:] {
+		if root, ok := nd.Executor().RootAt(minSeq); !ok || root != ref {
+			t.Fatalf("v%d root at seq %d = %s (ok=%v), want %s", i+1, minSeq, root, ok, ref)
+		}
+	}
+	assertNodeSchedulesAgree(t, append([]*node.Node{restarted}, tc.nodes[1:]...))
 }
 
 // TestNodeRestartFromLocalSnapshot: a node whose WAL is lost entirely (disk

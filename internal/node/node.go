@@ -8,6 +8,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,9 +73,9 @@ type Config struct {
 	// machine (execution.KVState) consumes the commit stream on its own
 	// goroutine, cuts periodic checkpoints, serves them to state-syncing
 	// peers, and lets THIS node recover via snapshot install when it falls
-	// beyond the committee's GC horizon. Requesting snapshots is additionally
-	// gated on the scheduler: the round-robin baseline supports the
-	// fast-forward, HammerHead's reputation scheduler does not yet.
+	// beyond the committee's GC horizon. Checkpoints carry the scheduler's
+	// state, so the recovery paths work identically under the round-robin
+	// baseline and HammerHead's reputation scheduler.
 	Execution bool
 	// CheckpointInterval is the number of commits between checkpoints
 	// (0 = execution.DefaultCheckpointInterval). Ignored without Execution.
@@ -135,10 +136,11 @@ type Node struct {
 	walDone uint64 // certificates appended (or abandoned at shutdown)
 	// compactFloor is the round below which the WAL no longer needs to
 	// replay, published by the executor's checkpoint hook and consumed by the
-	// WAL writer between appends (0 = no compaction pending). Only wired when
-	// a restart can actually resume from the checkpoint (execution on, WAL
-	// on, round-robin scheduler — HammerHead's reputation state cannot
-	// fast-forward from a snapshot yet, so its WAL must retain full history).
+	// WAL writer between appends (0 = no compaction pending). Wired whenever
+	// a restart can resume from the checkpoint (execution on, WAL on) —
+	// including under HammerHead, whose scheduler state rides inside the
+	// checkpoint since the floor is by construction at or below the restored
+	// schedule's minimum retained round.
 	compactFloor atomic.Uint64
 
 	// Thread-safe status mirror for the gateway's /v1/status: the engine is
@@ -147,6 +149,13 @@ type Node struct {
 	statusRound     atomic.Uint64
 	statusOrdered   atomic.Uint64
 	statusRejoining atomic.Bool
+	// schedState mirrors the scheduler's latest exported state (HammerHead
+	// only): commit delivery publishes the immutable ManagerState each commit
+	// carries, and /v1/status plus the hammerhead_schedule_* gauges read it
+	// without touching the engine-owned scheduler. rrSched is the round-robin
+	// fallback (its schedule is immutable, so concurrent reads are safe).
+	schedState atomic.Pointer[core.ManagerState]
+	rrSched    *leader.RoundRobin
 
 	tasks   chan func()
 	done    chan struct{}
@@ -166,6 +175,10 @@ type Node struct {
 	walQMetric      *metrics.Gauge
 	compactsMetric  *metrics.Counter
 	compactFailsMet *metrics.Counter
+	epochMetric     *metrics.Gauge
+	epochStartMet   *metrics.Gauge
+	leaderMetric    *metrics.Gauge
+	excludedMetric  *metrics.Gauge
 }
 
 // inbound is one transport delivery awaiting pre-verification.
@@ -186,10 +199,13 @@ type commitDelivery struct {
 // walEntry is one record awaiting the WAL writer: an inserted certificate
 // (tracked by the durability watermark) or this validator's own signed
 // proposal header (the voted-round high-water mark; commits never wait on
-// it).
+// it). done, when non-nil, is closed once the record is appended AND fsynced
+// — the proposer blocks on it so the header cannot reach the wire before the
+// voted-mark is durable.
 type walEntry struct {
 	cert     *engine.Certificate
 	proposal *engine.Header
+	done     chan struct{}
 }
 
 // New builds a node bound to the given transport-joining function. Call
@@ -229,6 +245,15 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		done:    make(chan struct{}),
 		commitq: make(chan commitDelivery, 1024),
 	}
+	// Seed the scheduler status mirror so /v1/status reports the initial
+	// schedule before the first commit publishes an export.
+	if m, ok := sched.(*core.Manager); ok {
+		if st, ok := m.ExportState().(*core.ManagerState); ok {
+			n.schedState.Store(st)
+		}
+	} else if rr, ok := sched.(*leader.RoundRobin); ok {
+		n.rrSched = rr
+	}
 	params := engine.Params{
 		Config:     cfg.Engine,
 		Committee:  cfg.Committee,
@@ -253,14 +278,19 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 			CheckpointInterval: cfg.CheckpointInterval,
 			Store:              store,
 			Metrics:            cfg.Metrics,
+			// A HammerHead node must never install a snapshot that does not
+			// carry scheduler state — restoring the KV state without the
+			// schedule would silently degrade it to a stale leader sequence.
+			RequireSchedulerState: cfg.HammerHead != nil,
 		}
-		if cfg.WALPath != "" && cfg.HammerHead == nil {
+		if cfg.WALPath != "" {
 			// Checkpoint-driven WAL compaction: once a checkpoint is durable,
 			// certificates below its boundary floor are redundant on replay (a
 			// restart installs the checkpoint first), so the WAL writer drops
-			// them at its next append. Gated on the round-robin scheduler —
-			// under HammerHead the engine cannot fast-forward from a local
-			// snapshot, so replay still needs the full log.
+			// them at its next append. Under HammerHead the checkpoint carries
+			// the scheduler state and the executor clamps the floor to the
+			// schedule's minimum retained round, so compaction is safe for both
+			// schedulers.
 			execCfg.OnCheckpoint = func(snap execution.Snapshot) {
 				if snap.Floor > 0 {
 					n.compactFloor.Store(uint64(snap.Floor))
@@ -315,6 +345,13 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		n.walQMetric = cfg.Metrics.Gauge("hammerhead_wal_queue_depth")
 		n.compactsMetric = cfg.Metrics.Counter("hammerhead_wal_compactions_total")
 		n.compactFailsMet = cfg.Metrics.Counter("hammerhead_wal_compaction_failures_total")
+		n.epochMetric = cfg.Metrics.Gauge("hammerhead_schedule_epoch")
+		n.epochStartMet = cfg.Metrics.Gauge("hammerhead_schedule_start_round")
+		n.leaderMetric = cfg.Metrics.Gauge("hammerhead_current_leader")
+		n.excludedMetric = cfg.Metrics.Gauge("hammerhead_excluded_validators")
+		if st := n.schedState.Load(); st != nil {
+			n.publishSchedulerState(st)
+		}
 	}
 	if cfg.RPCAddr != "" {
 		gwCfg := rpc.Config{
@@ -355,7 +392,57 @@ func (n *Node) statusSnapshot() rpc.StatusResponse {
 		st.StateRoot = hex.EncodeToString(root[:])
 		st.SnapshotFloor = uint64(n.exec.SnapshotFloor())
 	}
+	// Leader-scheduling half: CurrentLeader is the leader of the next anchor
+	// round at or after the engine's round, read from the thread-safe
+	// schedule mirror (HammerHead) or the immutable round-robin schedule.
+	anchor := types.Round(st.Round)
+	if !anchor.IsAnchorRound() {
+		anchor++
+	}
+	if ms := n.schedState.Load(); ms != nil {
+		st.ScheduleEpoch = uint64(ms.Epoch())
+		st.ScheduleStartRound = uint64(ms.EpochStartRound())
+		st.CurrentLeader = uint32(ms.LeaderAt(anchor))
+		scores := ms.Scores()
+		if len(scores) > 0 {
+			ids := make([]types.ValidatorID, 0, len(scores))
+			for id := range scores {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			st.SchedulerScores = make([]rpc.ValidatorScore, 0, len(ids))
+			for _, id := range ids {
+				st.SchedulerScores = append(st.SchedulerScores, rpc.ValidatorScore{
+					Validator: uint32(id),
+					Score:     scores[id],
+				})
+			}
+		}
+		for _, id := range ms.Excluded() {
+			st.ExcludedValidators = append(st.ExcludedValidators, uint32(id))
+		}
+	} else if n.rrSched != nil {
+		st.CurrentLeader = uint32(n.rrSched.LeaderAt(anchor))
+	}
 	return st
+}
+
+// publishSchedulerState stores the latest exported scheduler state for the
+// status mirror and updates the scheduling gauges. Called from commit
+// delivery (single goroutine) and once at construction.
+func (n *Node) publishSchedulerState(ms *core.ManagerState) {
+	n.schedState.Store(ms)
+	if n.cfg.Metrics == nil {
+		return
+	}
+	n.epochMetric.Set(int64(ms.Epoch()))
+	n.epochStartMet.Set(int64(ms.EpochStartRound()))
+	n.excludedMetric.Set(int64(len(ms.Excluded())))
+	// The registry has no label support, so per-validator reputation scores
+	// encode the validator ID in the metric name.
+	for id, score := range ms.Scores() {
+		n.cfg.Metrics.Gauge(fmt.Sprintf("hammerhead_reputation_score_validator_%d", id)).Set(score)
+	}
 }
 
 // persistCert is the engine's Persist hook: it runs on the ingest
@@ -390,17 +477,28 @@ func (n *Node) persistCert(cert *engine.Certificate) {
 // Runs on the engine goroutine at propose time, before the header's
 // broadcast is dispatched; replay-time proposals are suppressed exactly like
 // certificate appends. Proposals do not advance the commit durability
-// watermark (no commit depends on them).
+// watermark (no commit depends on them), but the hook BLOCKS until the
+// record is appended and fsynced: a fire-and-forget append left a torn-tail
+// window where the header had already reached peers while the voted-mark
+// record was still (or only partially) in the page cache — a crash there
+// re-proposed the slot and equivocated against surviving pre-crash votes.
 func (n *Node) persistProposal(h *engine.Header) {
 	if n.replaying.Load() {
 		return
 	}
+	done := make(chan struct{})
 	select {
-	case n.walq <- walEntry{proposal: h}:
+	case n.walq <- walEntry{proposal: h, done: done}:
 		if n.walQMetric != nil {
 			n.walQMetric.Set(int64(len(n.walq)))
 		}
 	case <-n.done:
+		return
+	}
+	select {
+	case <-done:
+	case <-n.done:
+		// Shutdown: the broadcast will never be dispatched either.
 	}
 }
 
@@ -465,6 +563,9 @@ func (n *Node) deliverCommit(sub bullshark.CommittedSubDAG, replayed bool) {
 		n.txsMetric.Add(uint64(sub.TxCount()))
 	}
 	n.statusOrdered.Store(uint64(sub.Anchor.Round))
+	if ms, ok := sub.SchedulerState.(*core.ManagerState); ok {
+		n.publishSchedulerState(ms)
+	}
 	if n.gw != nil {
 		// The gateway's commit ring feeds SSE subscribers; replayed commits
 		// are included so resume history survives a restart.
@@ -513,7 +614,14 @@ func (n *Node) walLoop() {
 		}
 		if entry.cert == nil {
 			// Proposal records are not part of the commit durability
-			// watermark; nothing waits on them.
+			// watermark, but the proposer blocks until the record is durable:
+			// fsync before releasing it. A sync failure is swallowed like an
+			// append failure (consensus must not stall on local disk trouble);
+			// the proposer is released regardless.
+			if entry.done != nil {
+				_ = n.wal.Sync()
+				close(entry.done)
+			}
 			continue
 		}
 		n.walMu.Lock()
@@ -671,11 +779,13 @@ func (n *Node) Start() error {
 		// covered by it (the replay drops them), and commits re-derived above
 		// the checkpoint sequence re-apply idempotently. This is how a node
 		// that slept past the committee's GC horizon resumes from its own
-		// state instead of an unrecoverable certificate gap. Under the
-		// HammerHead scheduler the engine fast-forward is a no-op (reputation
-		// state cannot jump) — the executor still restores, and WAL replay
-		// rebuilds ordering with the sequence dedupe absorbing re-derived
-		// commits.
+		// state instead of an unrecoverable certificate gap. The checkpoint
+		// carries the scheduler's state, so under HammerHead the engine
+		// restores the exact schedule before fast-forwarding; only a
+		// pre-upgrade checkpoint without scheduler state falls back to the
+		// old behavior (no fast-forward — the executor still restores, and
+		// WAL replay rebuilds ordering with the sequence dedupe absorbing
+		// re-derived commits).
 		if n.exec != nil {
 			if snap, ok := n.exec.Store().Latest(); ok {
 				if meta, install, err := n.exec.InstallLocal(snap); err == nil {
@@ -900,6 +1010,17 @@ func (n *Node) dispatch(out *engine.Output, transmit bool) {
 	n.statusRejoining.Store(n.eng.Rejoining())
 	if n.roundMetric != nil {
 		n.roundMetric.Set(int64(n.eng.Round()))
+	}
+	if n.leaderMetric != nil {
+		anchor := n.eng.Round()
+		if !anchor.IsAnchorRound() {
+			anchor++
+		}
+		if ms := n.schedState.Load(); ms != nil {
+			n.leaderMetric.Set(int64(ms.LeaderAt(anchor)))
+		} else if n.rrSched != nil {
+			n.leaderMetric.Set(int64(n.rrSched.LeaderAt(anchor)))
+		}
 	}
 	if n.pipelineMetric != nil {
 		n.pipelineMetric.Set(int64(n.eng.PipelineBacklog()))

@@ -42,6 +42,8 @@ type (
 	KVResponse = rpcapi.KVResponse
 	// LaneStatus is one admission lane's view in /v1/status.
 	LaneStatus = rpcapi.LaneStatus
+	// ValidatorScore is one validator's reputation score in /v1/status.
+	ValidatorScore = rpcapi.ValidatorScore
 	// StatusResponse is the GET /v1/status body.
 	StatusResponse = rpcapi.StatusResponse
 	// CommitEvent is one SSE event on GET /v1/commits.

@@ -47,8 +47,8 @@ type ClusterConfig struct {
 	// Execution attaches a deterministic executor (execution.KVState behind
 	// an in-memory snapshot store) to every validator's commit sink, applied
 	// synchronously in virtual time, and wires snapshot state-sync
-	// serve/install through the engines. Requesting snapshots additionally
-	// requires a fast-forwardable scheduler (the round-robin baseline).
+	// serve/install through the engines. Checkpoints carry the scheduler's
+	// state, so state-sync works for round-robin and HammerHead alike.
 	Execution bool
 	// CheckpointInterval is the number of commits between checkpoints
 	// (0 = execution default). Ignored without Execution.
@@ -90,6 +90,12 @@ type Cluster struct {
 	slowUntil []int64
 	slowMul   []float64
 	badSigAt  []int64 // virtual time a validator starts corrupting; -1 = never
+	// withholdAt / withholdFrom model selective withholding: from the given
+	// virtual time, the validator suppresses its OWN header broadcasts toward
+	// the peer set — enough peers and it never gathers a vote quorum, so its
+	// vertices never certify while it otherwise looks alive.
+	withholdAt   []int64
+	withholdFrom []map[types.ValidatorID]bool
 
 	// incarnation guards against cross-incarnation delivery: a SIGKILL
 	// restart (KillRestart) bumps a validator's incarnation at kill AND at
@@ -139,22 +145,25 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{
 		Sim:         New(cfg.Seed),
 		Committee:   cfg.Committee,
-		crashedAt:   make([]int64, n),
-		slowFrom:    make([]int64, n),
-		slowUntil:   make([]int64, n),
-		slowMul:     make([]float64, n),
-		badSigAt:    make([]int64, n),
-		incarnation: make([]uint64, n),
-		replaying:   make([]bool, n),
-		latency:     cfg.Latency,
-		onCommit:    cfg.OnCommit,
-		dropRate:    cfg.DropRate,
-		insertTap:   cfg.OnInsert,
+		crashedAt:    make([]int64, n),
+		slowFrom:     make([]int64, n),
+		slowUntil:    make([]int64, n),
+		slowMul:      make([]float64, n),
+		badSigAt:     make([]int64, n),
+		withholdAt:   make([]int64, n),
+		withholdFrom: make([]map[types.ValidatorID]bool, n),
+		incarnation:  make([]uint64, n),
+		replaying:    make([]bool, n),
+		latency:      cfg.Latency,
+		onCommit:     cfg.OnCommit,
+		dropRate:     cfg.DropRate,
+		insertTap:    cfg.OnInsert,
 	}
 	for i := range c.crashedAt {
 		c.crashedAt[i] = -1
 		c.slowMul[i] = 1
 		c.badSigAt[i] = -1
+		c.withholdAt[i] = -1
 	}
 
 	// Simulated deployments are crash-only (as is the paper's evaluation);
@@ -218,9 +227,13 @@ func (c *Cluster) buildValidator(id types.ValidatorID, store execution.SnapshotS
 	}
 	var exec *execution.Executor
 	if cfg.Execution {
+		_, stateful := sched.(leader.StateRestorer)
 		exec = execution.NewExecutor(execution.NewKVState(), execution.Config{
 			CheckpointInterval: cfg.CheckpointInterval,
 			Store:              store,
+			// A stateful scheduler (HammerHead) must never install a snapshot
+			// without the schedule it was cut under.
+			RequireSchedulerState: stateful,
 		})
 	}
 	params := engine.Params{
@@ -482,6 +495,23 @@ func (c *Cluster) broadcastGhostCert(id types.ValidatorID, seq uint64, now int64
 	}
 }
 
+// Withhold makes validator id suppress its OWN header broadcasts toward the
+// given peers from the given virtual time on — the selective-withholding
+// Byzantine leader of the paper's §1 incident. Withholding from more than
+// n-quorum peers starves the validator's headers of a vote quorum, so its
+// vertices never certify and never enter anyone's DAG: to the committee it
+// looks like a leader that is up (it still votes and relays) but whose
+// proposals never land — exactly the behavior reputation scheduling must
+// score out and round-robin keeps re-electing.
+func (c *Cluster) Withhold(id types.ValidatorID, peers []types.ValidatorID, from time.Duration) {
+	set := make(map[types.ValidatorID]bool, len(peers))
+	for _, p := range peers {
+		set[p] = true
+	}
+	c.withholdFrom[id] = set
+	c.withholdAt[id] = from.Nanoseconds()
+}
+
 // SlowDown multiplies all message latencies touching the validator by
 // factor within [from, until] — the §1 incident's "less responsive"
 // validators.
@@ -569,6 +599,13 @@ func (c *Cluster) send(from, to types.ValidatorID, msg *engine.Message, now int6
 	}
 	if c.dropRate > 0 && c.Sim.Rand().Float64() < c.dropRate {
 		c.msgsDropped++
+		return
+	}
+	if at := c.withholdAt[from]; at >= 0 && now >= at &&
+		msg.Kind == engine.KindHeader && msg.Header != nil &&
+		msg.Header.Source == from && c.withholdFrom[from][to] {
+		// Selective withholding: only the validator's own headers are
+		// suppressed — it keeps voting and relaying, so it looks alive.
 		return
 	}
 	if at := c.badSigAt[from]; at >= 0 && now >= at {

@@ -154,12 +154,14 @@ func TestFullCommitteeKillRestartConverges(t *testing.T) {
 	}
 }
 
-// TestFullCommitteeKillRestartUnderHammerHead runs the same correlated
-// SIGKILL under the reputation scheduler: the engine cannot fast-forward
-// from a local snapshot there, so recovery leans entirely on full WAL replay
-// plus the rejoin handshake — which must still re-establish liveness and
-// agreement.
-func TestFullCommitteeKillRestartUnderHammerHead(t *testing.T) {
+// TestHammerHeadFullCommitteeKillRestartConverges runs the same correlated
+// SIGKILL under the reputation scheduler, at the default GCDepth: each
+// restarted validator first installs its own persisted checkpoint — which
+// carries the scheduler's state, so the engine fast-forwards the schedule
+// exactly as a live node would — then replays its WAL and rejoins. Liveness,
+// state-root agreement AND leader-schedule agreement must all be
+// re-established.
+func TestHammerHeadFullCommitteeKillRestartConverges(t *testing.T) {
 	const (
 		killAt   = 8 * time.Second
 		downtime = 1 * time.Second
@@ -203,6 +205,17 @@ func TestFullCommitteeKillRestartUnderHammerHead(t *testing.T) {
 		if root, ok := cluster.Executor(types.ValidatorID(i)).RootAt(minSeq); !ok || root != ref {
 			t.Fatalf("v%d root at seq %d = %s (ok=%v), want %s", i, minSeq, root, ok, ref)
 		}
+	}
+	// Post-recovery schedule agreement: every rebuilt scheduler must resolve
+	// the identical leader sequence over the retained window.
+	minOrdered := cluster.Engine(0).Committer().LastOrderedRound()
+	for i := 1; i < 4; i++ {
+		if r := cluster.Engine(types.ValidatorID(i)).Committer().LastOrderedRound(); r < minOrdered {
+			minOrdered = r
+		}
+	}
+	for i := 1; i < 4; i++ {
+		assertSchedulesAgree(t, cluster, 0, types.ValidatorID(i), minOrdered)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"hammerhead/internal/core"
 	"hammerhead/internal/dag"
 	"hammerhead/internal/engine"
 	"hammerhead/internal/execution"
@@ -12,11 +13,44 @@ import (
 	"hammerhead/internal/types"
 )
 
-// roundRobinFactory builds the static baseline scheduler — the one that
-// supports snapshot fast-forward (core.Manager's reputation state is not
-// carried in snapshots yet; see ROADMAP).
+// roundRobinFactory builds the static baseline scheduler. Both it and
+// core.Manager support snapshot fast-forward — the reputation scheduler's
+// state rides inside checkpoints and is restored before the jump.
 func roundRobinFactory(committee *types.Committee, d *dag.DAG) (leader.Scheduler, error) {
 	return leader.NewRoundRobin(committee, 1), nil
+}
+
+// assertSchedulesAgree compares two validators' leader sequences over the
+// overlapping anchor-round window both schedulers retain — the paper's
+// Schedule Agreement in executable form. A recovered validator whose restored
+// schedule diverged from the live committee's fails here round by round.
+func assertSchedulesAgree(t *testing.T, cluster *Cluster, a, b types.ValidatorID, to types.Round) {
+	t.Helper()
+	schedA := cluster.Engine(a).Scheduler()
+	schedB := cluster.Engine(b).Scheduler()
+	from := types.Round(2)
+	for _, s := range []leader.Scheduler{schedA, schedB} {
+		if m, ok := s.(*core.Manager); ok {
+			// The schedule history resolves leaders back to its first retained
+			// schedule (a restored node's history starts at the restore floor).
+			if first := m.History().Schedules()[0].InitialRound(); first > from {
+				from = first
+			}
+		}
+	}
+	if !from.IsAnchorRound() {
+		from++
+	}
+	if from+10 > to {
+		t.Fatalf("overlapping schedule window too narrow: from %d, to %d", from, to)
+	}
+	for r := from; r <= to; r += 2 {
+		la, lb := schedA.LeaderAt(r), schedB.LeaderAt(r)
+		if la != lb {
+			t.Fatalf("schedules diverge at anchor round %d: v%d says %s, v%d says %s",
+				r, a, la, b, lb)
+		}
+	}
 }
 
 // TestSnapshotCatchUpConverges is the acceptance test for snapshot
@@ -119,19 +153,27 @@ func TestSnapshotCatchUpConverges(t *testing.T) {
 	}
 }
 
-// TestSnapshotCatchUpHammerHeadStaysWithinHorizonGuard documents the current
-// limitation: with the HammerHead scheduler (no snapshot fast-forward), a
-// beyond-horizon validator must NOT install snapshots — its reputation
-// schedule could not follow the jump and ordering would diverge. The engine
-// gates requesting on the scheduler, so the recovered validator simply stays
-// behind rather than corrupting itself.
-func TestSnapshotCatchUpHammerHeadStaysWithinHorizonGuard(t *testing.T) {
+// TestHammerHeadSnapshotCatchUpConverges is the reputation-scheduler twin of
+// TestSnapshotCatchUpConverges, and the acceptance test for scheduler state
+// riding in checkpoints: a HammerHead validator partitioned past the default
+// GC horizon must recover via a chunked snapshot install — the snapshot
+// carries core.ManagerState, the engine restores it before fast-forwarding —
+// and converge to both the same chained state root AND the same leader
+// schedule as the live committee. Before this, the engine refused to request
+// snapshots under HammerHead and the validator stayed behind forever.
+func TestHammerHeadSnapshotCatchUpConverges(t *testing.T) {
 	committee, err := types.NewEqualStakeCommittee(4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := fastSimEngineConfig()
 	cfg.MinRoundDelay = 30 * time.Millisecond
+	cfg.LeaderTimeout = 300 * time.Millisecond
+	cfg.ResyncInterval = 150 * time.Millisecond
+	cfg.SnapshotChunkBytes = 2048 // force the multi-chunk resume path
+	if cfg.GCDepth != engine.DefaultConfig().GCDepth {
+		t.Fatalf("test must run at the default GCDepth, got %d", cfg.GCDepth)
+	}
 	cluster, err := NewCluster(ClusterConfig{
 		Committee:          committee,
 		Engine:             cfg,
@@ -145,15 +187,75 @@ func TestSnapshotCatchUpHammerHeadStaysWithinHorizonGuard(t *testing.T) {
 		t.Fatal(err)
 	}
 	cluster.CrashAt(3, 1*time.Second)
-	cluster.Recover(3, 12*time.Second)
-	cluster.Start()
-	cluster.Sim.RunFor(18 * time.Second)
+	cluster.Recover(3, 15*time.Second)
 
-	if st := cluster.Engine(3).Stats(); st.SnapshotRequests != 0 || st.SnapshotInstalls != 0 {
-		t.Fatalf("HammerHead-scheduled engine must not request snapshots: %+v", st)
+	var tick func()
+	seq := uint64(0)
+	tick = func() {
+		if cluster.Sim.Now() >= (28 * time.Second).Nanoseconds() {
+			return
+		}
+		seq++
+		key := []byte(fmt.Sprintf("k%03d", seq%257))
+		val := []byte(fmt.Sprintf("v%d", seq))
+		_ = cluster.SubmitTx(types.ValidatorID(seq%3), types.Transaction{
+			ID:      seq,
+			Payload: execution.PutOp(key, val),
+		})
+		cluster.Sim.After(5*time.Millisecond, tick)
 	}
-	// Live validators still serve and checkpoint, though.
-	if cluster.Executor(0).Checkpoints() == 0 {
-		t.Fatal("live validators must keep cutting checkpoints")
+	cluster.Sim.After(5*time.Millisecond, tick)
+
+	cluster.Start()
+	cluster.Sim.RunFor(35 * time.Second)
+
+	obs := cluster.Engine(0).Committer().LastOrderedRound()
+	rec := cluster.Engine(3).Committer().LastOrderedRound()
+	if obs < 150 {
+		t.Fatalf("committee made too little progress: observer at round %d", obs)
+	}
+	if floor := cluster.Engine(0).DAG().PrunedTo(); floor < 100 {
+		t.Fatalf("live validators pruned only to %d; outage not beyond the horizon", floor)
+	}
+	st := cluster.Engine(3).Stats()
+	if st.SnapshotInstalls < 1 {
+		t.Fatalf("recovered HammerHead validator never installed a snapshot: %+v", st)
+	}
+	if st.SnapshotInstallFailures != 0 {
+		t.Fatalf("snapshot installs failed (missing scheduler state?): %+v", st)
+	}
+	if rec+40 < obs {
+		t.Fatalf("recovered validator did not catch up: at round %d vs observer %d", rec, obs)
+	}
+
+	// The committee must actually have switched schedules, or the restore had
+	// nothing to prove.
+	liveSched, ok := cluster.Engine(0).Scheduler().(*core.Manager)
+	if !ok {
+		t.Fatal("expected a core.Manager scheduler")
+	}
+	if liveSched.SwitchCount() == 0 {
+		t.Fatal("committee never switched schedules; test lost its teeth")
+	}
+
+	// Root convergence: identical applied commit streams.
+	recExec := cluster.Executor(3)
+	recSeq, recRoot := recExec.AppliedSeq(), recExec.StateRoot()
+	if recSeq == 0 {
+		t.Fatal("recovered executor applied nothing")
+	}
+	for id := types.ValidatorID(0); id < 3; id++ {
+		liveRoot, ok := cluster.Executor(id).RootAt(recSeq)
+		if !ok {
+			t.Fatalf("v%d no longer retains root at seq %d (live at %d)", id, recSeq, cluster.Executor(id).AppliedSeq())
+		}
+		if liveRoot != recRoot {
+			t.Fatalf("state roots diverged at seq %d: v3=%s v%d=%s", recSeq, recRoot, id, liveRoot)
+		}
+	}
+	// Schedule convergence: the restored reputation schedule is bit-equal to
+	// the live committee's over the whole retained window.
+	for id := types.ValidatorID(0); id < 3; id++ {
+		assertSchedulesAgree(t, cluster, 3, id, rec)
 	}
 }

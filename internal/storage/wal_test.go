@@ -593,6 +593,65 @@ func TestProposalRecordsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSyncedProposalSurvivesTornTail pins the durability contract the node's
+// synchronous proposal persistence relies on: once AppendProposal + Sync has
+// returned, the proposal record survives any crash — including one that
+// tears a LATER record mid-write. This is the regression for the
+// proposal-record torn-tail window: before the node fsynced the record and
+// blocked the proposer on it, the header could reach peers while the
+// voted-mark was still in the page cache, and a crash there re-proposed
+// (equivocated) the slot on restart.
+func TestSyncedProposalSurvivesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testCert(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendProposal(testProposal(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// The durability point the proposer waits behind before broadcasting.
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// A later certificate append is in flight when the process dies...
+	if err := w.Append(testCert(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the crash tears it mid-record.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	var certs []types.Round
+	var prop *engine.Header
+	if _, err := ReplayPrefixRecords(path, func(c *engine.Certificate) error {
+		certs = append(certs, c.Header.Round)
+		return nil
+	}, func(h *engine.Header) error {
+		prop = h
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(certs) != 1 || certs[0] != 1 {
+		t.Fatalf("cert rounds = %v, want [1] (torn record dropped)", certs)
+	}
+	if prop == nil || prop.Round != 5 {
+		t.Fatalf("synced proposal record lost to the torn tail: got %+v", prop)
+	}
+}
+
 // TestCompactKeepsProposalHighWaterMark: compaction drops below-floor
 // proposal records like certificates, but the HIGHEST proposal always
 // survives — it is the anti-equivocation mark, and losing it would widen the

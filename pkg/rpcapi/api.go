@@ -92,6 +92,12 @@ type LaneStatus struct {
 	Drained   uint64 `json:"drained"`
 }
 
+// ValidatorScore is one validator's reputation score in /v1/status.
+type ValidatorScore struct {
+	Validator uint32 `json:"validator"`
+	Score     int64  `json:"score"`
+}
+
 // StatusResponse is the GET /v1/status body.
 type StatusResponse struct {
 	Validator uint32 `json:"validator"`
@@ -112,6 +118,17 @@ type StatusResponse struct {
 	// Commits counts ordered sub-DAGs delivered since boot (replayed ones
 	// included).
 	Commits uint64 `json:"commits"`
+	// Leader-scheduling state. ScheduleEpoch counts schedule switches (always
+	// 0 under the round-robin baseline, which never switches);
+	// ScheduleStartRound is the active schedule's first round; CurrentLeader
+	// is the leader of the next anchor round at or after Round.
+	// SchedulerScores and ExcludedValidators report the reputation scores and
+	// exclusions that drove the latest switch (HammerHead only).
+	ScheduleEpoch      uint64           `json:"schedule_epoch"`
+	ScheduleStartRound uint64           `json:"schedule_start_round"`
+	CurrentLeader      uint32           `json:"current_leader"`
+	SchedulerScores    []ValidatorScore `json:"scheduler_scores,omitempty"`
+	ExcludedValidators []uint32         `json:"excluded_validators,omitempty"`
 	// Mempool occupancy and per-lane admission state.
 	MempoolPending  int          `json:"mempool_pending"`
 	MempoolCapacity int          `json:"mempool_capacity"`
