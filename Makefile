@@ -1,0 +1,47 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml);
+# keep the two in sync, especially the pinned linter versions.
+
+# Pinned linter versions — bump deliberately, in lockstep with ci.yml.
+STATICCHECK_VERSION := 2024.1.1
+GOVULNCHECK_VERSION := v1.1.4
+
+.PHONY: all build test race lint hammerlint staticcheck vulncheck clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# lint runs every static check. hammerlint (the repo's own vettool; see
+# tools/hammerlint and the README's "Static analysis & invariants" section)
+# always runs; staticcheck and govulncheck run when installed and otherwise
+# print the pinned install command — they need network to fetch, which
+# offline dev containers may not have.
+lint: hammerlint staticcheck vulncheck
+
+hammerlint:
+	go build -o bin/hammerlint ./tools/hammerlint
+	go vet -vettool=bin/hammerlint ./...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
+clean:
+	rm -rf bin hammerlint

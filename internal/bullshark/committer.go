@@ -136,6 +136,8 @@ func (c *Committer) Scheduler() leader.Scheduler { return c.scheduler }
 // two rules are interchangeable for safety because all cross-validator
 // agreement rests on the backward walk's Path checks over committed causal
 // histories, not on who observed the trigger first.
+//
+//hammerlint:deterministic
 func (c *Committer) ProcessVertex(v *dag.Vertex) []CommittedSubDAG {
 	if v.Round.IsAnchorRound() || v.Round < 3 {
 		// Only odd-round vertices vote. The first committable anchor round
@@ -282,6 +284,8 @@ func (c *Committer) orderSubDAG(anchor *dag.Vertex, direct bool) CommittedSubDAG
 // ordered seeds the already-ordered set for rounds >= floor (the snapshot's
 // boundary window), so boundary stragglers are ordered exactly as live
 // validators order them. The caller prunes the DAG separately.
+//
+//hammerlint:deterministic
 func (c *Committer) FastForward(round types.Round, commitIndex uint64, floor types.Round, ordered map[types.Digest]types.Round) {
 	if round <= c.lastOrderedRound {
 		return // never move ordering backwards

@@ -140,6 +140,8 @@ func (m *Manager) LeaderAt(round types.Round) types.ValidatorID {
 // anchor.Round, and the committer restarts its walk (the anchor itself is
 // re-evaluated under the new schedule — the paper's early return from
 // orderHistory).
+//
+//hammerlint:deterministic
 func (m *Manager) MaybeSwitch(anchor leader.AnchorInfo) bool {
 	active := m.history.Active()
 	switch m.config.Policy {
@@ -206,6 +208,8 @@ func (m *Manager) switchSchedule(anchor leader.AnchorInfo) {
 
 // OnAnchorOrdered implements leader.Scheduler: advances the commit-count
 // epoch clock and the incremental Shoal scores.
+//
+//hammerlint:deterministic
 func (m *Manager) OnAnchorOrdered(anchor leader.AnchorInfo) {
 	m.commitsThisEpoch++
 	if m.config.Scoring == ScoringShoal {

@@ -90,6 +90,8 @@ func scoresFromEntries(entries []scoreEntry) Scores {
 
 // Encode implements leader.SchedulerState: version tag + gob body,
 // deterministic for equal states.
+//
+//hammerlint:deterministic
 func (st *ManagerState) Encode() ([]byte, error) {
 	wire := managerStateWire{
 		BaseSlots:             st.baseSlots,
@@ -199,6 +201,8 @@ func (st *ManagerState) Scores() Scores { return st.epochScores }
 // maps are copied. Schedule history older than MinRetainedRound is pruned
 // from the export — a restored node's DAG never reaches below it, so those
 // schedules can never be consulted again.
+//
+//hammerlint:deterministic
 func (m *Manager) ExportState() leader.SchedulerState {
 	scheds := m.history.Schedules()
 	minRetained := m.MinRetainedRound()

@@ -48,6 +48,8 @@ var ErrBadSeed = errors.New("crypto: seed must be 32 bytes")
 // SeedForValidator derives a per-validator deterministic seed from a cluster
 // seed and validator index; used by tests, simulations and keygen tooling so
 // committees are reproducible.
+//
+//hammerlint:deterministic
 func SeedForValidator(clusterSeed [32]byte, index uint32) [32]byte {
 	h := sha256.New()
 	h.Write(clusterSeed[:])

@@ -43,6 +43,8 @@ type Vertex struct {
 
 // ComputeDigest derives the content address of a vertex from its immutable
 // identity fields (round, source, edges, payload digest).
+//
+//hammerlint:deterministic
 func ComputeDigest(round types.Round, source types.ValidatorID, edges []types.Digest, batchDigest types.Digest) types.Digest {
 	var hdr [16]byte
 	binary.BigEndian.PutUint64(hdr[:8], uint64(round))
@@ -218,6 +220,8 @@ func (d *DAG) ByDigest(digest types.Digest) (*Vertex, bool) {
 }
 
 // RoundVertices returns the vertices of a round sorted by source ID.
+//
+//hammerlint:deterministic
 func (d *DAG) RoundVertices(round types.Round) []*Vertex {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -312,6 +316,8 @@ func (d *DAG) Path(v, u *Vertex) bool {
 // identically. The skip predicate, when non-nil, prunes the walk: vertices
 // for which skip returns true are neither visited nor returned (used to
 // exclude already-ordered sub-DAGs).
+//
+//hammerlint:deterministic
 func (d *DAG) CausalHistory(v *Vertex, minRound types.Round, skip func(*Vertex) bool) []*Vertex {
 	if v == nil || v.Round < minRound || (skip != nil && skip(v)) {
 		return nil

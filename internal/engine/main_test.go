@@ -1,0 +1,13 @@
+package engine
+
+import (
+	"testing"
+
+	"hammerhead/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if tests leave goroutines running — engine
+// pipelines and pre-verify workers must all join on Close.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

@@ -95,6 +95,8 @@ func (h *Header) SigVerified() bool { return h.sigVerified }
 
 // Digest returns the content address of the header, shared with the
 // certificate and DAG vertex it becomes.
+//
+//hammerlint:deterministic
 func (h *Header) Digest() types.Digest {
 	if !h.digestOK {
 		h.digestMemo = dag.ComputeDigest(h.Round, h.Source, h.Edges, h.batchDigest())

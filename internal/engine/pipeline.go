@@ -46,8 +46,8 @@ func (discardSink) DeliverCommit(bullshark.CommittedSubDAG) {}
 // timer, GC) while the stage mutates them on commit.
 type orderStage struct {
 	mu        sync.Mutex
-	committer *bullshark.Committer
-	scheduler leader.Scheduler
+	committer *bullshark.Committer // guarded by mu
+	scheduler leader.Scheduler     // guarded by mu
 	sink      CommitSink
 
 	in   chan *dag.Vertex
@@ -57,8 +57,8 @@ type orderStage struct {
 	// flushCond signals processed catching up with submitted (Flush).
 	flushMu   sync.Mutex
 	flushCond *sync.Cond
-	submitted uint64
-	processed uint64
+	submitted uint64 // guarded by flushMu
+	processed uint64 // guarded by flushMu
 
 	// gcEvery/gcDepth mirror the engine config; the stage prunes the DAG and
 	// committer state itself (it owns them) and publishes the floor so the
@@ -89,6 +89,8 @@ func newOrderStage(committer *bullshark.Committer, scheduler leader.Scheduler, s
 // Blocks when the queue is full — the backpressure that bounds how far
 // ingest may run ahead of ordering — and drops the vertex if the stage has
 // been closed (shutdown path; the WAL retains the certificate).
+//
+//hammerlint:nonblocking
 func (s *orderStage) submit(v *dag.Vertex) {
 	s.flushMu.Lock()
 	s.submitted++

@@ -76,15 +76,15 @@ type Executor struct {
 	sm  StateMachine
 	cfg Config
 
-	appliedRound types.Round
-	appliedSeq   uint64
-	stateRoot    types.Digest
+	appliedRound types.Round  // guarded by mu
+	appliedSeq   uint64       // guarded by mu
+	stateRoot    types.Digest // guarded by mu
 	// ordered is the boundary window: every ordered vertex with round in
 	// (appliedRound-BoundaryRounds, appliedRound], exported into checkpoints
 	// so installing committers resume with the exact ordered set.
-	ordered   map[types.Digest]types.Round
-	sinceCkpt uint64
-	ckptCount uint64
+	ordered   map[types.Digest]types.Round // guarded by mu
+	sinceCkpt uint64                       // guarded by mu
+	ckptCount uint64                       // guarded by mu
 
 	// schedState is the scheduler state attached to the last applied commit
 	// (nil under the stateless round-robin baseline). It is embedded into
@@ -93,29 +93,29 @@ type Executor struct {
 	// window, and a restored node pruned past it would diverge.
 	// schedStateBytes holds the still-encoded state of an installed snapshot
 	// until the first post-install commit replaces it with a live export.
-	schedState      leader.SchedulerState
-	schedStateBytes []byte
+	schedState      leader.SchedulerState // guarded by mu
+	schedStateBytes []byte                // guarded by mu
 
 	// roots is a ring of recent (seq, root) pairs for cross-validator
 	// convergence checks at a common sequence number.
-	roots [rootRingSize]rootAt
+	roots [rootRingSize]rootAt // guarded by mu
 
 	// latest/prev cache the two newest checkpoints in memory so chunked
 	// serving never touches the store per chunk request (the file store
 	// would re-read and re-decode the whole snapshot each time), and so a
 	// peer mid-fetch of the previous checkpoint can finish after we rotate;
 	// served caches their wire encodings keyed by commit sequence.
-	latest     Snapshot
-	haveLatest bool
-	prev       Snapshot
-	havePrev   bool
-	served     map[uint64][]byte
+	latest     Snapshot          // guarded by mu
+	haveLatest bool              // guarded by mu
+	prev       Snapshot          // guarded by mu
+	havePrev   bool              // guarded by mu
+	served     map[uint64][]byte // guarded by mu
 
 	// Async mode.
 	q       chan bullshark.CommittedSubDAG
 	done    chan struct{}
 	wg      sync.WaitGroup
-	started bool
+	started bool // guarded by mu
 
 	appliedMetric *metrics.Gauge
 	queueMetric   *metrics.Gauge
@@ -166,6 +166,8 @@ func (x *Executor) Store() SnapshotStore { return x.cfg.Store }
 // sequence are skipped (WAL replay and snapshot installs make redeliveries
 // normal). Safe for concurrent use, though a single delivering goroutine is
 // the expected shape.
+//
+//hammerlint:deterministic
 func (x *Executor) ApplyCommit(sub bullshark.CommittedSubDAG) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -204,6 +206,8 @@ func (x *Executor) ApplyCommit(sub bullshark.CommittedSubDAG) {
 // commitDigest is the content address of one commit: sequence, anchor and the
 // ordered vertex list. Chaining it per commit makes equal state roots at
 // equal sequence numbers imply identical applied commit streams.
+//
+//hammerlint:deterministic
 func commitDigest(sub *bullshark.CommittedSubDAG) types.Digest {
 	parts := make([][]byte, 0, 2+len(sub.Vertices))
 	var hdr [16]byte
@@ -490,6 +494,8 @@ func (x *Executor) Start() {
 // Submit enqueues a commit for the apply goroutine. Blocks when the queue is
 // full (backpressure on the commit stream); drops the commit when the
 // executor is closed (the WAL re-derives it on restart).
+//
+//hammerlint:nonblocking
 func (x *Executor) Submit(sub bullshark.CommittedSubDAG) {
 	select {
 	case x.q <- sub:

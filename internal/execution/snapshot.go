@@ -2,9 +2,11 @@ package execution
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"sync"
 
@@ -66,17 +68,50 @@ type Snapshot struct {
 }
 
 // EncodeSnapshot serializes a snapshot for the wire or disk.
+//
+//hammerlint:deterministic
 func EncodeSnapshot(s Snapshot) ([]byte, error) {
 	var buf bytes.Buffer
+	buf.WriteByte(snapshotMagic)
+	buf.WriteByte(snapshotWireV2)
 	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
 		return nil, fmt.Errorf("execution: encoding snapshot: %w", err)
 	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(buf.Bytes()[2:], snapshotCRCTable))
+	buf.Write(crc[:])
 	return buf.Bytes(), nil
 }
 
-// DecodeSnapshot parses an EncodeSnapshot blob.
+// Snapshot wire framing. The install path's digest recomputation only covers
+// Data (it IS the state machine's content digest), so a bit flip in Floor,
+// Ordered or SchedulerState would otherwise decode cleanly and install — a
+// whole-blob checksum closes that gap. The magic byte 0x00 can never begin a
+// bare gob stream (gob's first byte encodes a nonzero message length), so
+// pre-checksum legacy blobs remain unambiguous and still decode.
+const (
+	snapshotMagic  = 0x00
+	snapshotWireV2 = 0x02
+)
+
+var snapshotCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// DecodeSnapshot parses an EncodeSnapshot blob, verifying the whole-blob
+// checksum on current-format blobs. Legacy bare-gob blobs (written before
+// the checksummed framing) decode unchecked — the state digest still guards
+// their Data.
 func DecodeSnapshot(data []byte) (Snapshot, error) {
 	var s Snapshot
+	if len(data) > 0 && data[0] == snapshotMagic {
+		if len(data) < 6 || data[1] != snapshotWireV2 {
+			return Snapshot{}, fmt.Errorf("execution: malformed snapshot framing")
+		}
+		body, trailer := data[2:len(data)-4], data[len(data)-4:]
+		if crc32.Checksum(body, snapshotCRCTable) != binary.BigEndian.Uint32(trailer) {
+			return Snapshot{}, fmt.Errorf("execution: snapshot checksum mismatch (corrupt blob)")
+		}
+		data = body
+	}
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
 		return Snapshot{}, fmt.Errorf("execution: decoding snapshot: %w", err)
 	}

@@ -160,6 +160,8 @@ func (s *KVState) Version() uint64 { return s.version }
 // op counters. Cost is O(n log n) in live keys; it is computed at checkpoint
 // and install time, not per transaction (the per-commit chain lives in the
 // Executor).
+//
+//hammerlint:deterministic
 func (s *KVState) Root() types.Digest {
 	keys := make([]string, 0, len(s.entries))
 	for k := range s.entries {
@@ -180,38 +182,70 @@ func (s *KVState) Root() types.Digest {
 	return types.HashBytes(parts...)
 }
 
-// kvSnapshot is the gob wire form of a KVState.
-type kvSnapshot struct {
-	Entries map[string]kvEntry
+// kvPair is one ledger cell in the deterministic wire form.
+type kvPair struct {
+	Key   string
+	Entry kvEntry
+}
+
+// kvSnapshotWire is the encode-side wire form: entries flattened into a
+// key-sorted slice so equal states serialize to equal bytes. Gob writes maps
+// in iteration order, which made pre-wire snapshots nondeterministic — two
+// validators at the same checkpoint could serve byte-different blobs for
+// identical state (why snapshot fetches had to be pinned to one responder).
+type kvSnapshotWire struct {
+	Pairs   []kvPair
 	Version uint64
 	Opaque  uint64
 }
 
-// Snapshot implements StateMachine.
+// kvSnapshotCompat decodes both wire generations: blobs written before the
+// sorted-pair migration carry Entries (gob matches by field name, so either
+// shape decodes); newer blobs carry Pairs.
+type kvSnapshotCompat struct {
+	Entries map[string]kvEntry
+	Pairs   []kvPair
+	Version uint64
+	Opaque  uint64
+}
+
+// Snapshot implements StateMachine. The encoding is deterministic: equal
+// states yield equal bytes on every validator.
+//
+//hammerlint:deterministic
 func (s *KVState) Snapshot() ([]byte, error) {
-	var buf bytes.Buffer
-	err := gob.NewEncoder(&buf).Encode(kvSnapshot{
-		Entries: s.entries,
+	wire := kvSnapshotWire{
+		Pairs:   make([]kvPair, 0, len(s.entries)),
 		Version: s.version,
 		Opaque:  s.opaque,
-	})
-	if err != nil {
+	}
+	for k, e := range s.entries {
+		wire.Pairs = append(wire.Pairs, kvPair{Key: k, Entry: e})
+	}
+	sort.Slice(wire.Pairs, func(i, j int) bool { return wire.Pairs[i].Key < wire.Pairs[j].Key })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
 		return nil, fmt.Errorf("execution: encoding KV snapshot: %w", err)
 	}
 	return buf.Bytes(), nil
 }
 
 // Restore implements StateMachine. Decoding happens into fresh structures, so
-// a corrupt snapshot leaves the previous state untouched.
+// a corrupt snapshot leaves the previous state untouched. Legacy map-form
+// blobs (written before the sorted-pair wire migration) restore as well.
 func (s *KVState) Restore(data []byte) error {
-	var snap kvSnapshot
+	var snap kvSnapshotCompat
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("execution: decoding KV snapshot: %w", err)
 	}
-	if snap.Entries == nil {
-		snap.Entries = make(map[string]kvEntry)
+	entries := snap.Entries
+	if entries == nil {
+		entries = make(map[string]kvEntry, len(snap.Pairs))
+		for _, p := range snap.Pairs {
+			entries[p.Key] = p.Entry
+		}
 	}
-	s.entries = snap.Entries
+	s.entries = entries
 	s.version = snap.Version
 	s.opaque = snap.Opaque
 	return nil

@@ -74,6 +74,8 @@ func (s *Schedule) SlotsOf() map[types.ValidatorID]int {
 // BaseSlots returns the unpermuted stake-proportional slot cycle: validator
 // u appears stake(u) times, in ID order. Total cycle length is the total
 // stake of the committee.
+//
+//hammerlint:deterministic
 func BaseSlots(committee *types.Committee) []types.ValidatorID {
 	slots := make([]types.ValidatorID, 0, committee.TotalStake())
 	for _, a := range committee.Authorities() {
@@ -87,6 +89,8 @@ func BaseSlots(committee *types.Committee) []types.ValidatorID {
 // NewInitialSchedule builds S0: base slots deterministically permuted from
 // the shared seed, starting at round 0. Every validator derives the same S0
 // from the same seed — no communication needed.
+//
+//hammerlint:deterministic
 func NewInitialSchedule(committee *types.Committee, seed uint64) *Schedule {
 	slots := BaseSlots(committee)
 	rng := rand.New(rand.NewSource(int64(seed))) //nolint:gosec // deterministic by design

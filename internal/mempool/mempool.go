@@ -42,8 +42,8 @@ type Stats struct {
 // neighbouring shard locks do not false-share under concurrent submitters.
 type shard struct {
 	mu    sync.Mutex
-	queue []types.Transaction
-	head  int
+	queue []types.Transaction // guarded by mu
+	head  int                 // guarded by mu
 	_     [24]byte
 }
 

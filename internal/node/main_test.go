@@ -1,0 +1,13 @@
+package node_test
+
+import (
+	"testing"
+
+	"hammerhead/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if tests leave goroutines running — node Close
+// must join the WAL writer, commit loop, executor and gateway.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

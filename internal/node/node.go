@@ -132,8 +132,8 @@ type Node struct {
 	walWg   sync.WaitGroup
 	walMu   sync.Mutex
 	walCond *sync.Cond
-	walSeq  uint64 // certificates enqueued for append
-	walDone uint64 // certificates appended (or abandoned at shutdown)
+	walSeq  uint64 // guarded by walMu; certificates enqueued for append
+	walDone uint64 // guarded by walMu; certificates appended (or abandoned at shutdown)
 	// compactFloor is the round below which the WAL no longer needs to
 	// replay, published by the executor's checkpoint hook and consumed by the
 	// WAL writer between appends (0 = no compaction pending). Wired whenever
@@ -161,8 +161,8 @@ type Node struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	startMu sync.Mutex
-	started bool
-	closed  bool
+	started bool // guarded by startMu
+	closed  bool // guarded by startMu
 
 	commitsMetric   *metrics.Counter
 	txsMetric       *metrics.Counter

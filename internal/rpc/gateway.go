@@ -81,11 +81,11 @@ type Gateway struct {
 	// the node's commit-delivery goroutine.
 	mu      sync.Mutex
 	cond    *sync.Cond
-	ring    []CommitEvent
-	head    int
-	lastSeq uint64
-	commits uint64
-	closed  bool
+	ring    []CommitEvent // guarded by mu
+	head    int           // guarded by mu
+	lastSeq uint64        // guarded by mu
+	commits uint64        // guarded by mu
+	closed  bool          // guarded by mu
 
 	txSeq     atomic.Uint64
 	closeOnce sync.Once
@@ -202,8 +202,8 @@ func (g *Gateway) ObserveCommit(sub bullshark.CommittedSubDAG) {
 	g.cond.Broadcast()
 }
 
-// ringAt returns the i-th oldest retained event. Caller holds g.mu.
-func (g *Gateway) ringAt(i int) *CommitEvent {
+// ringAtLocked returns the i-th oldest retained event. Caller holds g.mu.
+func (g *Gateway) ringAtLocked(i int) *CommitEvent {
 	return &g.ring[(g.head+i)%len(g.ring)]
 }
 
@@ -421,14 +421,14 @@ func (g *Gateway) handleCommits(w http.ResponseWriter, r *http.Request) {
 		// start position is a binary search), then emit without the lock.
 		var gap *GapEvent
 		n := len(g.ring)
-		if n > 0 && g.ringAt(0).Seq > next {
-			gap = &GapEvent{Oldest: g.ringAt(0).Seq}
-			next = g.ringAt(0).Seq
+		if n > 0 && g.ringAtLocked(0).Seq > next {
+			gap = &GapEvent{Oldest: g.ringAtLocked(0).Seq}
+			next = g.ringAtLocked(0).Seq
 		}
-		start := sort.Search(n, func(i int) bool { return g.ringAt(i).Seq >= next })
+		start := sort.Search(n, func(i int) bool { return g.ringAtLocked(i).Seq >= next })
 		batch := make([]CommitEvent, 0, n-start)
 		for i := start; i < n; i++ {
-			batch = append(batch, *g.ringAt(i))
+			batch = append(batch, *g.ringAtLocked(i))
 		}
 		if len(batch) > 0 {
 			next = batch[len(batch)-1].Seq + 1

@@ -1,0 +1,13 @@
+package rpc
+
+import (
+	"testing"
+
+	"hammerhead/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if tests leave goroutines running — gateway
+// Close must unblock every SSE stream and its watchdog goroutine.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

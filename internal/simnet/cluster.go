@@ -96,6 +96,16 @@ type Cluster struct {
 	// vertices never certify while it otherwise looks alive.
 	withholdAt   []int64
 	withholdFrom []map[types.ValidatorID]bool
+	// voteWithholdAt / voteWithholdFrom model the vote-withholding variant:
+	// from the given virtual time, the validator silently refuses to vote for
+	// headers ORIGINATING from the peer set. Enough withholders and the
+	// targeted proposer can no longer gather a quorum — its vertices never
+	// certify even though its headers reach everyone. Unlike header
+	// withholding, the damage is attributed to the victim (its proposals
+	// stall), which is exactly the griefing pattern reputation scoring has to
+	// pin on the right validator.
+	voteWithholdAt   []int64
+	voteWithholdFrom []map[types.ValidatorID]bool
 
 	// incarnation guards against cross-incarnation delivery: a SIGKILL
 	// restart (KillRestart) bumps a validator's incarnation at kill AND at
@@ -143,27 +153,30 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	n := cfg.Committee.Size()
 	c := &Cluster{
-		Sim:         New(cfg.Seed),
-		Committee:   cfg.Committee,
-		crashedAt:    make([]int64, n),
-		slowFrom:     make([]int64, n),
-		slowUntil:    make([]int64, n),
-		slowMul:      make([]float64, n),
-		badSigAt:     make([]int64, n),
-		withholdAt:   make([]int64, n),
-		withholdFrom: make([]map[types.ValidatorID]bool, n),
-		incarnation:  make([]uint64, n),
-		replaying:    make([]bool, n),
-		latency:      cfg.Latency,
-		onCommit:     cfg.OnCommit,
-		dropRate:     cfg.DropRate,
-		insertTap:    cfg.OnInsert,
+		Sim:              New(cfg.Seed),
+		Committee:        cfg.Committee,
+		crashedAt:        make([]int64, n),
+		slowFrom:         make([]int64, n),
+		slowUntil:        make([]int64, n),
+		slowMul:          make([]float64, n),
+		badSigAt:         make([]int64, n),
+		withholdAt:       make([]int64, n),
+		withholdFrom:     make([]map[types.ValidatorID]bool, n),
+		voteWithholdAt:   make([]int64, n),
+		voteWithholdFrom: make([]map[types.ValidatorID]bool, n),
+		incarnation:      make([]uint64, n),
+		replaying:        make([]bool, n),
+		latency:          cfg.Latency,
+		onCommit:         cfg.OnCommit,
+		dropRate:         cfg.DropRate,
+		insertTap:        cfg.OnInsert,
 	}
 	for i := range c.crashedAt {
 		c.crashedAt[i] = -1
 		c.slowMul[i] = 1
 		c.badSigAt[i] = -1
 		c.withholdAt[i] = -1
+		c.voteWithholdAt[i] = -1
 	}
 
 	// Simulated deployments are crash-only (as is the paper's evaluation);
@@ -512,6 +525,21 @@ func (c *Cluster) Withhold(id types.ValidatorID, peers []types.ValidatorID, from
 	c.withholdAt[id] = from.Nanoseconds()
 }
 
+// WithholdVotes makes validator id suppress its votes for headers
+// originating from the given peers from the given virtual time on — the
+// vote-withholding variant of Withhold. The withholder still proposes,
+// relays and votes for everyone else, so every health signal it emits looks
+// normal; only the targeted proposers suffer, and with enough withholders
+// (n minus quorum plus one) their vertices never certify at all.
+func (c *Cluster) WithholdVotes(id types.ValidatorID, peers []types.ValidatorID, from time.Duration) {
+	set := make(map[types.ValidatorID]bool, len(peers))
+	for _, p := range peers {
+		set[p] = true
+	}
+	c.voteWithholdFrom[id] = set
+	c.voteWithholdAt[id] = from.Nanoseconds()
+}
+
 // SlowDown multiplies all message latencies touching the validator by
 // factor within [from, until] — the §1 incident's "less responsive"
 // validators.
@@ -606,6 +634,13 @@ func (c *Cluster) send(from, to types.ValidatorID, msg *engine.Message, now int6
 		msg.Header.Source == from && c.withholdFrom[from][to] {
 		// Selective withholding: only the validator's own headers are
 		// suppressed — it keeps voting and relaying, so it looks alive.
+		return
+	}
+	if at := c.voteWithholdAt[from]; at >= 0 && now >= at &&
+		msg.Kind == engine.KindVote && msg.Vote != nil &&
+		msg.Vote.Voter == from && c.voteWithholdFrom[from][msg.Vote.Origin] {
+		// Vote-withholding variant: only votes endorsing the targeted
+		// origins are dropped; everything else flows normally.
 		return
 	}
 	if at := c.badSigAt[from]; at >= 0 && now >= at {

@@ -220,6 +220,10 @@ func (w *WAL) AppendProposal(h *engine.Header) error {
 	return w.appendRecord(walRecord{Proposal: h})
 }
 
+// appendRecord frames and writes one record. The record encoding must be
+// deterministic: replay-trim logic compares byte offsets across restarts.
+//
+//hammerlint:deterministic
 func (w *WAL) appendRecord(rec walRecord) error {
 	if w.closed {
 		return ErrClosed

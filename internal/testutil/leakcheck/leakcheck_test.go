@@ -1,0 +1,53 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckCleanAfterDrain: a goroutine that exits inside the grace window is
+// not a leak.
+func TestCheckCleanAfterDrain(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	if leaked := Check(); leaked != "" {
+		t.Fatalf("draining goroutine reported as leak:\n%s", leaked)
+	}
+	<-done
+}
+
+// TestCheckIgnores: an intentionally parked goroutine is exempted by an
+// ignore substring and otherwise reported.
+func TestCheckIgnores(t *testing.T) {
+	quit := make(chan struct{})
+	defer close(quit)
+	started := make(chan struct{})
+	go parkedForTest(started, quit)
+	<-started
+
+	if leaked := Check("leakcheck.parkedForTest"); leaked != "" {
+		t.Fatalf("ignored goroutine still reported:\n%s", leaked)
+	}
+
+	// Without the ignore it must be reported — shrink the grace window by
+	// checking the raw snapshot path directly instead of waiting out Check.
+	leaked := leakedStacks(nil)
+	found := false
+	for _, s := range leaked {
+		if strings.Contains(s, "leakcheck.parkedForTest") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("parked goroutine missing from leak report")
+	}
+}
+
+func parkedForTest(started chan<- struct{}, quit <-chan struct{}) {
+	close(started)
+	<-quit
+}

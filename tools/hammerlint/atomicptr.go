@@ -1,0 +1,121 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var atomicptrAnalyzer = &Analyzer{
+	Name: "atomicptr",
+	Doc: "a field accessed through sync/atomic functions must never also be " +
+		"read or written directly",
+	Run: runAtomicptr,
+}
+
+func runAtomicptr(p *Pass) {
+	// Pass 1: fields whose address is taken by a sync/atomic call.
+	atomicFields := make(map[*types.Var]token.Pos)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p.Info, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			sig, _ := callee.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil {
+				return true // methods on atomic.X types are safe by construction
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if field := fieldOf(p, u.X); field != nil {
+					if _, seen := atomicFields[field]; !seen {
+						atomicFields[field] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: any other selector touching those fields is a mixed access —
+	// unless it is itself the &-operand of a sync/atomic call, or the base
+	// value was freshly constructed in the same function (initialization
+	// before the value is shared).
+	for _, file := range p.Files {
+		atomicArgs := make(map[ast.Expr]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p.Info, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					atomicArgs[ast.Unparen(u.X)] = true
+				}
+			}
+			return true
+		})
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || hasDirective(fd, "ignore") {
+				continue
+			}
+			constructed := collectConstructed(p, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				field := fieldOf(p, sel)
+				if field == nil {
+					return true
+				}
+				firstAtomic, ok := atomicFields[field]
+				if !ok || atomicArgs[sel] {
+					return true
+				}
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil && constructed[obj] {
+						return true
+					}
+				}
+				if p.ignoredPos(sel.Pos()) {
+					return true
+				}
+				p.reportf("atomicptr", sel.Sel.Pos(),
+					"field %s is accessed with sync/atomic at %s but non-atomically here (mixed access is a data race)",
+					field.Name(), p.Fset.Position(firstAtomic))
+				return true
+			})
+		}
+	}
+}
+
+// fieldOf resolves an expression to the struct field it selects, or nil.
+func fieldOf(p *Pass, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+var determinismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "functions reachable from //hammerlint:deterministic roots must not " +
+		"reach wall clocks, ambient randomness, order-dependent map iteration " +
+		"or gob map encoding",
+	Run: runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	t := p.propagateTaint(
+		func(n *funcNode) []sink { return n.detSinks },
+		func(f *pkgFacts) []factEntry { return f.Tainted },
+		nil,
+	)
+	p.reportFromRoots("determinism",
+		func(n *funcNode) bool { return n.deterministic },
+		func(n *funcNode) []sink { return n.detSinks },
+		t,
+	)
+	p.Export.Tainted = p.exportTaintFacts(t)
+}
+
+// randAllowed are math/rand package-level constructors that are themselves
+// deterministic: randomness only appears once a source is seeded, and an
+// explicitly seeded source is deterministic by design (the repo's shared-seed
+// schedule shuffle depends on exactly that).
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// timeBanned are time package functions that read the wall clock.
+var timeBanned = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// scanCall classifies one call site: records the call edge for taint
+// propagation and any direct determinism sink.
+func (p *Pass) scanCall(node *funcNode, call *ast.CallExpr, inGoroutine bool) {
+	callee := calleeOf(p.Info, call)
+	if callee != nil {
+		node.calls = append(node.calls, callEdge{
+			callee:    callee,
+			iface:     isInterfaceCall(p.Info, call),
+			goroutine: inGoroutine,
+			pos:       call.Pos(),
+		})
+	}
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	pkgPath := callee.Pkg().Path()
+	sig, _ := callee.Type().(*types.Signature)
+	topLevel := sig != nil && sig.Recv() == nil
+
+	switch {
+	case pkgPath == "time" && topLevel && timeBanned[callee.Name()]:
+		p.addDetSink(node, call, fmt.Sprintf("calls time.%s (wall clock in deterministic code)", callee.Name()))
+
+	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && topLevel && !randAllowed[callee.Name()]:
+		p.addDetSink(node, call, fmt.Sprintf("calls %s.%s (ambient process-seeded randomness)", pkgPath, callee.Name()))
+
+	case pkgPath == "maps" && topLevel && (callee.Name() == "Keys" || callee.Name() == "Values" || callee.Name() == "All"):
+		if !p.exemptMapIter[call] {
+			p.addDetSink(node, call, fmt.Sprintf("iterates a map via maps.%s in unspecified order (wrap in slices.Sorted or sort the result)", callee.Name()))
+		}
+
+	case pkgPath == "slices" && topLevel &&
+		(callee.Name() == "Sorted" || callee.Name() == "SortedFunc" || callee.Name() == "SortedStableFunc"):
+		// slices.Sorted(maps.Keys(m)) is the canonical sorted-iteration
+		// idiom: exempt the directly wrapped iterator call.
+		if p.exemptMapIter == nil {
+			p.exemptMapIter = make(map[*ast.CallExpr]bool)
+		}
+		for _, arg := range call.Args {
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				p.exemptMapIter[inner] = true
+			}
+		}
+
+	case pkgPath == "encoding/gob" && callee.Name() == "Encode" && !topLevel:
+		for _, arg := range call.Args {
+			tv, ok := p.Info.Types[arg]
+			if !ok {
+				continue
+			}
+			if path := mapPath(tv.Type); path != "" {
+				p.addDetSink(node, call, fmt.Sprintf(
+					"gob-encodes %s which contains a map (%s): gob serializes maps in iteration order; flatten to a sorted slice first", tv.Type, path))
+			}
+		}
+	}
+}
+
+// addDetSink files a determinism sink unless suppressed by an ignore line.
+func (p *Pass) addDetSink(node *funcNode, at ast.Node, desc string) {
+	if p.ignoredPos(at.Pos()) {
+		return
+	}
+	node.detSinks = append(node.detSinks, sink{pos: at.Pos(), desc: desc})
+}
+
+// scanRange flags `for range m` over a map unless the body is
+// order-independent (the collect-then-sort idiom and commutative
+// accumulation) or suppressed.
+func (p *Pass) scanRange(node *funcNode, rng *ast.RangeStmt) {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	keyName := ""
+	if id, ok := rng.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyName = id.Name
+	}
+	if p.orderIndependentBody(rng.Body, keyName) {
+		return
+	}
+	p.addDetSink(node, rng, fmt.Sprintf(
+		"iterates map %s in unspecified order with an order-dependent body (collect keys and sort, or //hammerlint:ignore with a reason)", tv.Type))
+}
+
+// orderIndependentBody reports whether every statement in a map-range body
+// is insensitive to iteration order: append-only accumulation (to be sorted
+// afterwards), integer +=, counters, deletes, per-key map stores, and
+// branches built only from those (the conditional-prune idiom). keyName is
+// the range's key variable ("" when absent/blank).
+func (p *Pass) orderIndependentBody(body *ast.BlockStmt, keyName string) bool {
+	for _, stmt := range body.List {
+		if !p.orderIndependentStmt(stmt, keyName) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pass) orderIndependentStmt(stmt ast.Stmt, keyName string) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return true // counters: n++ / n--
+	case *ast.AssignStmt:
+		return p.orderIndependentAssign(s, keyName)
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, builtin := p.Info.Uses[id].(*types.Builtin)
+		return builtin && id.Name == "delete"
+	case *ast.BlockStmt:
+		return p.orderIndependentBody(s, keyName)
+	case *ast.IfStmt:
+		if s.Init != nil && !p.orderIndependentStmt(s.Init, keyName) {
+			return false
+		}
+		if !p.orderIndependentBody(s.Body, keyName) {
+			return false
+		}
+		return s.Else == nil || p.orderIndependentStmt(s.Else, keyName)
+	}
+	return false
+}
+
+// orderIndependentAssign accepts `x = append(x, ...)`, `x += <integer>`, and
+// `m[k] = ...` where k is the range's own key variable (range keys are
+// distinct, so per-key stores cannot interfere across iterations — the
+// map-copy idiom).
+func (p *Pass) orderIndependentAssign(s *ast.AssignStmt, keyName string) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	switch s.Tok.String() {
+	case "=", ":=":
+		if keyName != "" {
+			if idx, ok := ast.Unparen(s.Lhs[0]).(*ast.IndexExpr); ok {
+				id, isIdent := ast.Unparen(idx.Index).(*ast.Ident)
+				tv, hasType := p.Info.Types[idx.X]
+				if isIdent && id.Name == keyName && hasType {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						return true
+					}
+				}
+			}
+		}
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" || len(call.Args) == 0 {
+			return false
+		}
+		// append target must be the assignment target: x = append(x, ...)
+		return types.ExprString(s.Lhs[0]) == types.ExprString(call.Args[0])
+	case "+=", "|=":
+		tv, ok := p.Info.Types[s.Lhs[0]]
+		if !ok {
+			return false
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && basic.Info()&types.IsInteger != 0
+	}
+	return false
+}
+
+// mapPath returns a short description of where a map hides inside t
+// ("" = no map). Depth-limited and cycle-safe.
+func mapPath(t types.Type) string {
+	path, found := mapPathRec(t, make(map[types.Type]bool), 0)
+	switch {
+	case !found:
+		return ""
+	case path == "":
+		return "the value itself"
+	default:
+		return "field " + path
+	}
+}
+
+func mapPathRec(t types.Type, seen map[types.Type]bool, depth int) (string, bool) {
+	if depth > 6 || seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return "", true
+	case *types.Pointer:
+		return mapPathRec(u.Elem(), seen, depth+1)
+	case *types.Slice:
+		return mapPathRec(u.Elem(), seen, depth+1)
+	case *types.Array:
+		return mapPathRec(u.Elem(), seen, depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if sub, found := mapPathRec(f.Type(), seen, depth+1); found {
+				if sub != "" {
+					return f.Name() + "." + sub, true
+				}
+				return f.Name(), true
+			}
+		}
+	}
+	return "", false
+}

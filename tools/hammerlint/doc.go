@@ -1,0 +1,56 @@
+// Command hammerlint is the repo's invariant linter: a multi-analyzer vet
+// tool that machine-checks the determinism and concurrency contracts every
+// correctness claim in this reproduction rests on (bit-equal chained state
+// roots, byte-equal ManagerState encodings, identical post-recovery leader
+// schedules).
+//
+// It runs two ways:
+//
+//	go vet -vettool=$(go env GOPATH)/bin/hammerlint ./...   # vet protocol
+//	go run ./tools/hammerlint ./...                          # standalone
+//
+// Both modes run the same four analyzers:
+//
+//	determinism  Functions reachable from a //hammerlint:deterministic root
+//	             must not call time.Now/Since/Until, package-level math/rand
+//	             functions (explicitly seeded *rand.Rand methods are allowed
+//	             — they are deterministic), iterate a map in an
+//	             order-dependent way without the sorted-keys idiom, or
+//	             gob-encode a map-bearing value (gob serializes maps in
+//	             iteration order). Taint propagates through the static call
+//	             graph, across packages via facts, and through interface
+//	             method calls to known-tainted implementations.
+//	guardedby    Struct fields annotated "// guarded by <mu>" must only be
+//	             read with <mu> (or its read half) held and written with the
+//	             full lock held, in the same function. Functions whose name
+//	             ends in "Locked" are assumed to be called with the lock
+//	             held. Composite-literal construction in the same function is
+//	             exempt (the value is not shared yet).
+//	atomicptr    A field passed to sync/atomic functions (&s.f) anywhere in
+//	             the package must never also be read or written directly —
+//	             mixed atomic/plain access is a data race even when it
+//	             "mostly works".
+//	sendblock    Functions reachable from a //hammerlint:nonblocking root
+//	             must not perform a bare blocking channel send (ch <- v
+//	             outside any select). Sends inside a select — whether guarded
+//	             by a default case or a quit/backpressure case — follow the
+//	             bounded-queue discipline and pass.
+//
+// Annotation vocabulary (directive comments, no space after //):
+//
+//	//hammerlint:deterministic   declares a determinism root (on a func)
+//	//hammerlint:nonblocking     declares a no-blocking-send root (on a func)
+//	//hammerlint:ignore [why]    on a func: exclude it from analysis and
+//	                             taint propagation entirely; on the line of
+//	                             (or the line before) a statement: suppress
+//	                             diagnostics for that statement
+//	// guarded by <mu>           on a struct field: accesses require the
+//	                             sibling mutex field <mu>
+//
+// Known, deliberate approximations: calls through function-typed variables
+// are not tracked; guardedby is flow-insensitive inside branches (a lock
+// acquired in only one arm of an if does not count as held afterwards);
+// closures inherit the lock state of their definition point except `go`
+// closures, which start lock-free. The //hammerlint:ignore escape hatch is
+// the pressure valve — every use should say why.
+package main

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expectation is one `// want "regexp"` comment in a fixture file.
+type expectation struct {
+	file    string // base name
+	line    int
+	re      *regexp.Regexp
+	text    string
+	matched bool
+}
+
+// TestFixtures runs each analyzer over its fixture package under
+// testdata/src (a self-contained module) and matches the produced
+// diagnostics against the fixtures' `// want` comments, analysistest-style:
+// every diagnostic must be wanted, every want must be hit.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name     string // fixture package directory
+		analyzer string
+	}{
+		{"determ", "determinism"},
+		{"determcross", "determinism"}, // sinks in determdep, roots here: facts propagation
+		{"guarded", "guardedby"},
+		{"atomicmix", "atomicptr"},
+		{"sendblk", "sendblock"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var enabled []*Analyzer
+			for _, a := range allAnalyzers() {
+				if a.Name == tc.analyzer {
+					enabled = append(enabled, a)
+				}
+			}
+			if len(enabled) == 0 {
+				t.Fatalf("no analyzer named %q", tc.analyzer)
+			}
+			results, err := loadAndAnalyze(enabled, []string{"./" + tc.name}, filepath.Join("testdata", "src"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var diags []Diagnostic
+			for _, r := range results {
+				diags = append(diags, r.Diags...)
+			}
+			wants := parseWants(t, filepath.Join("testdata", "src", tc.name))
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want comments", tc.name)
+			}
+
+			for _, d := range diags {
+				matched := false
+				for _, w := range wants {
+					if !w.matched && w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						w.matched = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text)
+				}
+			}
+		})
+	}
+}
+
+// parseWants extracts `// want "re" "re"...` expectations from every Go file
+// in dir. Patterns may be double- or back-quoted.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			rest := strings.TrimSpace(line[idx+len("// want "):])
+			for rest != "" {
+				q, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want pattern %q: %v", e.Name(), i+1, rest, err)
+				}
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: %v", e.Name(), i+1, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", e.Name(), i+1, err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: i + 1, re: re, text: pat})
+				rest = strings.TrimSpace(rest[len(q):])
+			}
+		}
+	}
+	return wants
+}
+
+// TestRepoIsClean runs every analyzer over the real repository: the
+// annotated roots in internal/... must produce zero findings. This is the
+// same check CI runs through `go vet -vettool=`.
+func TestRepoIsClean(t *testing.T) {
+	results, err := loadAndAnalyze(allAnalyzers(), []string{"./..."}, filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		for _, d := range r.Diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestVetToolProtocol builds the hammerlint binary and drives it through
+// cmd/go's vettool protocol (-V=full / -flags / cfg-file handshakes): clean
+// on the real repo, failing with findings on the fixture module.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "hammerlint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building hammerlint: %v\n%s", err, out)
+	}
+
+	clean := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	clean.Dir = filepath.Join("..", "..")
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on the repo should be clean: %v\n%s", err, out)
+	}
+
+	dirty := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	dirty.Dir = filepath.Join("testdata", "src")
+	out, err := dirty.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on the fixture module should fail\n%s", out)
+	}
+	for _, analyzer := range []string{"determinism:", "guardedby:", "atomicptr:", "sendblock:"} {
+		if !strings.Contains(string(out), analyzer) {
+			t.Errorf("fixture vet output missing %s findings:\n%s", analyzer, out)
+		}
+	}
+}

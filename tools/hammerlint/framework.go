@@ -1,0 +1,257 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// modulePath is the module whose packages hammerlint fully analyzes.
+// Packages outside it (the standard library) are treated as trusted leaves,
+// checked only against the built-in denylists in determinism.go.
+const modulePath = "hammerhead"
+
+// Diagnostic is one finding, positioned and attributed to an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant check. Run inspects a type-checked package and
+// reports findings through pass.Report.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *Pass)
+}
+
+// allAnalyzers is the registry, in reporting order.
+func allAnalyzers() []*Analyzer {
+	return []*Analyzer{determinismAnalyzer, guardedbyAnalyzer, atomicptrAnalyzer, sendblockAnalyzer}
+}
+
+// Pass carries one package's parse/type-check products plus imported facts
+// through every analyzer. Analyzers append exported facts for downstream
+// packages onto Export.
+type Pass struct {
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+	Report func(Diagnostic)
+
+	// Facts imported from dependency packages, keyed by package path.
+	Imported map[string]*pkgFacts
+	// Export accumulates this package's facts.
+	Export *pkgFacts
+
+	// ignoreLines maps filename -> set of lines carrying //hammerlint:ignore.
+	ignoreLines map[string]map[int]bool
+
+	// nodes is the per-function call/sink graph shared by the taint
+	// analyzers; built lazily by callGraph().
+	nodes map[*types.Func]*funcNode
+
+	// exemptMapIter marks maps.Keys/Values/All calls wrapped directly in
+	// slices.Sorted* — the canonical sorted-iteration idiom.
+	exemptMapIter map[*ast.CallExpr]bool
+}
+
+func newPass(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, imported map[string]*pkgFacts, report func(Diagnostic)) *Pass {
+	p := &Pass{
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		Imported: imported,
+		Export:   &pkgFacts{},
+		Report:   report,
+	}
+	p.ignoreLines = make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//hammerlint:ignore") {
+					pos := fset.Position(c.Pos())
+					m := p.ignoreLines[pos.Filename]
+					if m == nil {
+						m = make(map[int]bool)
+						p.ignoreLines[pos.Filename] = m
+					}
+					m[pos.Line] = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+// reportf formats and files a diagnostic at pos unless the line is ignored.
+func (p *Pass) reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignoredLine(position) {
+		return
+	}
+	p.Report(Diagnostic{Pos: position, Analyzer: analyzer, Message: fmt.Sprintf(format, args...)})
+}
+
+// ignoredLine reports whether the node at position is covered by an
+// //hammerlint:ignore comment on the same line or the line directly above.
+func (p *Pass) ignoredLine(pos token.Position) bool {
+	m := p.ignoreLines[pos.Filename]
+	return m != nil && (m[pos.Line] || m[pos.Line-1])
+}
+
+// ignoredPos is ignoredLine for a raw token.Pos.
+func (p *Pass) ignoredPos(pos token.Pos) bool {
+	return p.ignoredLine(p.Fset.Position(pos))
+}
+
+// hasDirective reports whether the func decl's doc comment carries the given
+// //hammerlint:<name> directive.
+func hasDirective(decl *ast.FuncDecl, name string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	want := "//hammerlint:" + name
+	for _, c := range decl.Doc.List {
+		if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- facts ----
+
+// factEntry marks one function or method of an analyzed package as carrying
+// a property (non-determinism, may-block) for cross-package propagation.
+type factEntry struct {
+	Recv   string // receiver named-type name; "" for a plain function
+	Name   string // function or method name
+	Reason string // human-readable cause chain ending at the sink position
+}
+
+// pkgFacts is the per-package fact file hammerlint writes (gob in vet mode,
+// in-memory in standalone mode).
+type pkgFacts struct {
+	Tainted  []factEntry // determinism: transitively reaches a sink
+	Blocking []factEntry // sendblock: transitively performs a bare send
+}
+
+// factKey identifies a function across packages.
+func factKey(pkgPath, recv, name string) string {
+	if recv != "" {
+		return pkgPath + ".(" + recv + ")." + name
+	}
+	return pkgPath + "." + name
+}
+
+// symKey canonicalizes a *types.Func into a cross-package key.
+func symKey(f *types.Func) string {
+	pkgPath := ""
+	if f.Pkg() != nil {
+		pkgPath = f.Pkg().Path()
+	}
+	return factKey(pkgPath, recvName(f), f.Name())
+}
+
+// recvName returns the receiver's named-type name, or "".
+func recvName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// displayName renders a function for diagnostics: pkg.Func or (pkg.T).Method.
+func displayName(f *types.Func) string {
+	pkg := ""
+	if f.Pkg() != nil {
+		pkg = f.Pkg().Name() + "."
+	}
+	if r := recvName(f); r != "" {
+		return "(" + pkg + r + ")." + f.Name()
+	}
+	return pkg + f.Name()
+}
+
+// inModule reports whether the package path belongs to the analyzed module.
+func inModule(path string) bool {
+	return underModule(path, modulePath)
+}
+
+// underModule reports whether pkgPath belongs to the module modPath.
+func underModule(pkgPath, modPath string) bool {
+	return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// calleeOf resolves the static callee of a call, or nil (builtins, function
+// values, type conversions).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Qualified package function (pkg.F).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isInterfaceCall reports whether the call dispatches through an interface.
+func isInterfaceCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	_, isIface := s.Recv().Underlying().(*types.Interface)
+	return isIface
+}

@@ -1,0 +1,449 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+var guardedbyAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated \"// guarded by <mu>\" must be accessed with the " +
+		"named sibling mutex held in the same function",
+	Run: runGuardedby,
+}
+
+// guardedRe matches the field annotation, e.g. "// guarded by mu".
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// lockMode is how strongly a mutex is held.
+type lockMode int
+
+const (
+	lockNone lockMode = iota
+	lockRead          // RLock
+	lockFull          // Lock
+)
+
+func runGuardedby(p *Pass) {
+	guards := collectGuardedFields(p)
+	if len(guards) == 0 {
+		return
+	}
+	c := &guardChecker{p: p, guards: guards}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || hasDirective(fd, "ignore") {
+				continue
+			}
+			// Functions named *Locked are called with the lock already held.
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			c.constructed = collectConstructed(p, fd)
+			c.stmts(fd.Body.List, map[string]lockMode{})
+		}
+	}
+}
+
+// collectGuardedFields maps annotated field objects to the guard's sibling
+// field name, validating that the guard exists and is mutex-shaped.
+func collectGuardedFields(p *Pass) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := fieldAnnotation(field)
+				if guard == "" {
+					continue
+				}
+				if !structHasMutexField(p, st, guard) {
+					for _, name := range field.Names {
+						p.reportf("guardedby", field.Pos(),
+							"field %s is annotated \"guarded by %s\" but the struct has no mutex field %s", name.Name, guard, guard)
+					}
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := p.Info.Defs[name].(*types.Var); ok {
+						out[obj] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldAnnotation extracts the guard name from a field's doc or line comment.
+func fieldAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// structHasMutexField reports whether the struct literally declares a field
+// with the given name whose type is a sync (RW)Mutex or pointer to one.
+func structHasMutexField(p *Pass, st *ast.StructType, name string) bool {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				if tv, ok := p.Info.Types[f.Type]; ok {
+					return isMutexType(tv.Type)
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// collectConstructed returns identifiers assigned from composite literals in
+// this function — freshly built values no other goroutine can see yet.
+func collectConstructed(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			e := ast.Unparen(rhs)
+			if u, ok := e.(*ast.UnaryExpr); ok {
+				e = ast.Unparen(u.X)
+			}
+			if _, ok := e.(*ast.CompositeLit); !ok {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := p.Info.Defs[id]; obj != nil {
+					out[obj] = true
+				} else if obj := p.Info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// guardChecker walks a function's statements tracking held locks.
+type guardChecker struct {
+	p           *Pass
+	guards      map[*types.Var]string
+	constructed map[types.Object]bool
+}
+
+// stmts processes a statement list sequentially. Lock state acquired inside
+// nested control flow does not escape the branch (conservative).
+func (c *guardChecker) stmts(list []ast.Stmt, held map[string]lockMode) {
+	for _, stmt := range list {
+		c.stmt(stmt, held)
+	}
+}
+
+func copyHeld(held map[string]lockMode) map[string]lockMode {
+	out := make(map[string]lockMode, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *guardChecker) stmt(s ast.Stmt, held map[string]lockMode) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && c.lockCall(call, held, false) {
+			return
+		}
+		c.expr(s.X, held, false)
+	case *ast.DeferStmt:
+		// Deferred unlocks keep the lock held for the rest of the function.
+		if c.isUnlockCall(s.Call) {
+			return
+		}
+		for _, a := range s.Call.Args {
+			c.expr(a, held, false)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.stmts(lit.Body.List, copyHeld(held))
+		} else {
+			c.expr(s.Call.Fun, held, false)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			c.expr(a, held, false)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// A spawned goroutine must take its own locks.
+			c.stmts(lit.Body.List, map[string]lockMode{})
+		} else {
+			c.expr(s.Call.Fun, held, false)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.expr(r, held, false)
+		}
+		for _, l := range s.Lhs {
+			c.writeTarget(l, held)
+		}
+	case *ast.IncDecStmt:
+		c.writeTarget(s.X, held)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r, held, false)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.expr(s.Cond, held, false)
+		c.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			c.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, held, false)
+		}
+		inner := copyHeld(held)
+		if s.Post != nil {
+			c.stmt(s.Post, inner)
+		}
+		c.stmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		c.expr(s.X, held, false)
+		c.stmts(s.Body.List, copyHeld(held))
+	case *ast.BlockStmt:
+		c.stmts(s.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, held, false)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, copyHeld(held))
+				}
+				c.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SendStmt:
+		c.expr(s.Chan, held, false)
+		c.expr(s.Value, held, false)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, held, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockCall updates held state for mu.Lock()/RLock()/Unlock()/RUnlock() calls
+// on struct mutex fields; returns true when the call was lock bookkeeping.
+func (c *guardChecker) lockCall(call *ast.CallExpr, held map[string]lockMode, unlockOnly bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	method := sel.Sel.Name
+	if method != "Lock" && method != "RLock" && method != "Unlock" && method != "RUnlock" {
+		return false
+	}
+	if tv, ok := c.p.Info.Types[sel.X]; !ok || !isMutexType(tv.Type) {
+		return false
+	}
+	key := types.ExprString(ast.Unparen(sel.X))
+	switch method {
+	case "Lock":
+		if !unlockOnly {
+			held[key] = lockFull
+		}
+	case "RLock":
+		if !unlockOnly {
+			if held[key] < lockRead {
+				held[key] = lockRead
+			}
+		}
+	case "Unlock", "RUnlock":
+		delete(held, key)
+	}
+	return true
+}
+
+// isUnlockCall reports whether the call is mu.Unlock()/RUnlock() on a mutex.
+func (c *guardChecker) isUnlockCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return false
+	}
+	tv, ok := c.p.Info.Types[sel.X]
+	return ok && isMutexType(tv.Type)
+}
+
+// writeTarget checks an assignment target, then its sub-expressions.
+func (c *guardChecker) writeTarget(e ast.Expr, held map[string]lockMode) {
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		c.checkAccess(sel, held, true)
+		c.expr(sel.X, held, false)
+		return
+	}
+	if idx, ok := e.(*ast.IndexExpr); ok {
+		// m[k] = v writes through the container: the container field itself
+		// needs the write lock.
+		c.writeTarget(idx.X, held)
+		c.expr(idx.Index, held, false)
+		return
+	}
+	c.expr(e, held, false)
+}
+
+// expr scans an expression for guarded-field reads (and &-escapes, which
+// count as writes). FuncLits inherit the lock state of their definition
+// point (sort.Slice-under-lock and friends).
+func (c *guardChecker) expr(e ast.Expr, held map[string]lockMode, addressed bool) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		c.checkAccess(e, held, addressed)
+		c.expr(e.X, held, false)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			c.expr(e.X, held, true)
+			return
+		}
+		c.expr(e.X, held, false)
+	case *ast.CallExpr:
+		if c.lockCall(e, held, false) {
+			return
+		}
+		c.expr(e.Fun, held, false)
+		for _, a := range e.Args {
+			c.expr(a, held, false)
+		}
+	case *ast.FuncLit:
+		c.stmts(e.Body.List, copyHeld(held))
+	case *ast.ParenExpr:
+		c.expr(e.X, held, addressed)
+	case *ast.StarExpr:
+		c.expr(e.X, held, false)
+	case *ast.BinaryExpr:
+		c.expr(e.X, held, false)
+		c.expr(e.Y, held, false)
+	case *ast.IndexExpr:
+		c.expr(e.X, held, false)
+		c.expr(e.Index, held, false)
+	case *ast.SliceExpr:
+		c.expr(e.X, held, false)
+		c.expr(e.Low, held, false)
+		c.expr(e.High, held, false)
+		c.expr(e.Max, held, false)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X, held, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				c.expr(kv.Value, held, false)
+				continue
+			}
+			c.expr(el, held, false)
+		}
+	case *ast.KeyValueExpr:
+		c.expr(e.Value, held, false)
+	}
+}
+
+// checkAccess verifies one selector access against the annotation table.
+func (c *guardChecker) checkAccess(sel *ast.SelectorExpr, held map[string]lockMode, write bool) {
+	selection, ok := c.p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard, ok := c.guards[field]
+	if !ok {
+		return
+	}
+	base := ast.Unparen(sel.X)
+	if id, ok := base.(*ast.Ident); ok {
+		if obj := c.p.Info.Uses[id]; obj != nil && c.constructed[obj] {
+			return // freshly constructed in this function, not shared yet
+		}
+	}
+	key := types.ExprString(base) + "." + guard
+	mode := held[key]
+	if c.p.ignoredPos(sel.Pos()) {
+		return
+	}
+	switch {
+	case mode == lockNone:
+		verb := "read"
+		if write {
+			verb = "write to"
+		}
+		c.p.reportf("guardedby", sel.Sel.Pos(),
+			"%s %s.%s guarded by %q without holding %s", verb, types.ExprString(base), field.Name(), guard, key)
+	case write && mode == lockRead:
+		c.p.reportf("guardedby", sel.Sel.Pos(),
+			"write to %s.%s guarded by %q while holding only %s.RLock (writes need the full lock)", types.ExprString(base), field.Name(), guard, key)
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// parseFiles parses Go source files with comments (annotations live there).
+func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// newExportImporter builds a types.Importer that reads gc export data files:
+// importMap translates source import paths to canonical package paths (may
+// be nil for identity), packageFile maps canonical paths to export data
+// files. A single underlying gc importer instance caches packages across
+// calls, so it must be reused for a whole load session.
+func newExportImporter(fset *token.FileSet, importMap map[string]string, packageFile map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	gc := importer.ForCompiler(fset, "gc", lookup)
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		return gc.Import(path)
+	})
+}
+
+// goVersionRe matches language versions types.Config accepts ("go1.24").
+var goVersionRe = regexp.MustCompile(`^go\d+(\.\d+)*$`)
+
+// typecheck runs go/types over parsed files with full info maps.
+func typecheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect via returned error; keep going
+	}
+	if goVersionRe.MatchString(strings.TrimSpace(goVersion)) {
+		cfg.GoVersion = strings.TrimSpace(goVersion)
+	}
+	pkg, err := cfg.Check(path, fset, files, info)
+	return pkg, info, err
+}
+
+// analyzePackage runs the enabled analyzers over one type-checked package
+// and returns its diagnostics plus exported facts.
+func analyzePackage(enabled []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, imported map[string]*pkgFacts) ([]Diagnostic, *pkgFacts) {
+	var diags []Diagnostic
+	pass := newPass(fset, files, pkg, info, imported, func(d Diagnostic) { diags = append(diags, d) })
+	for _, a := range enabled {
+		a.Run(pass)
+	}
+	sortDiagnostics(diags)
+	return diags, pass.Export
+}

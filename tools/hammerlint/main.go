@@ -1,0 +1,90 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	// cmd/go handshakes before running the tool: `-V=full` for the content
+	// ID that keys the build cache, `-flags` for the flag inventory.
+	args := os.Args[1:]
+	if len(args) == 1 && args[0] == "-V=full" {
+		printVersion()
+		return
+	}
+	fs := flag.NewFlagSet("hammerlint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hammerlint [-determinism] [-guardedby] [-atomicptr] [-sendblock] [packages]\n")
+		fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(command -v hammerlint) ./...\n\n")
+		fs.PrintDefaults()
+	}
+	selected := make(map[string]*bool)
+	for _, a := range allAnalyzers() {
+		selected[a.Name] = fs.Bool(a.Name, false, "run only the "+a.Name+" analyzer (default: all)")
+	}
+	flagsMode := fs.Bool("flags", false, "print the flag inventory as JSON (cmd/go handshake)")
+	_ = fs.Parse(args)
+
+	if *flagsMode {
+		printFlags(fs)
+		return
+	}
+
+	var enabled []*Analyzer
+	for _, a := range allAnalyzers() {
+		if *selected[a.Name] {
+			enabled = append(enabled, a)
+		}
+	}
+	if len(enabled) == 0 {
+		enabled = allAnalyzers()
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		runUnitchecker(enabled, rest[0])
+		return
+	}
+	if n := runStandalone(enabled, rest); n > 0 {
+		fmt.Fprintf(os.Stderr, "hammerlint: %d finding(s)\n", n)
+		os.Exit(2)
+	}
+}
+
+// printVersion implements the `-V=full` handshake: cmd/go derives the tool's
+// cache key from this line, so it must change whenever the binary does.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	progname = strings.TrimSuffix(progname, ".exe")
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
+}
+
+// printFlags implements the `-flags` handshake: cmd/go asks for the tool's
+// flags so it can split `go vet` arguments into flags and packages.
+func printFlags(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		flags = append(flags, jsonFlag{Name: f.Name, Bool: true, Usage: f.Usage})
+	})
+	data, _ := json.MarshalIndent(flags, "", "\t")
+	os.Stdout.Write(data)
+}

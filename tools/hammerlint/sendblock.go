@@ -1,0 +1,25 @@
+package main
+
+var sendblockAnalyzer = &Analyzer{
+	Name: "sendblock",
+	Doc: "functions reachable from //hammerlint:nonblocking roots must not " +
+		"perform bare blocking channel sends outside a select",
+	Run: runSendblock,
+}
+
+func runSendblock(p *Pass) {
+	// Calls made on spawned goroutines do not block the caller, so they
+	// carry no blocking taint.
+	edgeOK := func(e callEdge) bool { return !e.goroutine }
+	t := p.propagateTaint(
+		func(n *funcNode) []sink { return n.blockSinks },
+		func(f *pkgFacts) []factEntry { return f.Blocking },
+		edgeOK,
+	)
+	p.reportFromRoots("sendblock",
+		func(n *funcNode) bool { return n.nonblocking },
+		func(n *funcNode) []sink { return n.blockSinks },
+		t,
+	)
+	p.Export.Blocking = p.exportTaintFacts(t)
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPkg is the subset of `go list -json` output the standalone loader
+// needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Deps       []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+	DepOnly    bool
+}
+
+// loadResult is one analyzed package from a standalone run.
+type loadResult struct {
+	Path  string
+	Diags []Diagnostic
+}
+
+// runStandalone drives the analyzers over `go list` patterns without cmd/go
+// vet orchestration: packages load from export data, module packages are
+// re-parsed from source and analyzed in dependency order with in-memory
+// facts, so cross-package taint propagation is always complete. Returns the
+// number of diagnostics printed.
+func runStandalone(enabled []*Analyzer, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	results, err := loadAndAnalyze(enabled, patterns, "")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	total := 0
+	for _, res := range results {
+		for _, d := range res.Diags {
+			fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+			total++
+		}
+	}
+	return total
+}
+
+// loadAndAnalyze lists patterns (relative to dir when non-empty), analyzes
+// every module package in dependency order, and returns per-package
+// diagnostics for the packages the patterns named directly.
+func loadAndAnalyze(enabled []*Analyzer, patterns []string, dir string) ([]loadResult, error) {
+	pkgs, err := goList(patterns, dir)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listPkg, len(pkgs))
+	exportFile := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if p.Export != "" {
+			exportFile[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, nil, exportFile)
+
+	facts := make(map[string]*pkgFacts)
+	var results []loadResult
+	for _, p := range topoOrder(pkgs, byPath) {
+		// Analyze only packages that belong to a module (skips the standard
+		// library); the fixture module under testdata/ flows through the same
+		// path as the real repo.
+		if p.Standard || p.Module == nil || !underModule(p.ImportPath, p.Module.Path) {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		var paths []string
+		for _, f := range p.GoFiles {
+			paths = append(paths, filepath.Join(p.Dir, f))
+		}
+		files, err := parseFiles(fset, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkg, info, err := typecheck(fset, p.ImportPath, files, imp, "")
+		if err != nil && pkg == nil {
+			return nil, fmt.Errorf("typechecking %s: %v", p.ImportPath, err)
+		}
+		imported := make(map[string]*pkgFacts)
+		for _, dep := range p.Deps {
+			if f, ok := facts[dep]; ok {
+				imported[dep] = f
+			}
+		}
+		diags, export := analyzePackage(enabled, fset, files, pkg, info, imported)
+		facts[p.ImportPath] = export
+		if !p.DepOnly {
+			results = append(results, loadResult{Path: p.ImportPath, Diags: diags})
+		}
+	}
+	return results, nil
+}
+
+// goList shells out to `go list -export -json -deps`.
+func goList(patterns []string, dir string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// topoOrder returns packages with dependencies before dependents.
+func topoOrder(pkgs []*listPkg, byPath map[string]*listPkg) []*listPkg {
+	var out []*listPkg
+	state := make(map[string]int, len(pkgs)) // 0 new, 1 visiting, 2 done
+	var visit func(p *listPkg)
+	visit = func(p *listPkg) {
+		if state[p.ImportPath] != 0 {
+			return
+		}
+		state[p.ImportPath] = 1
+		for _, dep := range p.Imports {
+			if d, ok := byPath[dep]; ok {
+				visit(d)
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+// ensureRepoRoot is a convenience for CI/Makefile callers: when run from the
+// tools directory, hop to the module root so ./... means the whole repo.
+func ensureRepoRoot() {
+	if _, err := os.Stat("go.mod"); err == nil {
+		return
+	}
+	for dir, _ := os.Getwd(); dir != "/" && dir != "."; dir = filepath.Dir(dir) {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			_ = os.Chdir(dir)
+			return
+		}
+	}
+}

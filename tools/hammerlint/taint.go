@@ -1,0 +1,402 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// sink is one direct invariant violation inside a function body.
+type sink struct {
+	pos  token.Pos
+	desc string
+}
+
+// callEdge is one resolved call site inside a function body.
+type callEdge struct {
+	callee    *types.Func
+	iface     bool // dispatches through an interface
+	goroutine bool // call happens on a spawned goroutine (go stmt / its closure)
+	pos       token.Pos
+}
+
+// funcNode is one declared function's contribution to the call/sink graph.
+// FuncLit bodies are attributed to their enclosing declared function.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+
+	deterministic bool // //hammerlint:deterministic root
+	nonblocking   bool // //hammerlint:nonblocking root
+	excluded      bool // //hammerlint:ignore on the decl
+
+	detSinks   []sink // determinism violations committed directly
+	blockSinks []sink // bare blocking sends performed directly
+	calls      []callEdge
+}
+
+// callGraph lazily builds the per-function graph for the taint analyzers.
+func (p *Pass) callGraph() map[*types.Func]*funcNode {
+	if p.nodes != nil {
+		return p.nodes
+	}
+	p.nodes = make(map[*types.Func]*funcNode)
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &funcNode{
+				obj:           obj,
+				decl:          fd,
+				deterministic: hasDirective(fd, "deterministic"),
+				nonblocking:   hasDirective(fd, "nonblocking"),
+				excluded:      hasDirective(fd, "ignore"),
+			}
+			if !node.excluded {
+				p.scanBody(node, fd.Body)
+			}
+			p.nodes[obj] = node
+		}
+	}
+	return p.nodes
+}
+
+// scanBody collects sinks and call edges from a function body, including
+// nested FuncLits. Bodies of `go func(){...}()` statements still contribute
+// determinism sinks (a goroutine feeding a deterministic computation is at
+// least as suspect) but not blocking sinks — a send in a spawned goroutine
+// does not block the caller.
+func (p *Pass) scanBody(node *funcNode, body *ast.BlockStmt) {
+	var walk func(n ast.Node, inGoroutine bool)
+	walk = func(n ast.Node, inGoroutine bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				walk(n.Call.Fun, true)
+				for _, a := range n.Call.Args {
+					walk(a, true)
+				}
+				p.scanCall(node, n.Call, true)
+				return false
+			case *ast.CallExpr:
+				p.scanCall(node, n, inGoroutine)
+				return true
+			case *ast.SendStmt:
+				if !inGoroutine && !p.ignoredPos(n.Arrow) && !insideSelectComm(node.decl, n) {
+					node.blockSinks = append(node.blockSinks, sink{
+						pos:  n.Arrow,
+						desc: "bare blocking channel send (wrap in a select with a default or quit case, or use a bounded queue)",
+					})
+				}
+				return true
+			case *ast.RangeStmt:
+				p.scanRange(node, n)
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+// insideSelectComm reports whether the send statement is the communication
+// clause of a select (the bounded-queue discipline: the select's other cases
+// — default, quit, timeout — bound the wait).
+func insideSelectComm(decl *ast.FuncDecl, send *ast.SendStmt) bool {
+	found := false
+	ast.Inspect(decl, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return !found
+		}
+		for _, clause := range sel.Body.List {
+			if comm, ok := clause.(*ast.CommClause); ok && comm.Comm == send {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// taintTable is the fixpoint result: symbol key -> reason chain.
+type taintTable struct {
+	reasons map[string]string
+	// methods lists tainted *methods* (local and imported) for interface
+	// dispatch resolution.
+	methods []taintedMethod
+	// edgeOK filters which call edges propagate (nil = all).
+	edgeOK func(callEdge) bool
+}
+
+type taintedMethod struct {
+	named  *types.Named // receiver type
+	name   string
+	reason string
+}
+
+// propagateTaint runs the shared fixpoint: seed with imported facts and
+// local direct sinks, then close over static calls. edgeOK, when non-nil,
+// filters which call edges carry taint (sendblock skips goroutine edges).
+func (p *Pass) propagateTaint(
+	localSinks func(*funcNode) []sink,
+	importedFacts func(*pkgFacts) []factEntry,
+	edgeOK func(callEdge) bool,
+) *taintTable {
+	nodes := p.callGraph()
+	t := &taintTable{reasons: make(map[string]string), edgeOK: edgeOK}
+
+	// Seed: imported facts.
+	importedPkgs := p.transitiveImports()
+	for path, facts := range p.Imported {
+		for _, e := range importedFacts(facts) {
+			key := factKey(path, e.Recv, e.Name)
+			t.reasons[key] = e.Reason
+			if e.Recv != "" {
+				if named := lookupNamed(importedPkgs[path], e.Recv); named != nil {
+					t.methods = append(t.methods, taintedMethod{named: named, name: e.Name, reason: e.Reason})
+				}
+			}
+		}
+	}
+
+	// Seed: local direct sinks.
+	for obj, node := range nodes {
+		if node.excluded {
+			continue
+		}
+		if sinks := localSinks(node); len(sinks) > 0 {
+			s := sinks[0]
+			t.setTainted(obj, fmt.Sprintf("%s at %s", s.desc, p.Fset.Position(s.pos)))
+		}
+	}
+
+	// Fixpoint over local call edges.
+	for changed := true; changed; {
+		changed = false
+		for obj, node := range nodes {
+			if node.excluded || t.reasons[symKey(obj)] != "" {
+				continue
+			}
+			for _, edge := range node.calls {
+				if edgeOK != nil && !edgeOK(edge) {
+					continue
+				}
+				if reason, via := t.callReason(edge); reason != "" {
+					t.setTainted(obj, fmt.Sprintf("calls %s: %s", via, reason))
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return t
+}
+
+// setTainted records a function as tainted and, if it is a method, adds it
+// to the interface-dispatch candidates.
+func (t *taintTable) setTainted(obj *types.Func, reason string) {
+	t.reasons[symKey(obj)] = reason
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedRecv(obj); named != nil {
+			t.methods = append(t.methods, taintedMethod{named: named, name: obj.Name(), reason: reason})
+		}
+	}
+}
+
+// namedRecv returns a method's receiver named type (behind a pointer), or nil.
+func namedRecv(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, _ := rt.(*types.Named)
+	return named
+}
+
+// callReason returns the taint reason flowing through one call edge, plus a
+// description of the callee, or "".
+func (t *taintTable) callReason(edge callEdge) (reason, via string) {
+	if edge.callee == nil {
+		return "", ""
+	}
+	if !edge.iface {
+		if r := t.reasons[symKey(edge.callee)]; r != "" {
+			return r, displayName(edge.callee)
+		}
+		return "", ""
+	}
+	// Interface dispatch: any known-tainted method implementing the callee's
+	// interface with the same name taints the call.
+	iface := interfaceOf(edge.callee)
+	if iface == nil {
+		return "", ""
+	}
+	for _, m := range t.methods {
+		if m.name != edge.callee.Name() {
+			continue
+		}
+		if types.Implements(m.named, iface) || types.Implements(types.NewPointer(m.named), iface) {
+			return m.reason, fmt.Sprintf("%s.%s (via interface method %s)", m.named.Obj().Name(), m.name, edge.callee.Name())
+		}
+	}
+	return "", ""
+}
+
+// interfaceOf returns the interface an abstract method belongs to.
+func interfaceOf(f *types.Func) *types.Interface {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// reportFromRoots walks forward from annotated roots over local calls,
+// reporting direct sinks in every reachable local function and tainted
+// calls that leave the package (or dispatch through interfaces).
+func (p *Pass) reportFromRoots(
+	analyzer string,
+	isRoot func(*funcNode) bool,
+	localSinks func(*funcNode) []sink,
+	t *taintTable,
+) {
+	nodes := p.callGraph()
+
+	var queue []*funcNode
+	seen := make(map[*types.Func]bool)
+	rootOf := make(map[*types.Func]string)
+	for obj, node := range nodes {
+		if isRoot(node) && !node.excluded {
+			queue = append(queue, node)
+			seen[obj] = true
+			rootOf[obj] = displayName(obj)
+		}
+	}
+	// Deterministic worklist order for stable output.
+	sort.Slice(queue, func(i, j int) bool { return queue[i].obj.Pos() < queue[j].obj.Pos() })
+
+	reported := make(map[string]bool)
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		root := rootOf[node.obj]
+
+		for _, s := range localSinks(node) {
+			key := fmt.Sprintf("%v|%s", s.pos, s.desc)
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			p.reportf(analyzer, s.pos, "%s in %s (reachable from root %s)", s.desc, displayName(node.obj), root)
+		}
+		for _, edge := range node.calls {
+			if edge.callee == nil {
+				continue
+			}
+			if t.edgeOK != nil && !t.edgeOK(edge) {
+				continue
+			}
+			// Local static callee: keep walking.
+			if callee, ok := nodes[edge.callee]; ok && !edge.iface {
+				if !callee.excluded && !seen[edge.callee] {
+					seen[edge.callee] = true
+					rootOf[edge.callee] = root
+					queue = append(queue, callee)
+				}
+				continue
+			}
+			// External or interface call: report if tainted.
+			if reason, via := t.callReason(edge); reason != "" && !p.ignoredPos(edge.pos) {
+				key := fmt.Sprintf("%v|%s", edge.pos, reason)
+				if !reported[key] {
+					reported[key] = true
+					p.reportf(analyzer, edge.pos, "call to %s is not allowed from root %s: %s", via, root, reason)
+				}
+			}
+			// Interface call to LOCAL implementations: also walk them so
+			// their own sinks are positioned precisely.
+			if edge.iface {
+				iface := interfaceOf(edge.callee)
+				if iface == nil {
+					continue
+				}
+				for obj, cand := range nodes {
+					if cand.excluded || seen[obj] || obj.Name() != edge.callee.Name() {
+						continue
+					}
+					named := namedRecv(obj)
+					if named == nil {
+						continue
+					}
+					if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+						seen[obj] = true
+						rootOf[obj] = root
+						queue = append(queue, cand)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportTaintFacts flattens a taint table into fact entries for this
+// package's functions.
+func (p *Pass) exportTaintFacts(t *taintTable) []factEntry {
+	var out []factEntry
+	for obj := range p.callGraph() {
+		if reason := t.reasons[symKey(obj)]; reason != "" {
+			out = append(out, factEntry{Recv: recvName(obj), Name: obj.Name(), Reason: reason})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return factKey("", out[i].Recv, out[i].Name) < factKey("", out[j].Recv, out[j].Name)
+	})
+	return out
+}
+
+// transitiveImports maps package path -> *types.Package for everything
+// reachable from this package's imports.
+func (p *Pass) transitiveImports() map[string]*types.Package {
+	out := make(map[string]*types.Package)
+	var visit func(pkg *types.Package)
+	visit = func(pkg *types.Package) {
+		if _, ok := out[pkg.Path()]; ok {
+			return
+		}
+		out[pkg.Path()] = pkg
+		for _, imp := range pkg.Imports() {
+			visit(imp)
+		}
+	}
+	for _, imp := range p.Pkg.Imports() {
+		visit(imp)
+	}
+	return out
+}
+
+// lookupNamed finds a named type in a package scope.
+func lookupNamed(pkg *types.Package, name string) *types.Named {
+	if pkg == nil {
+		return nil
+	}
+	obj, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := obj.Type().(*types.Named)
+	return named
+}

@@ -1,0 +1,44 @@
+// Package atomicmix exercises the atomicptr analyzer: a field touched by
+// sync/atomic functions must never also be accessed directly.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total int64
+}
+
+func (s *stats) record() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) read() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) badRead() int64 {
+	return s.hits // want `mixed access is a data race`
+}
+
+func (s *stats) badWrite() {
+	s.hits = 0 // want `mixed access is a data race`
+}
+
+// plain only ever touches total non-atomically: consistent, so fine.
+func (s *stats) plain() int64 {
+	s.total++
+	return s.total
+}
+
+// fresh initializes before the value is shared.
+func fresh() *stats {
+	s := &stats{}
+	s.hits = 1
+	return s
+}
+
+func (s *stats) ignored() int64 {
+	//hammerlint:ignore racy read feeds debug logs only
+	return s.hits
+}

@@ -1,0 +1,167 @@
+// Package determ exercises the determinism analyzer: wall clocks, ambient
+// randomness, map iteration order, gob map encoding, the sorted-iteration
+// idioms that must stay clean, and the //hammerlint:ignore escape hatch.
+package determ
+
+import (
+	"bytes"
+	"encoding/gob"
+	"maps"
+	"math/rand"
+	"slices"
+	"sort"
+	"time"
+)
+
+// State mimics the repo's ManagerState: a map-backed structure whose
+// encoding must be byte-stable across replicas.
+type State struct {
+	Scores map[string]int64
+}
+
+// EncodeUnsorted is the acceptance-criterion shape: gob-encoding a value
+// that contains a map serializes in iteration order.
+//
+//hammerlint:deterministic
+func (s *State) EncodeUnsorted() []byte {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	_ = enc.Encode(s) // want `gob-encodes .*State which contains a map`
+	return buf.Bytes()
+}
+
+// EncodeSorted is the repo's canonical fix: collect, sort, then encode.
+//
+//hammerlint:deterministic
+func (s *State) EncodeSorted() []byte {
+	keys := make([]string, 0, len(s.Scores))
+	for k := range s.Scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, k := range keys {
+		_ = enc.Encode(k)
+		_ = enc.Encode(s.Scores[k])
+	}
+	return buf.Bytes()
+}
+
+// scheduleAt is the other acceptance-criterion shape: a wall clock inside
+// schedule computation.
+//
+//hammerlint:deterministic
+func scheduleAt(round uint64) int64 {
+	return int64(round) + time.Now().UnixNano() // want `calls time.Now`
+}
+
+func nowHelper() int64 {
+	return time.Now().UnixNano() // want `calls time.Now`
+}
+
+// viaHelper reaches the clock through a local call: the sink is reported at
+// the helper, attributed to this root.
+//
+//hammerlint:deterministic
+func viaHelper() int64 {
+	return nowHelper()
+}
+
+// freeRunning is NOT reachable from any deterministic root, so its clock
+// read is fine.
+func freeRunning() int64 {
+	return time.Now().UnixNano()
+}
+
+//hammerlint:deterministic
+func shuffleAmbient(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `ambient process-seeded randomness`
+}
+
+// shuffleSeeded uses an explicitly seeded source — deterministic by design
+// (the shared-seed schedule shuffle depends on exactly this).
+//
+//hammerlint:deterministic
+func shuffleSeeded(xs []int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+//hammerlint:deterministic
+func hashValues(m map[string]uint64) uint64 {
+	var h uint64
+	for _, v := range m { // want `iterates map .* in unspecified order`
+		h = h*31 + v
+	}
+	return h
+}
+
+// sumValues accumulates commutatively: iteration order cannot change the
+// result.
+//
+//hammerlint:deterministic
+func sumValues(m map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// pruneBelow is the conditional-prune idiom: delete is order-independent.
+//
+//hammerlint:deterministic
+func pruneBelow(m map[string]uint64, floor uint64) {
+	for k, v := range m {
+		if v < floor {
+			delete(m, k)
+		}
+	}
+}
+
+//hammerlint:deterministic
+func anyKey(m map[string]int) string {
+	for k := range m { // want `iterates map .* in unspecified order`
+		return k
+	}
+	return ""
+}
+
+//hammerlint:deterministic
+func unsortedKeys(m map[string]int) []string {
+	return slices.Collect(maps.Keys(m)) // want `maps\.Keys in unspecified order`
+}
+
+//hammerlint:deterministic
+func sortedKeys(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+//hammerlint:deterministic
+func ignoredClock() int64 {
+	//hammerlint:ignore logging timestamp only, never part of a digest
+	return time.Now().UnixNano()
+}
+
+//hammerlint:deterministic
+func encodeSlice(xs []uint64) []byte {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(xs)
+	return buf.Bytes()
+}
+
+// clock models in-package interface dispatch: the analyzer must find the
+// local implementation behind the interface call.
+type clock interface{ now() int64 }
+
+type wallClock struct{}
+
+func (wallClock) now() int64 {
+	return time.Now().UnixNano() // want `calls time.Now`
+}
+
+//hammerlint:deterministic
+func viaInterface(c clock) int64 {
+	return c.now() // want `via interface method now`
+}

@@ -1,0 +1,29 @@
+// Package determcross exercises cross-package taint propagation: sinks live
+// in determdep, roots live here, and the connection flows through exported
+// facts — including through an interface method satisfied by an imported
+// concrete type.
+package determcross
+
+import "hammerlint/fixtures/determdep"
+
+type ticker interface{ Now() int64 }
+
+//hammerlint:deterministic
+func Stamp() string {
+	return determdep.NowString() // want `call to determdep.NowString`
+}
+
+//hammerlint:deterministic
+func StampVia(t ticker) int64 {
+	return t.Now() // want `via interface method Now`
+}
+
+//hammerlint:deterministic
+func Double(x int64) int64 {
+	return determdep.Pure(x)
+}
+
+// NewTicker hands the tainted implementation to callers.
+func NewTicker() ticker {
+	return determdep.Clock{}
+}

@@ -1,0 +1,25 @@
+// Package determdep is the dependency half of the cross-package determinism
+// fixture: it has no deterministic roots of its own (so nothing is reported
+// here), but exports taint facts that determcross must observe.
+package determdep
+
+import "time"
+
+// NowString reads the wall clock: callers inherit the taint via facts.
+func NowString() string {
+	return time.Now().String()
+}
+
+// Clock ticks off the wall clock; its method taints interface dispatch in
+// importing packages.
+type Clock struct{}
+
+// Now returns wall-clock nanos.
+func (Clock) Now() int64 {
+	return time.Now().UnixNano()
+}
+
+// Pure is deterministic and must not poison callers.
+func Pure(x int64) int64 {
+	return x * 2
+}

@@ -1,0 +1,3 @@
+module hammerlint/fixtures
+
+go 1.24

@@ -1,0 +1,95 @@
+// Package guarded exercises the guardedby analyzer: annotated fields must be
+// accessed with the named sibling mutex held in the same function.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	rw    sync.RWMutex
+	table map[string]int // guarded by rw
+}
+
+func (c *counter) incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) badIncr() {
+	c.n++ // want `write to c.n guarded by "mu" without holding`
+}
+
+func (c *counter) badRead() int {
+	return c.n // want `read c.n guarded by "mu" without holding`
+}
+
+func (c *counter) lookup(k string) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.table[k]
+}
+
+func (c *counter) goodStore(k string, v int) {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.table[k] = v
+}
+
+func (c *counter) badStore(k string, v int) {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.table[k] = v // want `holding only c.rw.RLock`
+}
+
+// flushLocked is called with mu already held: the *Locked suffix exempts it.
+func (c *counter) flushLocked() {
+	c.n = 0
+}
+
+// newCounter initializes a freshly built value no other goroutine can see.
+func newCounter() *counter {
+	c := &counter{table: map[string]int{}}
+	c.n = 1
+	return c
+}
+
+// branchy acquires the lock only inside a branch; the state must not leak
+// past it.
+func (c *counter) branchy(b bool) {
+	if b {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	c.n++ // want `without holding`
+}
+
+// sorted closures inherit the lock state of their definition point.
+func (c *counter) sorted() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bump := func() { c.n++ }
+	bump()
+}
+
+// spawn goroutines must take their own locks.
+func (c *counter) spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `without holding`
+	}()
+}
+
+func (c *counter) ignored() int {
+	//hammerlint:ignore snapshot read is intentionally racy (metrics only)
+	return c.n
+}
+
+// orphan's annotation names a guard that does not exist.
+type orphan struct {
+	count int // guarded by missing // want `no mutex field missing`
+}

@@ -1,0 +1,66 @@
+// Package sendblk exercises the sendblock analyzer: functions reachable from
+// //hammerlint:nonblocking roots must not perform bare blocking sends.
+package sendblk
+
+type worker struct {
+	in   chan int
+	quit chan struct{}
+}
+
+//hammerlint:nonblocking
+func (w *worker) submitBad(v int) {
+	w.in <- v // want `bare blocking channel send`
+}
+
+// submitGood is the repo's bounded-queue discipline: the quit case bounds
+// the wait.
+//
+//hammerlint:nonblocking
+func (w *worker) submitGood(v int) bool {
+	select {
+	case w.in <- v:
+		return true
+	case <-w.quit:
+		return false
+	}
+}
+
+//hammerlint:nonblocking
+func (w *worker) submitDefault(v int) bool {
+	select {
+	case w.in <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func (w *worker) forward(v int) {
+	w.in <- v // want `bare blocking channel send`
+}
+
+//hammerlint:nonblocking
+func (w *worker) viaHelper(v int) {
+	w.forward(v)
+}
+
+// spawn's send happens on a spawned goroutine: it cannot block the caller.
+//
+//hammerlint:nonblocking
+func (w *worker) spawn(v int) {
+	go func() {
+		w.in <- v
+	}()
+}
+
+// unannotated is not reachable from any nonblocking root, so its bare send
+// is not reported.
+func (w *worker) unannotated(v int) {
+	w.in <- v
+}
+
+//hammerlint:nonblocking
+func (w *worker) shutdownFlush(v int) {
+	//hammerlint:ignore shutdown path may block; bounded by process exit
+	w.in <- v
+}

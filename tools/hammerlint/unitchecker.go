@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for `go vet
+// -vettool=` invocations (the unitchecker protocol). Unknown fields are
+// ignored by encoding/json, so this stays compatible across Go releases.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker executes one vet unit: analyze the package described by the
+// cfg file, write the facts ("vetx") output, print diagnostics to stderr.
+// Exit codes follow x/tools unitchecker: 0 = clean, 1 = load failure,
+// 2 = diagnostics reported.
+func runUnitchecker(enabled []*Analyzer, cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading vet config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing vet config %s: %v", cfgPath, err)
+	}
+
+	// Only module packages are analyzed; everything else (the standard
+	// library) just gets an empty facts file so cmd/go's action graph is
+	// satisfied. The module check keeps `go vet -vettool=` fast: std
+	// dependencies exit before parsing a single file.
+	analyzed := inModule(cfg.ImportPath)
+	if cfg.ModulePath != "" {
+		analyzed = cfg.ImportPath == cfg.ModulePath || strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/")
+	}
+	if !analyzed {
+		writeFacts(cfg.VetxOutput, &pkgFacts{})
+		return
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeFacts(cfg.VetxOutput, &pkgFacts{})
+			return
+		}
+		fatalf("%v", err)
+	}
+	imp := newExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, info, err := typecheck(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+	if err != nil && pkg == nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeFacts(cfg.VetxOutput, &pkgFacts{})
+			return
+		}
+		fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	imported := make(map[string]*pkgFacts)
+	for path, vetx := range cfg.PackageVetx {
+		if facts := readFacts(vetx); facts != nil {
+			imported[path] = facts
+		}
+	}
+
+	diags, export := analyzePackage(enabled, fset, files, pkg, info, imported)
+	writeFacts(cfg.VetxOutput, export)
+	if cfg.VetxOnly || len(diags) == 0 {
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	os.Exit(2)
+}
+
+// writeFacts persists a package's facts where cmd/go expects them.
+func writeFacts(path string, facts *pkgFacts) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("writing facts: %v", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(facts); err != nil {
+		fatalf("encoding facts: %v", err)
+	}
+}
+
+// readFacts loads a dependency's facts; nil when absent or unreadable
+// (missing facts degrade propagation, they do not fail the run).
+func readFacts(path string) *pkgFacts {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var facts pkgFacts
+	if err := gob.NewDecoder(f).Decode(&facts); err != nil {
+		return nil
+	}
+	return &facts
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hammerlint: "+format+"\n", args...)
+	os.Exit(1)
+}
