@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"hammerhead/internal/merkle"
+	"hammerhead/internal/types"
+)
+
+// merkleBenchRow is one key-count's measurements in BENCH_merkle.json.
+type merkleBenchRow struct {
+	Keys              int     `json:"keys"`
+	Ops               int     `json:"ops"`
+	IncrementalNsOp   float64 `json:"incremental_ns_per_op"`
+	FullRehashNsOp    float64 `json:"full_rehash_ns_per_op"`
+	Speedup           float64 `json:"speedup"`
+	ProofGenNsOp      float64 `json:"proof_generate_ns_per_op"`
+	ProofVerifyNsOp   float64 `json:"proof_verify_ns_per_op"`
+	ProofStepsAtDepth int     `json:"proof_steps_sampled"`
+}
+
+// merkleBench is the BENCH_merkle.json artifact layout.
+type merkleBench struct {
+	Experiment string           `json:"experiment"`
+	Rows       []merkleBenchRow `json:"rows"`
+}
+
+// benchKey/benchVal mirror the unit benchmark's key shapes so the two report
+// comparable numbers.
+func benchKey(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func benchVal(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+// flatRehashDigest is the pre-Merkle root: sort every live key and hash the
+// whole state flat. It is what the incremental tree replaced, kept here as
+// the honest baseline.
+//
+//hammerlint:deterministic
+func flatRehashDigest(entries map[string][]byte) types.Digest {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([][]byte, 0, 2*len(keys))
+	for _, k := range keys {
+		parts = append(parts, []byte(k), entries[k])
+	}
+	return types.HashBytes(parts...)
+}
+
+// runMerkle measures the Merkle layer the trustless read tier stands on:
+// per-write state-root refresh (incremental tree vs the old full rehash) and
+// proof generate/verify cost, across three orders of magnitude of live keys.
+// The results land in BENCH_merkle.json for CI to archive; the run fails if
+// the incremental path ever loses to the full rehash at 10k keys or more —
+// that would mean the tree is pure overhead and the read tier's premise broke.
+func runMerkle(cfg benchConfig) error {
+	fmt.Printf("\n==== Merkle state: incremental root vs full rehash, proof costs ====\n")
+	out := merkleBench{Experiment: "merkle-state"}
+	fmt.Printf("%8s %6s %16s %16s %8s %14s %14s\n",
+		"keys", "ops", "incremental/op", "full-rehash/op", "speedup", "proof-gen/op", "proof-verify/op")
+	var regression error
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		// Writes per side: enough to smooth timer noise, capped so the
+		// full-rehash side (O(n log n) per op) finishes promptly at 100k keys.
+		ops := 2_000
+		if n >= 100_000 {
+			ops = 200
+		}
+
+		tree := merkle.New()
+		entries := make(map[string][]byte, n)
+		for i := 0; i < n; i++ {
+			tree.Insert(benchKey(i), benchVal(i), uint64(i+1))
+			entries[string(benchKey(i))] = benchVal(i)
+		}
+
+		var buf [8]byte
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			binary.BigEndian.PutUint64(buf[:], uint64(i))
+			tree.Insert(benchKey(i%n), buf[:], uint64(n+i))
+			_ = tree.Root()
+		}
+		incNs := float64(time.Since(start).Nanoseconds()) / float64(ops)
+
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			binary.BigEndian.PutUint64(buf[:], uint64(i))
+			entries[string(benchKey(i%n))] = append([]byte(nil), buf[:]...)
+			_ = flatRehashDigest(entries)
+		}
+		fullNs := float64(time.Since(start).Nanoseconds()) / float64(ops)
+
+		const proofOps = 10_000
+		start = time.Now()
+		for i := 0; i < proofOps; i++ {
+			_ = tree.Prove(benchKey(i % n))
+		}
+		genNs := float64(time.Since(start).Nanoseconds()) / float64(proofOps)
+
+		proofs := make([]merkle.Proof, 64)
+		for i := range proofs {
+			proofs[i] = tree.Prove(benchKey((i * 97) % n))
+		}
+		start = time.Now()
+		for i := 0; i < proofOps; i++ {
+			if _, _, err := proofs[i%64].Verify(benchKey(((i % 64) * 97) % n)); err != nil {
+				return fmt.Errorf("proof verify at %d keys: %w", n, err)
+			}
+		}
+		verNs := float64(time.Since(start).Nanoseconds()) / float64(proofOps)
+
+		row := merkleBenchRow{
+			Keys:              n,
+			Ops:               ops,
+			IncrementalNsOp:   incNs,
+			FullRehashNsOp:    fullNs,
+			Speedup:           fullNs / incNs,
+			ProofGenNsOp:      genNs,
+			ProofVerifyNsOp:   verNs,
+			ProofStepsAtDepth: len(proofs[0].Steps),
+		}
+		out.Rows = append(out.Rows, row)
+		fmt.Printf("%8d %6d %14.0fns %14.0fns %7.1fx %12.0fns %12.0fns\n",
+			n, ops, incNs, fullNs, row.Speedup, genNs, verNs)
+		if n >= 10_000 && incNs >= fullNs && regression == nil {
+			regression = fmt.Errorf("incremental root lost to full rehash at %d keys (%.0fns >= %.0fns)",
+				n, incNs, fullNs)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_merkle.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("-> BENCH_merkle.json")
+	return regression
+}

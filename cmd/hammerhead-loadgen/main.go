@@ -12,6 +12,10 @@
 //	  commits happened, every written key reads back identically from every
 //	  validator, chained state roots agree, and the SSE stream resumes from a
 //	  mid-stream sequence. Exits non-zero if any check fails — the CI smoke.
+//	  With -replicas N it additionally boots N non-voting read replicas that
+//	  bootstrap from certified snapshots, tail and re-execute the commit
+//	  stream, and must end the run serving proof-carrying reads that verify
+//	  client-side and chained roots that match the validators'.
 //
 //	hammerhead-loadgen -targets 10.0.0.1:9401,10.0.0.2:9401 -rate 2000
 //	  drives real gateways (see hammerhead-node -rpc-addr): same submitters,
@@ -47,6 +51,7 @@ func run(args []string) error {
 	batch := fs.Int("batch", 8, "transactions per submit call")
 	keys := fs.Int("keys", 1024, "per-client KV key-space size")
 	lanes := fs.Int("lanes", 0, "selfcluster: mempool admission lanes per node (0 = one per client)")
+	replicas := fs.Int("replicas", 0, "selfcluster: boot this many non-voting read replicas (enables checkpoint certificates; verified reads + root agreement asserted)")
 	scheme := fs.String("scheme", "ed25519", "selfcluster: signature scheme (insecure speeds up CI)")
 	assert := fs.Bool("assert", true, "selfcluster: exit non-zero unless commits > 0, KV reads agree, roots agree, and SSE resume works")
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +70,10 @@ func run(args []string) error {
 	s.Keys = *keys
 	s.Lanes = *lanes
 	s.Scheme = *scheme
+	s.Replicas = *replicas
+	if *replicas > 0 && *targets != "" {
+		return fmt.Errorf("-replicas requires -selfcluster")
+	}
 	if *targets != "" {
 		for _, ep := range strings.Split(*targets, ",") {
 			s.Endpoints = append(s.Endpoints, strings.TrimSpace(ep))
@@ -93,8 +102,18 @@ func run(args []string) error {
 			return fmt.Errorf("FAIL: chained state roots disagree (compared %d)", res.StateRootsCompared)
 		case !res.ResumeOK:
 			return fmt.Errorf("FAIL: SSE resume from mid-stream sequence broke")
+		case *replicas > 0 && res.ReplicasCompared < *replicas:
+			return fmt.Errorf("FAIL: only %d of %d replicas certified past the commit frontier", res.ReplicasCompared, *replicas)
+		case *replicas > 0 && !res.ReplicaRootsAgree:
+			return fmt.Errorf("FAIL: replica chained roots disagree with the validators")
+		case *replicas > 0 && (res.ReplicaChecked == 0 || res.ReplicaMismatches != 0):
+			return fmt.Errorf("FAIL: %d of %d replica verified reads failed", res.ReplicaMismatches, res.ReplicaChecked)
 		}
-		fmt.Println("PASS: commits observed, KV agrees on every validator, state roots agree, SSE resume OK")
+		if *replicas > 0 {
+			fmt.Println("PASS: commits observed, KV agrees on every validator, state roots agree, SSE resume OK, replica verified reads OK")
+		} else {
+			fmt.Println("PASS: commits observed, KV agrees on every validator, state roots agree, SSE resume OK")
+		}
 	}
 	return nil
 }
@@ -114,4 +133,8 @@ func printClientLoad(res experiment.ClientLoadResult) {
 	}
 	fmt.Printf("kv-readback=%d/%d state_roots_agree=%v (compared %d) sse_resume=%v drained=%v\n",
 		res.KVChecked-res.KVMismatches, res.KVChecked, res.StateRootsAgree, res.StateRootsCompared, res.ResumeOK, res.Drained)
+	if res.Scenario.Replicas > 0 {
+		fmt.Printf("replicas=%d certified, verified-reads=%d/%d replica_roots_agree=%v\n",
+			res.ReplicasCompared, res.ReplicaChecked-res.ReplicaMismatches, res.ReplicaChecked, res.ReplicaRootsAgree)
+	}
 }

@@ -59,6 +59,7 @@ func run(args []string) error {
 	rpcLanes := fs.Int("rpc-lanes", 0, "fair-admission mempool lanes for gateway clients (<=1 keeps a single lane)")
 	execution := fs.Bool("execution", false, "enable the execution subsystem: deterministic KV state machine, checkpoints, snapshot state-sync")
 	checkpointInterval := fs.Uint64("checkpoint-interval", 0, "commits between execution checkpoints (0 = default 32; needs -execution)")
+	checkpointCerts := fs.Bool("checkpoint-certs", false, "sign and gossip checkpoint tuples into quorum certificates, enabling trustless snapshots, proof-carrying reads and read replicas (needs -execution)")
 	snapshotDir := fs.String("snapshot-dir", "", "directory persisting execution checkpoints (empty = in-memory; needs -execution)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,6 +142,7 @@ func run(args []string) error {
 		RPCAddr:            *rpcAddr,
 		Execution:          *execution,
 		CheckpointInterval: *checkpointInterval,
+		CheckpointCerts:    *checkpointCerts,
 		SnapshotDir:        *snapshotDir,
 		Metrics:            reg,
 		OnCommit: func(sub bullshark.CommittedSubDAG, replayed bool) {

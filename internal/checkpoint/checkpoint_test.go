@@ -1,0 +1,197 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"hammerhead/internal/crypto"
+	"hammerhead/internal/types"
+)
+
+func testCommittee(t *testing.T, n int) (*types.Committee, []crypto.KeyPair, []crypto.PublicKey) {
+	t.Helper()
+	committee, err := types.NewEqualStakeCommittee(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := crypto.Ed25519{}
+	keys := make([]crypto.KeyPair, n)
+	pubs := make([]crypto.PublicKey, n)
+	var seed [32]byte
+	seed[0] = 0x55
+	for i := range keys {
+		kp, err := crypto.NewKeyPair(scheme, seed, uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = kp
+		pubs[i] = kp.Public
+	}
+	return committee, keys, pubs
+}
+
+func testMeta(seq uint64) Meta {
+	return Meta{
+		Round:       types.Round(seq * 2),
+		CommitSeq:   seq,
+		StateRoot:   types.HashBytes([]byte("root"), []byte{byte(seq)}),
+		StateDigest: types.HashBytes([]byte("digest"), []byte{byte(seq)}),
+		SchedDigest: SchedDigestOf([]byte("sched")),
+	}
+}
+
+func TestAccumulatorAssemblesQuorumCert(t *testing.T) {
+	committee, keys, pubs := testCommittee(t, 4)
+	scheme := crypto.Ed25519{}
+	acc := NewAccumulator(committee)
+	m := testMeta(1)
+	var cert *Certificate
+	for i := 0; i < 4; i++ {
+		sh, err := Sign(m, types.ValidatorID(i), keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyShare(sh, scheme, pubs[i]) {
+			t.Fatalf("share %d does not verify", i)
+		}
+		c := acc.Add(sh)
+		switch {
+		case i < 2 && c != nil:
+			t.Fatalf("quorum reported at %d signers (need 3 of 4)", i+1)
+		case i == 2 && c == nil:
+			t.Fatal("no certificate at quorum (3 of 4)")
+		case i == 3 && c != nil:
+			t.Fatal("certificate emitted twice")
+		}
+		if c != nil {
+			cert = c
+		}
+	}
+	if err := cert.Verify(committee, pubs, scheme); err != nil {
+		t.Fatalf("assembled certificate rejected: %v", err)
+	}
+	if len(cert.Sigs) != 3 {
+		t.Fatalf("certificate carries %d sigs, want 3", len(cert.Sigs))
+	}
+	if !cert.Matches(m) {
+		t.Fatal("certificate meta mismatch")
+	}
+}
+
+func TestDivergentTuplesNeverMix(t *testing.T) {
+	committee, keys, _ := testCommittee(t, 4)
+	acc := NewAccumulator(committee)
+	good := testMeta(1)
+	bad := good
+	bad.StateRoot = types.HashBytes([]byte("forged"))
+	// Two honest shares on the true tuple + two shares on a divergent tuple:
+	// neither bucket reaches the 3-stake quorum.
+	for i, m := range []Meta{good, good, bad, bad} {
+		sh, err := Sign(m, types.ValidatorID(i), keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := acc.Add(sh); c != nil {
+			t.Fatalf("certificate assembled across divergent tuples (share %d)", i)
+		}
+	}
+}
+
+func TestDuplicateSharesDontCount(t *testing.T) {
+	committee, keys, _ := testCommittee(t, 4)
+	acc := NewAccumulator(committee)
+	m := testMeta(2)
+	sh, err := Sign(m, 0, keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if c := acc.Add(sh); c != nil {
+			t.Fatal("duplicate shares reached quorum")
+		}
+	}
+}
+
+func TestVerifyRejectsForgedCertificates(t *testing.T) {
+	committee, keys, pubs := testCommittee(t, 4)
+	scheme := crypto.Ed25519{}
+	m := testMeta(3)
+	sign := func(i int, meta Meta) Sig {
+		sh, err := Sign(meta, types.ValidatorID(i), keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Sig{Validator: sh.Validator, Signature: sh.Signature}
+	}
+	valid := &Certificate{Meta: m, Sigs: []Sig{sign(0, m), sign(1, m), sign(2, m)}}
+	if err := valid.Verify(committee, pubs, scheme); err != nil {
+		t.Fatalf("valid certificate rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		cert *Certificate
+	}{
+		{"insufficient signers", &Certificate{Meta: m, Sigs: []Sig{sign(0, m), sign(1, m)}}},
+		{"duplicate signer padding", &Certificate{Meta: m, Sigs: []Sig{sign(0, m), sign(0, m), sign(1, m)}}},
+		{"unknown signer", &Certificate{Meta: m, Sigs: []Sig{sign(0, m), sign(1, m), {Validator: 9, Signature: valid.Sigs[2].Signature}}}},
+		{"signature over different tuple", &Certificate{Meta: m, Sigs: []Sig{sign(0, m), sign(1, m), sign(2, testMeta(4))}}},
+		{"meta swapped after signing", &Certificate{Meta: testMeta(4), Sigs: valid.Sigs}},
+		{"corrupt signature", &Certificate{Meta: m, Sigs: []Sig{sign(0, m), sign(1, m), {Validator: 2, Signature: append([]byte(nil), make([]byte, 64)...)}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.cert.Verify(committee, pubs, scheme); err == nil {
+			t.Errorf("%s: forged certificate verified", tc.name)
+		}
+	}
+}
+
+func TestPruneToDropsStaleShares(t *testing.T) {
+	committee, keys, _ := testCommittee(t, 4)
+	acc := NewAccumulator(committee)
+	for seq := uint64(1); seq <= 3; seq++ {
+		sh, err := Sign(testMeta(seq), 0, keys[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(sh)
+	}
+	if acc.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", acc.Pending())
+	}
+	acc.PruneTo(2)
+	if acc.Pending() != 1 {
+		t.Fatalf("pending after prune = %d, want 1", acc.Pending())
+	}
+	// Shares at or below the floor are ignored even with quorum behind them.
+	for i := 1; i < 4; i++ {
+		sh, err := Sign(testMeta(2), types.ValidatorID(i), keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := acc.Add(sh); c != nil {
+			t.Fatal("pruned sequence still assembled a certificate")
+		}
+	}
+}
+
+func TestSigningBytesBindsEveryField(t *testing.T) {
+	base := testMeta(5)
+	mutations := []func(*Meta){
+		func(m *Meta) { m.Round++ },
+		func(m *Meta) { m.CommitSeq++ },
+		func(m *Meta) { m.StateRoot[0] ^= 1 },
+		func(m *Meta) { m.StateDigest[0] ^= 1 },
+		func(m *Meta) { m.SchedDigest[0] ^= 1 },
+	}
+	ref := string(SigningBytes(base))
+	for i, mut := range mutations {
+		m := base
+		mut(&m)
+		if string(SigningBytes(m)) == ref {
+			t.Errorf("mutation %d not reflected in signing bytes", i)
+		}
+	}
+	if SchedDigestOf(nil) != types.ZeroDigest {
+		t.Error("empty scheduler state must digest to zero")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"hammerhead/internal/bullshark"
+	"hammerhead/internal/checkpoint"
 	"hammerhead/internal/crypto"
 	"hammerhead/internal/dag"
 	"hammerhead/internal/leader"
@@ -81,6 +82,12 @@ type Stats struct {
 	RejoinRequests   uint64
 	RejoinResponses  uint64
 	RejoinsCompleted uint64
+	// Checkpoint certificate counters: signature shares received from peers,
+	// certificates this validator's accumulator assembled, certificates
+	// adopted from peer broadcasts.
+	CheckpointSigs         uint64
+	CheckpointCertsFormed  uint64
+	CheckpointCertsAdopted uint64
 }
 
 type voteKey struct {
@@ -135,6 +142,14 @@ type Engine struct {
 	// handshake's gathering state.
 	appliedSeq func() uint64
 	rejoin     rejoinState
+	// Checkpoint certification (nil/zero when Params.OnCheckpointCert is
+	// unset): ckptAcc assembles quorum certificates from gossiped signature
+	// shares; onCheckpointCert delivers each newly certified checkpoint to
+	// the runtime exactly once; ckptDelivered is the highest delivered commit
+	// seq (dedupes peer cert broadcasts, which can race the local quorum).
+	ckptAcc          *checkpoint.Accumulator
+	onCheckpointCert func(*checkpoint.Certificate)
+	ckptDelivered    uint64
 	// stage is the asynchronous order stage (stage 2 of the pipeline); nil
 	// when PipelineDepth == 0, in which case the committer runs inline on
 	// the ingest path.
@@ -228,6 +243,12 @@ type Params struct {
 	// conflicting one for a slot whose certificate may have survived only in
 	// a peer's WAL, which would equivocate the slot and fork the DAG.
 	PersistProposal func(*Header)
+	// OnCheckpointCert, when non-nil, enables checkpoint certification: the
+	// runtime calls OnLocalCheckpoint after each local checkpoint, the engine
+	// gossips signature shares and assembles 2f+1 certificates, and each
+	// certified checkpoint is delivered here exactly once (ascending commit
+	// seq). Runs on the engine goroutine — hand off heavy work.
+	OnCheckpointCert func(*checkpoint.Certificate)
 }
 
 // New constructs an engine. Call Init before feeding messages.
@@ -292,6 +313,10 @@ func New(p Params) (*Engine, error) {
 		pendingByMissing: make(map[types.Digest][]types.Digest),
 		requested:        make(map[types.Digest]bool),
 		pendingRounds:    make(map[types.Round]int),
+	}
+	if p.OnCheckpointCert != nil {
+		e.ckptAcc = checkpoint.NewAccumulator(p.Committee)
+		e.onCheckpointCert = p.OnCheckpointCert
 	}
 	if ff, ok := p.Scheduler.(scheduleFastForwarder); ok {
 		e.schedFastForward = ff
@@ -452,6 +477,10 @@ func (e *Engine) OnMessage(from types.ValidatorID, msg *Message, nowNanos int64)
 		e.onRejoinRequest(from, msg.RejoinRequest, out)
 	case KindRejoinResponse:
 		e.onRejoinResponse(from, msg.RejoinResponse, nowNanos, out)
+	case KindCheckpointSig:
+		e.onCheckpointSig(from, msg.CheckpointSig, out)
+	case KindCheckpointCert:
+		e.onPeerCheckpointCert(msg.CheckpointCert)
 	default:
 		e.stats.InvalidMessages++
 	}

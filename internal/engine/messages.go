@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"hammerhead/internal/checkpoint"
 	"hammerhead/internal/crypto"
 	"hammerhead/internal/dag"
 	"hammerhead/internal/types"
@@ -31,6 +32,8 @@ const (
 	KindSnapshotResponse
 	KindRejoinRequest
 	KindRejoinResponse
+	KindCheckpointSig
+	KindCheckpointCert
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +59,10 @@ func (k MessageKind) String() string {
 		return "rejoin-request"
 	case KindRejoinResponse:
 		return "rejoin-response"
+	case KindCheckpointSig:
+		return "checkpoint-sig"
+	case KindCheckpointCert:
+		return "checkpoint-cert"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -343,6 +350,10 @@ type Message struct {
 	SnapshotResponse *SnapshotResponse
 	RejoinRequest    *RejoinRequest
 	RejoinResponse   *RejoinResponse
+	// CheckpointSig is one validator's signature over a checkpoint tuple;
+	// CheckpointCert an assembled 2f+1 certificate (see internal/checkpoint).
+	CheckpointSig  *checkpoint.Share
+	CheckpointCert *checkpoint.Certificate
 }
 
 // Clone returns a copy of the message whose mutable payload state — the
@@ -387,10 +398,12 @@ func (m *Message) Clone() *Message {
 			// The Offer is read-only metadata; sharing it is safe.
 			c.RejoinResponse = &RejoinResponse{Frontier: m.RejoinResponse.Frontier, Certs: certs, Offer: m.RejoinResponse.Offer}
 		}
+	case KindCheckpointCert:
+		c.CheckpointCert = m.CheckpointCert.Clone()
 	}
-	// CertRequest / RoundRequest / RejoinRequest / Snapshot* payloads are
-	// read-only (and the snapshot chunk bytes are immutable once encoded);
-	// sharing is safe.
+	// CertRequest / RoundRequest / RejoinRequest / Snapshot* / CheckpointSig
+	// payloads are read-only (and the snapshot chunk bytes are immutable once
+	// encoded); sharing is safe.
 	return &c
 }
 
@@ -428,6 +441,10 @@ func (m *Message) EncodedSize() int {
 		n += m.RejoinRequest.EncodedSize()
 	case KindRejoinResponse:
 		n += m.RejoinResponse.EncodedSize()
+	case KindCheckpointSig:
+		n += 16 + 3*types.DigestSize + 4 + len(m.CheckpointSig.Signature)
+	case KindCheckpointCert:
+		n += m.CheckpointCert.EncodedSize()
 	}
 	return n
 }
@@ -462,6 +479,12 @@ func (m *Message) String() string {
 		return fmt.Sprintf("rejoin-response{frontier=%d ordered=%d %d certs}",
 			m.RejoinResponse.Frontier.HighestRound, m.RejoinResponse.Frontier.LastOrdered,
 			len(m.RejoinResponse.Certs))
+	case KindCheckpointSig:
+		return fmt.Sprintf("checkpoint-sig{seq=%d r=%d v=%s}",
+			m.CheckpointSig.Meta.CommitSeq, m.CheckpointSig.Meta.Round, m.CheckpointSig.Validator)
+	case KindCheckpointCert:
+		return fmt.Sprintf("checkpoint-cert{seq=%d r=%d %d sigs}",
+			m.CheckpointCert.Meta.CommitSeq, m.CheckpointCert.Meta.Round, len(m.CheckpointCert.Sigs))
 	default:
 		return m.Kind.String()
 	}

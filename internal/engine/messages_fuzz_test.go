@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"testing"
 
+	"hammerhead/internal/checkpoint"
 	"hammerhead/internal/crypto"
 	"hammerhead/internal/types"
 )
@@ -115,6 +116,15 @@ func FuzzMessageRoundTrip(f *testing.F) {
 					t.Fatal("sig-verified mark must not survive the wire")
 				}
 			}
+		case KindCheckpointSig:
+			s, w := got.CheckpointSig, msg.CheckpointSig
+			if s.Meta != w.Meta || s.Validator != w.Validator || !bytes.Equal(s.Signature, w.Signature) {
+				t.Fatal("checkpoint share changed across the wire")
+			}
+		case KindCheckpointCert:
+			if !got.CheckpointCert.Equal(msg.CheckpointCert) {
+				t.Fatal("checkpoint certificate changed across the wire")
+			}
 		}
 	})
 }
@@ -123,7 +133,7 @@ func FuzzMessageRoundTrip(f *testing.F) {
 // from fuzz material. Marks are set before encoding to prove gob strips
 // them.
 func buildMessage(kindSel uint8, round uint64, source uint32, blob, sig []byte, nSub uint8) *Message {
-	kind := MessageKind(kindSel%10 + 1)
+	kind := MessageKind(kindSel%12 + 1)
 	mkHeader := func() *Header {
 		edges := make([]types.Digest, int(nSub)%4)
 		for i := range edges {
@@ -225,7 +235,32 @@ func buildMessage(kindSel uint8, round uint64, source uint32, blob, sig []byte, 
 			resp.Certs = append(resp.Certs, c)
 		}
 		return &Message{Kind: kind, RejoinResponse: resp}
+	case KindCheckpointSig:
+		return &Message{Kind: kind, CheckpointSig: &checkpoint.Share{
+			Meta:      ckptMetaFrom(round, blob, sig),
+			Validator: types.ValidatorID(source),
+			Signature: crypto.Signature(sig),
+		}}
+	case KindCheckpointCert:
+		cert := &checkpoint.Certificate{Meta: ckptMetaFrom(round, blob, sig)}
+		for i := uint8(0); i < nSub%5; i++ {
+			cert.Sigs = append(cert.Sigs, checkpoint.Sig{
+				Validator: types.ValidatorID(i),
+				Signature: crypto.Signature(sig),
+			})
+		}
+		return &Message{Kind: kind, CheckpointCert: cert}
 	default:
 		return nil
+	}
+}
+
+func ckptMetaFrom(round uint64, blob, sig []byte) checkpoint.Meta {
+	return checkpoint.Meta{
+		Round:       types.Round(round),
+		CommitSeq:   round ^ 0xabcd,
+		StateRoot:   types.HashBytes(blob),
+		StateDigest: types.HashBytes(sig),
+		SchedDigest: checkpoint.SchedDigestOf(blob),
 	}
 }

@@ -6,7 +6,9 @@ import (
 	"sync"
 
 	"hammerhead/internal/bullshark"
+	"hammerhead/internal/checkpoint"
 	"hammerhead/internal/leader"
+	"hammerhead/internal/merkle"
 	"hammerhead/internal/metrics"
 	"hammerhead/internal/types"
 )
@@ -55,6 +57,18 @@ type Config struct {
 	// the state machine is touched, so a legacy (pre-upgrade) snapshot from a
 	// stale peer fails cleanly and another responder is tried.
 	RequireSchedulerState bool
+	// RequireCertificate, when true, makes InstallFromWire reject remote
+	// snapshots that carry no checkpoint certificate, or whose certificate
+	// does not cover exactly the snapshot's (round, seq, roots, scheduler
+	// state) tuple. Like RequireSchedulerState, the check runs before the
+	// state machine is touched: a fresh checkpoint whose certification
+	// gossip is still in flight fails cleanly and another responder (or a
+	// later retry) is tried.
+	RequireCertificate bool
+	// CertVerifier, when non-nil, vets the certificate's signatures and
+	// quorum (typically checkpoint.Certificate.Verify against the node's
+	// committee). Only consulted when RequireCertificate is set.
+	CertVerifier func(*checkpoint.Certificate) error
 	// Metrics, when non-nil, receives executor gauges and counters.
 	Metrics *metrics.Registry
 }
@@ -110,6 +124,17 @@ type Executor struct {
 	prev       Snapshot          // guarded by mu
 	havePrev   bool              // guarded by mu
 	served     map[uint64][]byte // guarded by mu
+
+	// frozenLatest/frozenPrev are immutable KV views captured at the two
+	// cached checkpoints (nil when the state machine is not a KVState).
+	// Capturing is O(1) — the Merkle tree path-copies on write. Once a
+	// checkpoint's quorum certificate arrives (AttachCertificate), the
+	// matching frozen view becomes the certified read state ProvenRead
+	// serves proofs from.
+	frozenLatest *FrozenKV               // guarded by mu
+	frozenPrev   *FrozenKV               // guarded by mu
+	certified    *checkpoint.Certificate // guarded by mu
+	certifiedKV  *FrozenKV               // guarded by mu
 
 	// Async mode.
 	q       chan bullshark.CommittedSubDAG
@@ -221,6 +246,16 @@ func commitDigest(sub *bullshark.CommittedSubDAG) types.Digest {
 		parts = append(parts, d[:])
 	}
 	return types.HashBytes(parts...)
+}
+
+// CommitDigestOf exposes the commit content address to consumers outside the
+// executor — the gateway stamps it on commit-stream events so read replicas
+// can chain H(prev, digest) exactly like the executor does and cross-check
+// the resulting root against quorum-certified checkpoints.
+//
+//hammerlint:deterministic
+func CommitDigestOf(sub *bullshark.CommittedSubDAG) types.Digest {
+	return commitDigest(sub)
 }
 
 // boundaryFloorLocked is the lowest round whose ordered status the window
@@ -396,7 +431,7 @@ func (x *Executor) checkpointLocked() (Snapshot, error) {
 	if err := x.cfg.Store.Save(snap); err != nil {
 		return Snapshot{}, err
 	}
-	x.cacheSnapshotLocked(snap)
+	x.cacheSnapshotLocked(snap, x.freezeKVLocked())
 	x.ckptCount++
 	if x.snapBytes != nil {
 		x.snapBytes.Add(uint64(len(data)))
@@ -451,28 +486,147 @@ func (x *Executor) Install(snap Snapshot) error {
 	if x.snapBytes != nil {
 		x.snapBytes.Add(uint64(len(snap.Data)))
 	}
-	x.cacheSnapshotLocked(snap)
+	frozen := x.freezeKVLocked()
+	x.cacheSnapshotLocked(snap, frozen)
+	if snap.Cert != nil && frozen != nil {
+		// An installed snapshot arrives pre-certified: its frozen view is
+		// immediately servable for proof-carrying reads.
+		x.certified = snap.Cert
+		x.certifiedKV = frozen
+	}
 	if err := x.cfg.Store.Save(snap); err == nil && x.cfg.OnCheckpoint != nil {
 		x.cfg.OnCheckpoint(snap)
 	}
 	return nil
 }
 
+// freezeKVLocked captures an immutable view of the state machine when it is
+// the built-in KVState (nil otherwise — custom machines have no generic
+// proof surface).
+func (x *Executor) freezeKVLocked() *FrozenKV {
+	if kv, ok := x.sm.(*KVState); ok {
+		return kv.Freeze()
+	}
+	return nil
+}
+
 // cacheSnapshotLocked rotates the in-memory checkpoint cache: the newest two
 // stay servable (mirroring the store's default retention) and stale wire
-// encodings are dropped.
-func (x *Executor) cacheSnapshotLocked(snap Snapshot) {
+// encodings are dropped. frozen is the immutable KV view captured at the
+// snapshot (nil for non-KV state machines); it rotates with the snapshot.
+func (x *Executor) cacheSnapshotLocked(snap Snapshot, frozen *FrozenKV) {
 	if x.haveLatest && x.latest.CommitSeq != snap.CommitSeq {
 		x.prev = x.latest
 		x.havePrev = true
+		x.frozenPrev = x.frozenLatest
 	}
 	x.latest = snap
 	x.haveLatest = true
+	x.frozenLatest = frozen
 	for seq := range x.served {
 		if seq != x.latest.CommitSeq && (!x.havePrev || seq != x.prev.CommitSeq) {
 			delete(x.served, seq)
 		}
 	}
+}
+
+// AttachCertificate binds a quorum checkpoint certificate to the cached
+// checkpoint at the given commit seq: the snapshot re-persists with the
+// certificate embedded (so wire serving and restarts carry it), and the
+// checkpoint's frozen KV view becomes the certified state ProvenRead serves.
+// Certificates for rotated-out checkpoints are ignored (false). The caller
+// must have verified the certificate — the executor stores, not vets, it.
+func (x *Executor) AttachCertificate(seq uint64, cert *checkpoint.Certificate) bool {
+	if cert == nil {
+		return false
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	switch {
+	case x.haveLatest && x.latest.CommitSeq == seq:
+		x.latest.Cert = cert
+		delete(x.served, seq)
+		_ = x.cfg.Store.Save(x.latest)
+		if x.frozenLatest != nil {
+			x.certified = cert
+			x.certifiedKV = x.frozenLatest
+		}
+		return true
+	case x.havePrev && x.prev.CommitSeq == seq:
+		x.prev.Cert = cert
+		delete(x.served, seq)
+		if x.frozenPrev != nil && (x.certified == nil || x.certified.Meta.CommitSeq < seq) {
+			x.certified = cert
+			x.certifiedKV = x.frozenPrev
+		}
+		return true
+	}
+	return false
+}
+
+// CertifiedSnapshotBlob returns the wire encoding of the newest cached
+// checkpoint that carries a quorum certificate (false before one exists).
+// Served on the gateway's /v1/snapshot so replicas bootstrap from certified
+// state instead of trusting the responder.
+func (x *Executor) CertifiedSnapshotBlob() ([]byte, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.haveLatest && x.latest.Cert != nil {
+		if _, blob, ok := x.serveLocked(x.latest); ok {
+			return blob, true
+		}
+	}
+	if x.havePrev && x.prev.Cert != nil {
+		if _, blob, ok := x.serveLocked(x.prev); ok {
+			return blob, true
+		}
+	}
+	return nil, false
+}
+
+// LatestCertificate returns the newest quorum checkpoint certificate this
+// executor holds (nil, false before the first certification completes).
+// Served on the gateway's /v1/checkpoint for replicas and auditors.
+func (x *Executor) LatestCertificate() (*checkpoint.Certificate, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.certified == nil {
+		return nil, false
+	}
+	return x.certified, true
+}
+
+// ProvenKV is a proof-carrying read: a Merkle inclusion/exclusion proof for
+// the key against the last CERTIFIED checkpoint's state, the op counters that
+// bind the Merkle root into the certified StateDigest, and the quorum
+// certificate itself. A verifier needs no trust in the serving node: fold the
+// proof to a root, combine with the counters (StateDigestFrom) and compare
+// against the certificate's StateDigest after checking its 2f+1 signatures.
+type ProvenKV struct {
+	Proof   merkle.Proof
+	Version uint64
+	Opaque  uint64
+	Cert    *checkpoint.Certificate
+}
+
+// ProvenRead serves a proof-carrying read against the last certified
+// checkpoint. ok is false until a certificate has been attached (or when the
+// state machine is not a KVState). The read lags the live state by up to one
+// checkpoint interval plus certification gossip — the price of serving only
+// quorum-certified answers.
+func (x *Executor) ProvenRead(key []byte) (ProvenKV, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.certified == nil || x.certifiedKV == nil {
+		return ProvenKV{}, false
+	}
+	version, opaque := x.certifiedKV.Counters()
+	return ProvenKV{
+		Proof:   x.certifiedKV.Prove(key),
+		Version: version,
+		Opaque:  opaque,
+		Cert:    x.certified,
+	}, true
 }
 
 // ---- asynchronous mode ----

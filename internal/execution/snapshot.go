@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"hammerhead/internal/checkpoint"
 	"hammerhead/internal/types"
 )
 
@@ -65,6 +66,12 @@ type Snapshot struct {
 	// Installers running a stateful scheduler restore it before the engine
 	// fast-forwards, so the restored schedule is bit-equal to a live node's.
 	SchedulerState []byte
+	// Cert is the 2f+1 checkpoint certificate over this snapshot's tuple,
+	// attached once the validator quorum certified it (nil on fresh
+	// checkpoints whose certification gossip is still in flight, and in
+	// pre-upgrade blobs — gob tolerates its absence). Installers configured
+	// with RequireCertificate verify it instead of trusting the responder.
+	Cert *checkpoint.Certificate
 }
 
 // EncodeSnapshot serializes a snapshot for the wire or disk.

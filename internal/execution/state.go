@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hammerhead/internal/merkle"
 	"hammerhead/internal/types"
 )
 
@@ -93,8 +94,13 @@ type kvEntry struct {
 // Payloads that do not parse — including the empty payloads the latency
 // experiments submit — are counted but have no KV effect, so any transaction
 // stream is accepted.
+//
+// The ledger is backed by an authenticated Merkle tree (internal/merkle):
+// every Apply updates the tree's root incrementally in O(log n), so Root()
+// is O(1) instead of the full O(n) rehash it used to be, and any key's
+// presence or absence can be proven against the root (see Prove / Freeze).
 type KVState struct {
-	entries map[string]kvEntry
+	tree *merkle.Tree
 	// version counts applied KV ops; opaque counts non-KV transactions. Both
 	// are part of the root, so state divergence is visible even for streams
 	// of unparsable payloads.
@@ -104,7 +110,7 @@ type KVState struct {
 
 // NewKVState returns an empty ledger.
 func NewKVState() *KVState {
-	return &KVState{entries: make(map[string]kvEntry)}
+	return &KVState{tree: merkle.New()}
 }
 
 // Apply implements StateMachine.
@@ -119,18 +125,17 @@ func (s *KVState) Apply(tx *types.Transaction) {
 		s.opaque++
 		return
 	}
-	key := string(p[3 : 3+keyLen])
 	switch p[0] {
 	case opPut:
 		s.version++
-		// Copy the value: payloads are shared with the mempool/DAG.
-		s.entries[key] = kvEntry{
-			Value:   append([]byte(nil), p[3+keyLen:]...),
-			Version: s.version,
-		}
+		// Copy key and value: payloads are shared with the mempool/DAG and
+		// the tree holds its inputs by reference.
+		key := append([]byte(nil), p[3:3+keyLen]...)
+		value := append([]byte(nil), p[3+keyLen:]...)
+		s.tree.Insert(key, value, s.version)
 	case opDelete:
 		s.version++
-		delete(s.entries, key)
+		s.tree.Delete(p[3 : 3+keyLen])
 	default:
 		s.opaque++
 	}
@@ -138,48 +143,87 @@ func (s *KVState) Apply(tx *types.Transaction) {
 
 // Get returns the current value under key.
 func (s *KVState) Get(key []byte) ([]byte, bool) {
-	e, ok := s.entries[string(key)]
-	return e.Value, ok
+	v, _, ok := s.tree.Get(key)
+	return v, ok
 }
 
 // GetVersioned returns the value under key plus the global op version that
 // last wrote it. The returned slice is never mutated in place (Apply replaces
 // entries wholesale), so callers may hold it across further applies.
 func (s *KVState) GetVersioned(key []byte) (value []byte, version uint64, ok bool) {
-	e, ok := s.entries[string(key)]
-	return e.Value, e.Version, ok
+	return s.tree.Get(key)
 }
 
 // Len returns the number of live keys.
-func (s *KVState) Len() int { return len(s.entries) }
+func (s *KVState) Len() int { return s.tree.Len() }
 
 // Version returns the number of KV ops applied.
 func (s *KVState) Version() uint64 { return s.version }
 
-// Root implements StateMachine: a digest over the sorted entry set and the
-// op counters. Cost is O(n log n) in live keys; it is computed at checkpoint
-// and install time, not per transaction (the per-commit chain lives in the
-// Executor).
+// Root implements StateMachine: the op counters combined with the Merkle
+// root. O(1) — the tree maintains its root incrementally per applied op.
 //
 //hammerlint:deterministic
 func (s *KVState) Root() types.Digest {
-	keys := make([]string, 0, len(s.entries))
-	for k := range s.entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	parts := make([][]byte, 0, 3*len(keys)+1)
+	return StateDigestFrom(s.version, s.opaque, s.tree.Root())
+}
+
+// MerkleRoot returns the authenticated tree's root alone (what Merkle proofs
+// fold to; Root() additionally commits to the op counters).
+func (s *KVState) MerkleRoot() types.Digest { return s.tree.Root() }
+
+// Counters returns the op counters bound into Root().
+func (s *KVState) Counters() (version, opaque uint64) { return s.version, s.opaque }
+
+// Prove returns a Merkle inclusion/exclusion proof for key against the
+// current tree root.
+func (s *KVState) Prove(key []byte) merkle.Proof { return s.tree.Prove(key) }
+
+// Freeze returns an immutable point-in-time view of the ledger. O(1): the
+// tree's nodes are path-copied on write, never mutated. The executor
+// captures one per checkpoint so proof-carrying reads are served against the
+// quorum-certified root while the live state advances.
+func (s *KVState) Freeze() *FrozenKV {
+	return &FrozenKV{tree: s.tree.Freeze(), version: s.version, opaque: s.opaque}
+}
+
+// StateDigestFrom combines the op counters and the Merkle root into the
+// KVState content digest — the StateDigest checkpoint certificates certify.
+// Verifiers recompute it from a proof's folded root plus the served
+// counters and compare against the certified digest.
+//
+//hammerlint:deterministic
+func StateDigestFrom(version, opaque uint64, merkleRoot types.Digest) types.Digest {
 	var counters [16]byte
-	binary.BigEndian.PutUint64(counters[:8], s.version)
-	binary.BigEndian.PutUint64(counters[8:], s.opaque)
-	parts = append(parts, counters[:])
-	for _, k := range keys {
-		e := s.entries[k]
-		var ver [8]byte
-		binary.BigEndian.PutUint64(ver[:], e.Version)
-		parts = append(parts, []byte(k), ver[:], e.Value)
-	}
-	return types.HashBytes(parts...)
+	binary.BigEndian.PutUint64(counters[:8], version)
+	binary.BigEndian.PutUint64(counters[8:], opaque)
+	return types.HashBytes(counters[:], merkleRoot[:])
+}
+
+// FrozenKV is an immutable snapshot handle over the ledger: proofs and reads
+// against a fixed root, unaffected by further applies.
+type FrozenKV struct {
+	tree            *merkle.Tree
+	version, opaque uint64
+}
+
+// Root returns the frozen state digest (same formula as KVState.Root).
+func (f *FrozenKV) Root() types.Digest {
+	return StateDigestFrom(f.version, f.opaque, f.tree.Root())
+}
+
+// MerkleRoot returns the frozen tree root.
+func (f *FrozenKV) MerkleRoot() types.Digest { return f.tree.Root() }
+
+// Counters returns the frozen op counters.
+func (f *FrozenKV) Counters() (version, opaque uint64) { return f.version, f.opaque }
+
+// Prove returns a proof for key against the frozen root.
+func (f *FrozenKV) Prove(key []byte) merkle.Proof { return f.tree.Prove(key) }
+
+// Get reads a key from the frozen state.
+func (f *FrozenKV) Get(key []byte) (value []byte, version uint64, ok bool) {
+	return f.tree.Get(key)
 }
 
 // kvPair is one ledger cell in the deterministic wire form.
@@ -215,13 +259,14 @@ type kvSnapshotCompat struct {
 //hammerlint:deterministic
 func (s *KVState) Snapshot() ([]byte, error) {
 	wire := kvSnapshotWire{
-		Pairs:   make([]kvPair, 0, len(s.entries)),
+		Pairs:   make([]kvPair, 0, s.tree.Len()),
 		Version: s.version,
 		Opaque:  s.opaque,
 	}
-	for k, e := range s.entries {
-		wire.Pairs = append(wire.Pairs, kvPair{Key: k, Entry: e})
-	}
+	s.tree.Walk(func(k, v []byte, ver uint64) bool {
+		wire.Pairs = append(wire.Pairs, kvPair{Key: string(k), Entry: kvEntry{Value: v, Version: ver}})
+		return true
+	})
 	sort.Slice(wire.Pairs, func(i, j int) bool { return wire.Pairs[i].Key < wire.Pairs[j].Key })
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
@@ -230,22 +275,25 @@ func (s *KVState) Snapshot() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Restore implements StateMachine. Decoding happens into fresh structures, so
-// a corrupt snapshot leaves the previous state untouched. Legacy map-form
-// blobs (written before the sorted-pair wire migration) restore as well.
+// Restore implements StateMachine. Decoding and tree rebuilding happen into
+// fresh structures, so a corrupt snapshot leaves the previous state
+// untouched. Legacy map-form blobs (written before the sorted-pair wire
+// migration) restore as well. The rebuild is the batch recomputation of the
+// Merkle root — the install path's digest check compares it against the
+// incrementally maintained root the snapshot was cut under.
 func (s *KVState) Restore(data []byte) error {
 	var snap kvSnapshotCompat
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("execution: decoding KV snapshot: %w", err)
 	}
-	entries := snap.Entries
-	if entries == nil {
-		entries = make(map[string]kvEntry, len(snap.Pairs))
-		for _, p := range snap.Pairs {
-			entries[p.Key] = p.Entry
-		}
+	tree := merkle.New()
+	for _, p := range snap.Pairs {
+		tree.Insert([]byte(p.Key), p.Entry.Value, p.Entry.Version)
 	}
-	s.entries = entries
+	for k, e := range snap.Entries { // legacy map-form blobs
+		tree.Insert([]byte(k), e.Value, e.Version)
+	}
+	s.tree = tree
 	s.version = snap.Version
 	s.opaque = snap.Opaque
 	return nil

@@ -3,6 +3,7 @@ package execution
 import (
 	"fmt"
 
+	"hammerhead/internal/checkpoint"
 	"hammerhead/internal/engine"
 	"hammerhead/internal/types"
 )
@@ -84,10 +85,48 @@ func (x *Executor) InstallFromWire(meta engine.SnapshotMeta, data []byte) (*engi
 		// and a clean error here lets the engine retry another responder.
 		return nil, fmt.Errorf("execution: snapshot at seq %d carries no scheduler state (pre-upgrade responder?)", snap.CommitSeq)
 	}
+	if x.cfg.RequireCertificate {
+		// Also before Install: an uncertified (or mis-certified) snapshot
+		// must not touch the state machine, so the fetch retries another
+		// responder — or the same one later, once certification gossip
+		// completes for a freshly cut checkpoint.
+		if err := verifySnapshotCert(&snap, x.cfg.CertVerifier); err != nil {
+			return nil, err
+		}
+	}
 	if err := x.Install(snap); err != nil {
 		return nil, err
 	}
 	return snapshotInstallPlan(snap), nil
+}
+
+// verifySnapshotCert checks that a wire snapshot carries a quorum checkpoint
+// certificate covering exactly its own tuple: round, commit seq, chained
+// state root, state digest, and the digest of the scheduler state riding in
+// the blob. verifier (non-nil) then vets the certificate's signatures and
+// quorum stake. Any failure means the responder's bytes are not the state a
+// 2f+1 quorum executed — reject without touching local state.
+func verifySnapshotCert(snap *Snapshot, verifier func(*checkpoint.Certificate) error) error {
+	cert := snap.Cert
+	if cert == nil {
+		return fmt.Errorf("execution: snapshot at seq %d carries no checkpoint certificate", snap.CommitSeq)
+	}
+	want := checkpoint.Meta{
+		Round:       snap.Round,
+		CommitSeq:   snap.CommitSeq,
+		StateRoot:   snap.StateRoot,
+		StateDigest: snap.StateDigest,
+		SchedDigest: checkpoint.SchedDigestOf(snap.SchedulerState),
+	}
+	if !cert.Matches(want) {
+		return fmt.Errorf("execution: checkpoint certificate does not cover the snapshot tuple at seq %d", snap.CommitSeq)
+	}
+	if verifier != nil {
+		if err := verifier(cert); err != nil {
+			return fmt.Errorf("execution: checkpoint certificate rejected: %w", err)
+		}
+	}
+	return nil
 }
 
 // snapshotInstallPlan converts a verified snapshot into the engine's

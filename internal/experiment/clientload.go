@@ -10,6 +10,7 @@ import (
 	"hammerhead/internal/crypto"
 	"hammerhead/internal/engine"
 	"hammerhead/internal/node"
+	"hammerhead/internal/replica"
 	"hammerhead/internal/rpc"
 	"hammerhead/internal/transport"
 	"hammerhead/internal/types"
@@ -54,6 +55,14 @@ type ClientLoadScenario struct {
 	Scheme string
 	// MinRoundDelay overrides header pacing (0 = 50ms — local pacing).
 	MinRoundDelay time.Duration
+	// Replicas boots this many non-voting read replicas alongside the
+	// self-cluster (checkpoint certification is switched on so they can
+	// bootstrap from a certified snapshot). At the end of the run every
+	// replica must hold a quorum certificate covering the whole submission
+	// window, agree with the validators on the chained root at its certified
+	// sequence, and serve proof-carrying reads that verify client-side.
+	// Ignored in Endpoints (remote) mode.
+	Replicas int
 }
 
 // NewClientLoadScenario returns a calibrated client-load scenario.
@@ -101,6 +110,16 @@ type ClientLoadResult struct {
 	// ResumeOK reports that a fresh SSE subscription resuming from a
 	// mid-stream sequence replayed the tail contiguously.
 	ResumeOK bool
+	// Replica read tier (Scenario.Replicas > 0): ReplicaChecked counts
+	// proof-carrying reads issued against replicas, each verified entirely
+	// client-side and compared against a validator's answer; a mismatch is a
+	// failed verification, a missing key, or a value disagreement.
+	ReplicaChecked    int
+	ReplicaMismatches int
+	// ReplicaRootsAgree reports chained-root agreement between each replica
+	// and a validator at the replica's certified sequence.
+	ReplicaRootsAgree bool
+	ReplicasCompared  int
 	// Drained reports whether every accepted transaction was seen committed
 	// within DrainTimeout (false = the drain cut the run short).
 	Drained bool
@@ -152,6 +171,48 @@ func RunClientLoad(s ClientLoadScenario) (ClientLoadResult, error) {
 	}
 
 	res := ClientLoadResult{Scenario: s}
+
+	// ---- non-voting read replicas (bootstrap concurrently with the load) ----
+	// A certified snapshot only exists after the first checkpointed commits,
+	// so Bootstrap retries in the background while the submitters run; the
+	// replica verification at the end of the run joins on it.
+	var replicas []*replica.Replica
+	var repVerifier *client.Verifier
+	var repBoot sync.WaitGroup
+	repBootErrs := make([]error, 0)
+	var repBootMu sync.Mutex
+	if cluster != nil && s.Replicas > 0 {
+		scheme, err := crypto.SchemeByName(s.Scheme)
+		if err != nil {
+			return res, err
+		}
+		repVerifier = &client.Verifier{Committee: cluster.committee, PublicKeys: cluster.pubs, Scheme: scheme}
+		bootCtx, bootCancel := context.WithTimeout(context.Background(), s.Duration+2*s.DrainTimeout)
+		defer bootCancel()
+		for i := 0; i < s.Replicas; i++ {
+			rep, err := replica.New(replica.Config{
+				Validators: cluster.addrs,
+				Verifier:   repVerifier,
+				RPCAddr:    "127.0.0.1:0",
+			})
+			if err != nil {
+				return res, err
+			}
+			replicas = append(replicas, rep)
+			defer rep.Close()
+			repBoot.Add(1)
+			go func(rep *replica.Replica) {
+				defer repBoot.Done()
+				if err := rep.Bootstrap(bootCtx); err != nil {
+					repBootMu.Lock()
+					repBootErrs = append(repBootErrs, err)
+					repBootMu.Unlock()
+					return
+				}
+				rep.Start()
+			}(rep)
+		}
+	}
 
 	// ---- commit-stream watcher ----
 	// pending maps txID -> submit time; the watcher resolves them into
@@ -380,9 +441,104 @@ func RunClientLoad(s ClientLoadScenario) (ClientLoadResult, error) {
 		}
 	}
 
+	// ---- replica read tier: certificates, root agreement, verified reads ----
+	res.ReplicaRootsAgree = true
+	if len(replicas) > 0 {
+		repBoot.Wait()
+		if len(repBootErrs) > 0 {
+			return res, fmt.Errorf("replica bootstrap: %w", repBootErrs[0])
+		}
+		res.verifyReplicas(cluster, replicas, repVerifier, keysWritten, lastSeq.Load(), s.DrainTimeout)
+	}
+
 	// ---- SSE resume from a mid-stream sequence ----
 	res.ResumeOK = verifyStreamResume(ctx, readClient, lastSeq.Load())
 	return res, nil
+}
+
+// verifyReplicas closes the trustless loop at the end of a run: each replica
+// must tail and certify past the submission window's commit frontier, agree
+// with a validator on the chained root at its certified sequence, and serve
+// proof-carrying reads for a sample of the written keys that verify entirely
+// client-side and match the validators' values. Submissions stopped before
+// this runs, so any state at or beyond the frontier holds identical values.
+func (res *ClientLoadResult) verifyReplicas(cluster *clientLoadCluster, replicas []*replica.Replica,
+	verifier *client.Verifier, keysWritten []map[string]bool, frontier uint64, timeout time.Duration) {
+	// Empty commits keep the DAG and checkpoint cadence running after the
+	// load stops, so certificates covering the frontier arrive on their own.
+	deadline := time.Now().Add(2 * timeout)
+	certified := func() bool {
+		for _, rep := range replicas {
+			if rep.Err() != nil {
+				return true // poisoned: fail fast below
+			}
+			cert, ok := rep.Certificate()
+			if !ok || cert.Meta.CommitSeq < frontier {
+				return false
+			}
+		}
+		return true
+	}
+	for !certified() && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	sample := make([]string, 0, 32)
+	for c := range keysWritten {
+		for key := range keysWritten[c] {
+			if len(sample) == cap(sample) {
+				break
+			}
+			sample = append(sample, key)
+		}
+	}
+	valClient, err := client.New(client.Config{Endpoints: cluster.addrs, ClientID: "replica-ref"})
+	if err != nil {
+		res.ReplicaRootsAgree = false
+		return
+	}
+	for _, rep := range replicas {
+		cert, ok := rep.Certificate()
+		if rep.Err() != nil || !ok || cert.Meta.CommitSeq < frontier {
+			res.ReplicaRootsAgree = false
+			continue
+		}
+		// Chained-root agreement with a validator at the certified sequence.
+		agreed := false
+		for _, nd := range cluster.nodes {
+			valRoot, okV := nd.Executor().RootAt(cert.Meta.CommitSeq)
+			repRoot, okR := rep.RootAt(cert.Meta.CommitSeq)
+			if okV && okR {
+				agreed = valRoot == repRoot
+				break
+			}
+		}
+		if !agreed {
+			res.ReplicaRootsAgree = false
+		}
+		res.ReplicasCompared++
+
+		repClient, err := client.New(client.Config{Endpoints: []string{rep.Addr()}, ClientID: "replica-reader"})
+		if err != nil {
+			res.ReplicaMismatches += len(sample)
+			res.ReplicaChecked += len(sample)
+			continue
+		}
+		for _, key := range sample {
+			res.ReplicaChecked++
+			vr, err := repClient.VerifiedGet(ctx, verifier, []byte(key))
+			if err != nil || !vr.Found {
+				res.ReplicaMismatches++
+				continue
+			}
+			ref, err := valClient.Get(ctx, []byte(key))
+			if err != nil || !ref.Found || string(ref.Value) != string(vr.Value) {
+				res.ReplicaMismatches++
+			}
+		}
+	}
 }
 
 func containsIndex(errs []rpc.SubmitError, idx int) bool {
@@ -437,8 +593,10 @@ func verifyStreamResume(ctx context.Context, cl *client.Client, last uint64) boo
 
 // clientLoadCluster is the real-runtime cluster behind RunClientLoad.
 type clientLoadCluster struct {
-	nodes []*node.Node
-	addrs []string
+	nodes     []*node.Node
+	addrs     []string
+	committee *types.Committee
+	pubs      []crypto.PublicKey
 }
 
 func newClientLoadCluster(s ClientLoadScenario, lanes int, minRoundDelay time.Duration) (*clientLoadCluster, error) {
@@ -455,8 +613,16 @@ func newClientLoadCluster(s ClientLoadScenario, lanes int, minRoundDelay time.Du
 	engCfg.LeaderTimeout = time.Second
 	engCfg.PipelineDepth = engine.DefaultPipelineDepth
 
+	// Replicas bootstrap from certified snapshots, so a replica-bearing run
+	// switches on quorum checkpoint certification with a tight interval —
+	// certificates must form well within the submission window.
+	var checkpointInterval uint64
+	if s.Replicas > 0 {
+		checkpointInterval = 16
+	}
+
 	network := transport.NewChannelNetwork(1 << 14)
-	cluster := &clientLoadCluster{}
+	cluster := &clientLoadCluster{committee: committee, pubs: pubs}
 	for i := 0; i < s.N; i++ {
 		id := types.ValidatorID(i)
 		var nd *node.Node
@@ -468,15 +634,17 @@ func newClientLoadCluster(s ClientLoadScenario, lanes int, minRoundDelay time.Du
 			return nil, err
 		}
 		nd, err = node.New(node.Config{
-			Committee:    committee,
-			Self:         id,
-			Keys:         pairs[i],
-			PublicKeys:   pubs,
-			Engine:       engCfg,
-			ScheduleSeed: 7,
-			Execution:    true,
-			MempoolLanes: lanes,
-			RPCAddr:      "127.0.0.1:0",
+			Committee:          committee,
+			Self:               id,
+			Keys:               pairs[i],
+			PublicKeys:         pubs,
+			Engine:             engCfg,
+			ScheduleSeed:       7,
+			Execution:          true,
+			CheckpointInterval: checkpointInterval,
+			CheckpointCerts:    s.Replicas > 0,
+			MempoolLanes:       lanes,
+			RPCAddr:            "127.0.0.1:0",
 		}, tr)
 		if err != nil {
 			_ = tr.Close()

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hammerhead/internal/bullshark"
+	"hammerhead/internal/checkpoint"
 	"hammerhead/internal/core"
 	"hammerhead/internal/crypto"
 	"hammerhead/internal/dag"
@@ -80,6 +81,15 @@ type Config struct {
 	// CheckpointInterval is the number of commits between checkpoints
 	// (0 = execution.DefaultCheckpointInterval). Ignored without Execution.
 	CheckpointInterval uint64
+	// CheckpointCerts enables quorum checkpoint certification: after each
+	// checkpoint this validator signs the (round, seq, state root, state
+	// digest, scheduler digest) tuple and gossips the signature; 2f+1 shares
+	// assemble into a certificate that is embedded into the served snapshot
+	// and exposed to clients (proof-carrying reads, read replicas). With it
+	// on, REMOTE snapshot installs require a valid certificate — the node no
+	// longer trusts the responder's bytes. Requires Execution and the full
+	// PublicKeys set. Ignored without Execution.
+	CheckpointCerts bool
 	// SnapshotDir persists checkpoints for crash-recovery and serving
 	// (empty = in-memory only). Ignored without Execution.
 	SnapshotDir string
@@ -283,17 +293,47 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 			// schedule would silently degrade it to a stale leader sequence.
 			RequireSchedulerState: cfg.HammerHead != nil,
 		}
-		if cfg.WALPath != "" {
+		if cfg.CheckpointCerts {
+			if len(cfg.PublicKeys) != cfg.Committee.Size() {
+				return nil, fmt.Errorf("node: checkpoint certification needs all %d public keys (have %d)",
+					cfg.Committee.Size(), len(cfg.PublicKeys))
+			}
+			// With certification on, never install a remote snapshot on the
+			// responder's word alone: require a quorum certificate covering
+			// exactly the snapshot's tuple.
+			execCfg.RequireCertificate = true
+			execCfg.CertVerifier = func(cert *checkpoint.Certificate) error {
+				return cert.Verify(cfg.Committee, cfg.PublicKeys, cfg.Keys.Scheme)
+			}
+		}
+		if cfg.WALPath != "" || cfg.CheckpointCerts {
 			// Checkpoint-driven WAL compaction: once a checkpoint is durable,
 			// certificates below its boundary floor are redundant on replay (a
 			// restart installs the checkpoint first), so the WAL writer drops
 			// them at its next append. Under HammerHead the checkpoint carries
 			// the scheduler state and the executor clamps the floor to the
 			// schedule's minimum retained round, so compaction is safe for both
-			// schedulers.
+			// schedulers. With certification on, the hook also starts the
+			// signature gossip for the fresh checkpoint. The hook runs with the
+			// executor's lock held — hand the engine work to a goroutine so the
+			// (bounded) task queue cannot deadlock the apply loop.
+			compact := cfg.WALPath != ""
+			certify := cfg.CheckpointCerts
 			execCfg.OnCheckpoint = func(snap execution.Snapshot) {
-				if snap.Floor > 0 {
+				if compact && snap.Floor > 0 {
 					n.compactFloor.Store(uint64(snap.Floor))
+				}
+				if certify && snap.Cert == nil && !n.replaying.Load() {
+					meta := checkpoint.Meta{
+						Round:       snap.Round,
+						CommitSeq:   snap.CommitSeq,
+						StateRoot:   snap.StateRoot,
+						StateDigest: snap.StateDigest,
+						SchedDigest: checkpoint.SchedDigestOf(snap.SchedulerState),
+					}
+					go n.enqueue(func() {
+						n.dispatch(n.eng.OnLocalCheckpoint(meta), true)
+					})
 				}
 			}
 		}
@@ -301,6 +341,16 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		params.Snapshots = n.exec
 		params.InstallSnapshot = n.exec.InstallFromWire
 		params.AppliedSeq = n.exec.AppliedSeq
+		if cfg.CheckpointCerts {
+			// Certificates assembled (or adopted) by the engine attach to the
+			// executor's matching cached checkpoint, becoming the certified
+			// state for proof-carrying reads and certified snapshot serving.
+			// Runs on the engine goroutine; AttachCertificate only takes the
+			// executor lock, so there is no cycle with OnCheckpoint above.
+			params.OnCheckpointCert = func(cert *checkpoint.Certificate) {
+				n.exec.AttachCertificate(cert.Meta.CommitSeq, cert)
+			}
+		}
 	}
 	if cfg.WALPath != "" {
 		n.walq = make(chan walEntry, 1024)
@@ -366,6 +416,14 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		if n.exec != nil {
 			gwCfg.ReadKV = n.exec.ReadKV
 			gwCfg.RootAt = n.exec.RootAt
+			if cfg.CheckpointCerts {
+				// The trustless read tier: proof-carrying reads against the
+				// last certified checkpoint, the certificate itself, and the
+				// certified snapshot blob replicas bootstrap from.
+				gwCfg.ProvenRead = n.exec.ProvenRead
+				gwCfg.Checkpoint = n.exec.LatestCertificate
+				gwCfg.SnapshotBlob = n.exec.CertifiedSnapshotBlob
+			}
 		}
 		gw, err := rpc.New(gwCfg)
 		if err != nil {

@@ -1,0 +1,303 @@
+package replica
+
+import (
+	"encoding/hex"
+	"strings"
+	"testing"
+
+	"hammerhead/internal/bullshark"
+	"hammerhead/internal/checkpoint"
+	"hammerhead/internal/crypto"
+	"hammerhead/internal/dag"
+	"hammerhead/internal/execution"
+	"hammerhead/internal/types"
+	"hammerhead/pkg/client"
+	"hammerhead/pkg/rpcapi"
+)
+
+// harness pairs a validator-side executor ("upstream") with the committee
+// trust anchor, so tests can cut certified checkpoints and replay the commit
+// stream into a replica without any networking.
+type harness struct {
+	committee *types.Committee
+	keys      []crypto.KeyPair
+	verifier  *client.Verifier
+	producer  *execution.Executor
+	nextSeq   uint64
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	committee, err := types.NewEqualStakeCommittee(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := crypto.Ed25519{}
+	var seed [32]byte
+	seed[0] = 0x5a
+	keys := make([]crypto.KeyPair, 4)
+	pubs := make([]crypto.PublicKey, 4)
+	for i := range keys {
+		kp, err := crypto.NewKeyPair(scheme, seed, uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = kp
+		pubs[i] = kp.Public
+	}
+	return &harness{
+		committee: committee,
+		keys:      keys,
+		verifier:  &client.Verifier{Committee: committee, PublicKeys: pubs, Scheme: scheme},
+		producer:  execution.NewExecutor(execution.NewKVState(), execution.Config{CheckpointInterval: 1000}),
+	}
+}
+
+func makeCommit(seq uint64, round types.Round, payloads [][]byte) bullshark.CommittedSubDAG {
+	batch := &types.Batch{}
+	for j, p := range payloads {
+		batch.Transactions = append(batch.Transactions, types.Transaction{
+			ID:      seq*1000 + uint64(j),
+			Payload: p,
+		})
+	}
+	anchor := dag.NewVertex(round, 0, nil, nil, 0)
+	vertices := []*dag.Vertex{dag.NewVertex(round-1, 1, nil, batch, 0), anchor}
+	return bullshark.CommittedSubDAG{Index: seq, Anchor: anchor, Vertices: vertices}
+}
+
+// commit applies one commit with the given payloads to the upstream executor
+// and returns the full commit event a validator gateway would stream.
+func (h *harness) commit(payloads ...[]byte) rpcapi.CommitEvent {
+	h.nextSeq++
+	sub := makeCommit(h.nextSeq, types.Round(2*h.nextSeq), payloads)
+	h.producer.ApplyCommit(sub)
+	cd := execution.CommitDigestOf(&sub)
+	return rpcapi.CommitEvent{
+		Seq:          sub.Index,
+		Round:        uint64(sub.Anchor.Round),
+		TxCount:      len(payloads),
+		CommitDigest: hex.EncodeToString(cd[:]),
+		Payloads:     payloads,
+	}
+}
+
+// certify cuts a checkpoint on the upstream executor and assembles a genuine
+// quorum certificate over its tuple, attaching it so the executor serves a
+// certified blob.
+func (h *harness) certify(t *testing.T, signers int) (*checkpoint.Certificate, execution.Snapshot) {
+	t.Helper()
+	snap, err := h.producer.ForceCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := checkpoint.Meta{
+		Round:       snap.Round,
+		CommitSeq:   snap.CommitSeq,
+		StateRoot:   snap.StateRoot,
+		StateDigest: snap.StateDigest,
+		SchedDigest: checkpoint.SchedDigestOf(snap.SchedulerState),
+	}
+	cert := &checkpoint.Certificate{Meta: m}
+	for i := 0; i < signers; i++ {
+		sh, err := checkpoint.Sign(m, types.ValidatorID(i), h.keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert.Sigs = append(cert.Sigs, checkpoint.Sig{Validator: sh.Validator, Signature: sh.Signature})
+	}
+	if !h.producer.AttachCertificate(snap.CommitSeq, cert) {
+		t.Fatal("attach failed")
+	}
+	return cert, snap
+}
+
+func (h *harness) newReplica(t *testing.T) *Replica {
+	t.Helper()
+	r, err := New(Config{
+		// Never dialed in these tests: events and certificates are fed
+		// directly through ApplyCommitEvent / CrossCheck.
+		Validators: []string{"127.0.0.1:1"},
+		Verifier:   h.verifier,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReplicaBootstrapTailAndProve(t *testing.T) {
+	h := newHarness(t)
+	h.commit(execution.PutOp([]byte("alpha"), []byte("1")))
+	h.commit(execution.PutOp([]byte("beta"), []byte("2")))
+	_, snap := h.certify(t, 3)
+
+	blob, ok := h.producer.CertifiedSnapshotBlob()
+	if !ok {
+		t.Fatal("producer serves no certified blob")
+	}
+	r := h.newReplica(t)
+	if err := r.BootstrapFromBlob(blob); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	if r.AppliedSeq() != snap.CommitSeq {
+		t.Fatalf("applied seq %d, want %d", r.AppliedSeq(), snap.CommitSeq)
+	}
+
+	// Tail two more commits, then cross-check the next quorum certificate:
+	// the replica's re-executed roots must match the validators' bit for bit.
+	ev3 := h.commit(execution.PutOp([]byte("alpha"), []byte("3")))
+	ev4 := h.commit(execution.DeleteOp([]byte("beta")))
+	for _, ev := range []rpcapi.CommitEvent{ev3, ev4} {
+		if err := r.ApplyCommitEvent(ev); err != nil {
+			t.Fatalf("apply %d: %v", ev.Seq, err)
+		}
+	}
+	if r.ChainedRoot() != h.producer.StateRoot() {
+		t.Fatal("re-executed chained root diverged from upstream")
+	}
+	cert2, _ := h.certify(t, 3)
+	if err := r.CrossCheck(cert2); err != nil {
+		t.Fatalf("cross-check: %v", err)
+	}
+	got, ok := r.Certificate()
+	if !ok || got.Meta.CommitSeq != cert2.Meta.CommitSeq {
+		t.Fatal("replica did not promote the cross-checked certificate")
+	}
+
+	// Proof-carrying reads now serve the certified state, verifiable with
+	// zero trust in the replica.
+	pr, ok := r.ProvenRead([]byte("alpha"))
+	if !ok {
+		t.Fatal("no proven read after cross-check")
+	}
+	root, entry, err := pr.Proof.Verify([]byte("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execution.StateDigestFrom(pr.Version, pr.Opaque, root) != pr.Cert.Meta.StateDigest {
+		t.Fatal("proof does not reproduce the certified digest")
+	}
+	if !entry.Found || string(entry.Value) != "3" {
+		t.Fatalf("proven alpha = %q (found=%v), want 3", entry.Value, entry.Found)
+	}
+	prB, ok := r.ProvenRead([]byte("beta"))
+	if !ok {
+		t.Fatal("no proven read for deleted key")
+	}
+	if _, entry, err := prB.Proof.Verify([]byte("beta")); err != nil || entry.Found {
+		t.Fatalf("deleted key still proven present (err=%v)", err)
+	}
+}
+
+func TestReplicaDetectsTamperedStream(t *testing.T) {
+	h := newHarness(t)
+	h.commit(execution.PutOp([]byte("k"), []byte("honest")))
+	h.certify(t, 3)
+	blob, _ := h.producer.CertifiedSnapshotBlob()
+	r := h.newReplica(t)
+	if err := r.BootstrapFromBlob(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// The upstream commits an honest write, but the stream the replica sees
+	// carries a tampered payload (same digest claimed — the serving node
+	// lies about what was executed).
+	ev := h.commit(execution.PutOp([]byte("k"), []byte("honest-2")))
+	tampered := ev
+	tampered.Payloads = [][]byte{execution.PutOp([]byte("k"), []byte("EVIL"))}
+	if err := r.ApplyCommitEvent(tampered); err != nil {
+		t.Fatalf("optimistic apply should succeed: %v", err)
+	}
+
+	cert, _ := h.certify(t, 3)
+	err := r.CrossCheck(cert)
+	if err == nil {
+		t.Fatal("tampered stream survived certificate cross-check")
+	}
+	if !strings.Contains(err.Error(), "DIVERGENCE") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if r.Err() == nil {
+		t.Fatal("replica not poisoned after divergence")
+	}
+	if _, ok := r.ProvenRead([]byte("k")); ok {
+		t.Fatal("poisoned replica still serves proven reads")
+	}
+	if _, ok := r.Certificate(); ok {
+		t.Fatal("poisoned replica still advertises a certificate")
+	}
+}
+
+func TestReplicaDetectsForgedCommitDigest(t *testing.T) {
+	h := newHarness(t)
+	h.commit(execution.PutOp([]byte("k"), []byte("v")))
+	h.certify(t, 3)
+	blob, _ := h.producer.CertifiedSnapshotBlob()
+	r := h.newReplica(t)
+	if err := r.BootstrapFromBlob(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Correct payloads, forged commit digest: the chained root check catches
+	// it even though the state digest matches.
+	ev := h.commit(execution.PutOp([]byte("k"), []byte("v2")))
+	forged := types.HashBytes([]byte("not the commit"))
+	ev.CommitDigest = hex.EncodeToString(forged[:])
+	if err := r.ApplyCommitEvent(ev); err != nil {
+		t.Fatal(err)
+	}
+	cert, _ := h.certify(t, 3)
+	if err := r.CrossCheck(cert); err == nil {
+		t.Fatal("forged commit digest survived cross-check")
+	}
+}
+
+func TestReplicaRejectsBadBootstrap(t *testing.T) {
+	h := newHarness(t)
+	h.commit(execution.PutOp([]byte("k"), []byte("v")))
+	r := h.newReplica(t)
+
+	// Uncertified snapshot.
+	snap, err := h.producer.ForceCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := execution.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BootstrapFromBlob(blob); err == nil {
+		t.Fatal("uncertified snapshot accepted")
+	}
+
+	// Sub-quorum certificate.
+	h.commit(execution.PutOp([]byte("k"), []byte("v2")))
+	_, snap2 := h.certify(t, 2)
+	blob2, _ := h.producer.CertifiedSnapshotBlob()
+	if blob2 != nil {
+		if err := r.BootstrapFromBlob(blob2); err == nil {
+			t.Fatal("sub-quorum certificate accepted")
+		}
+	}
+	_ = snap2
+	if r.AppliedSeq() != 0 {
+		t.Fatal("rejected bootstrap mutated the replica")
+	}
+}
+
+func TestReplicaStreamGapRequestsResync(t *testing.T) {
+	h := newHarness(t)
+	h.commit(execution.PutOp([]byte("k"), []byte("v")))
+	h.certify(t, 3)
+	blob, _ := h.producer.CertifiedSnapshotBlob()
+	r := h.newReplica(t)
+	if err := r.BootstrapFromBlob(blob); err != nil {
+		t.Fatal(err)
+	}
+	ev := h.commit(execution.PutOp([]byte("k"), []byte("v2")))
+	ev.Seq += 5 // the gateway ring aged past us
+	if err := r.ApplyCommitEvent(ev); err != errResync {
+		t.Fatalf("gap produced %v, want errResync", err)
+	}
+}

@@ -40,6 +40,16 @@ type (
 	SubmitError = rpcapi.SubmitError
 	// KVResponse is the GET /v1/kv/{key} body.
 	KVResponse = rpcapi.KVResponse
+	// KVProofResponse is the GET /v1/kv/{key}?proof=1 body.
+	KVProofResponse = rpcapi.KVProofResponse
+	// CheckpointCert is the GET /v1/checkpoint body.
+	CheckpointCert = rpcapi.CheckpointCert
+	// CheckpointSig is one validator signature inside a CheckpointCert.
+	CheckpointSig = rpcapi.CheckpointSig
+	// ProofStep is one inner node on a wire Merkle proof path.
+	ProofStep = rpcapi.ProofStep
+	// ProofLeaf is the terminal entry of a wire Merkle proof.
+	ProofLeaf = rpcapi.ProofLeaf
 	// LaneStatus is one admission lane's view in /v1/status.
 	LaneStatus = rpcapi.LaneStatus
 	// ValidatorScore is one validator's reputation score in /v1/status.

@@ -16,10 +16,12 @@ import (
 	"time"
 
 	"hammerhead/internal/bullshark"
+	"hammerhead/internal/checkpoint"
 	"hammerhead/internal/execution"
 	"hammerhead/internal/mempool"
 	"hammerhead/internal/metrics"
 	"hammerhead/internal/types"
+	"hammerhead/pkg/rpcapi"
 )
 
 const (
@@ -50,8 +52,24 @@ type Config struct {
 	Lane func(client string) int
 	// LaneStats feeds /v1/status and the lane-depth gauge; nil omits lanes.
 	LaneStats func() []mempool.LaneStats
+	// RedirectSubmit, when non-empty, turns POST /v1/tx into a 307 redirect
+	// toward one of these validator gateway base URLs (rotating across them)
+	// instead of admitting locally — the read-replica shape, which serves
+	// reads but never feeds a mempool. Submit may be nil when set.
+	RedirectSubmit []string
 	// ReadKV serves GET /v1/kv; nil (execution disabled) answers 501.
 	ReadKV func(key []byte) (execution.KVRead, bool)
+	// ProvenRead serves GET /v1/kv/{key}?proof=1: a Merkle proof plus quorum
+	// certificate against the node's last certified checkpoint. nil answers
+	// 501; ok=false (no certificate yet) answers 503.
+	ProvenRead func(key []byte) (execution.ProvenKV, bool)
+	// Checkpoint serves GET /v1/checkpoint: the newest quorum checkpoint
+	// certificate this node holds. nil answers 501; ok=false 404.
+	Checkpoint func() (*checkpoint.Certificate, bool)
+	// SnapshotBlob serves GET /v1/snapshot: the raw wire encoding
+	// (execution.EncodeSnapshot) of the newest CERTIFIED checkpoint, the blob
+	// replicas bootstrap from. nil answers 501; ok=false 404.
+	SnapshotBlob func() ([]byte, bool)
 	// RootAt resolves the executor's chained root at a commit sequence for
 	// stream events; nil leaves event roots empty.
 	RootAt func(seq uint64) (types.Digest, bool)
@@ -87,8 +105,9 @@ type Gateway struct {
 	commits uint64        // guarded by mu
 	closed  bool          // guarded by mu
 
-	txSeq     atomic.Uint64
-	closeOnce sync.Once
+	txSeq       atomic.Uint64
+	redirectSeq atomic.Uint64
+	closeOnce   sync.Once
 
 	reqsMetric    *metrics.Counter
 	submitLatency *metrics.Histogram
@@ -98,8 +117,14 @@ type Gateway struct {
 // New binds the gateway's listener (so ":0" callers can read Addr before
 // serving) and assembles the routes. Call Start to begin serving.
 func New(cfg Config) (*Gateway, error) {
-	if cfg.Submit == nil {
-		return nil, fmt.Errorf("rpc: Config.Submit is required")
+	if cfg.Submit == nil && len(cfg.RedirectSubmit) == 0 {
+		return nil, fmt.Errorf("rpc: Config.Submit (or RedirectSubmit) is required")
+	}
+	for i, t := range cfg.RedirectSubmit {
+		if !strings.Contains(t, "://") {
+			cfg.RedirectSubmit[i] = "http://" + t
+		}
+		cfg.RedirectSubmit[i] = strings.TrimRight(cfg.RedirectSubmit[i], "/")
 	}
 	if cfg.HistoryDepth <= 0 {
 		cfg.HistoryDepth = DefaultHistoryDepth
@@ -125,6 +150,8 @@ func New(cfg Config) (*Gateway, error) {
 	mux.HandleFunc("/v1/tx", g.counted(g.handleSubmit))
 	mux.HandleFunc("/v1/commits", g.counted(g.handleCommits))
 	mux.HandleFunc("/v1/status", g.counted(g.handleStatus))
+	mux.HandleFunc("/v1/checkpoint", g.counted(g.handleCheckpoint))
+	mux.HandleFunc("/v1/snapshot", g.counted(g.handleSnapshot))
 	if cfg.Metrics != nil {
 		mux.Handle("/metrics", cfg.Metrics)
 	}
@@ -168,26 +195,43 @@ func (g *Gateway) Close() error {
 
 // ObserveCommit records one ordered sub-DAG for the commit stream and status
 // counters. Called from the node's commit-delivery goroutine — it appends to
-// the ring and wakes subscribers, nothing slower.
+// the ring and wakes subscribers, nothing slower. The event retains the full
+// transaction payloads (in application order) plus the commit's content
+// digest so ?full=1 subscribers — read replicas — can re-execute the stream;
+// HistoryDepth bounds the retained payload memory.
 func (g *Gateway) ObserveCommit(sub bullshark.CommittedSubDAG) {
 	ev := CommitEvent{
-		Seq:     sub.Index,
-		Round:   uint64(sub.Anchor.Round),
-		TxCount: sub.TxCount(),
+		Seq:          sub.Index,
+		Round:        uint64(sub.Anchor.Round),
+		TxCount:      sub.TxCount(),
+		CommitDigest: hex.EncodeToString(digestOf(&sub)),
 	}
 	for _, v := range sub.Vertices {
 		if v.Batch == nil {
 			continue
 		}
 		for i := range v.Batch.Transactions {
+			ev.Payloads = append(ev.Payloads, v.Batch.Transactions[i].Payload)
 			if len(ev.TxIDs) >= maxTxIDsPerEvent {
-				break
+				continue
 			}
 			ev.TxIDs = append(ev.TxIDs, v.Batch.Transactions[i].ID)
 		}
 	}
+	g.ObserveEvent(ev)
+}
+
+func digestOf(sub *bullshark.CommittedSubDAG) []byte {
+	d := execution.CommitDigestOf(sub)
+	return d[:]
+}
+
+// ObserveEvent records one already-built commit event. Replicas re-serving a
+// stream they tail (and re-execute) feed their gateway here; validators go
+// through ObserveCommit. Events must arrive in ascending Seq order.
+func (g *Gateway) ObserveEvent(ev CommitEvent) {
 	g.mu.Lock()
-	if sub.Index > g.lastSeq {
+	if ev.Seq > g.lastSeq {
 		if len(g.ring) < cap(g.ring) {
 			g.ring = append(g.ring, ev)
 		} else {
@@ -195,7 +239,7 @@ func (g *Gateway) ObserveCommit(sub bullshark.CommittedSubDAG) {
 			g.ring[g.head] = ev
 			g.head = (g.head + 1) % len(g.ring)
 		}
-		g.lastSeq = sub.Index
+		g.lastSeq = ev.Seq
 	}
 	g.commits++
 	g.mu.Unlock()
@@ -242,6 +286,14 @@ func clientID(req *SubmitRequest, r *http.Request) string {
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, SubmitError{Error: "POST only"})
+		return
+	}
+	if g.cfg.Submit == nil {
+		// Read replica: this node has no mempool. 307 preserves the POST body,
+		// so a redirect-following client lands on a real validator unchanged.
+		target := g.cfg.RedirectSubmit[int(g.redirectSeq.Add(1)-1)%len(g.cfg.RedirectSubmit)]
+		w.Header().Set("Location", target+"/v1/tx")
+		writeJSON(w, http.StatusTemporaryRedirect, SubmitError{Error: "read replica: submit to a validator"})
 		return
 	}
 	start := time.Now()
@@ -299,14 +351,18 @@ func (g *Gateway) handleKV(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, SubmitError{Error: "GET only"})
 		return
 	}
-	if g.cfg.ReadKV == nil {
-		writeJSON(w, http.StatusNotImplemented, SubmitError{Error: "execution subsystem disabled on this node"})
-		return
-	}
 	raw := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/kv/")
 	key, err := url.PathUnescape(raw)
 	if err != nil || key == "" {
 		writeJSON(w, http.StatusBadRequest, SubmitError{Error: "bad key"})
+		return
+	}
+	if r.URL.Query().Get("proof") == "1" {
+		g.handleKVProof(w, []byte(key))
+		return
+	}
+	if g.cfg.ReadKV == nil {
+		writeJSON(w, http.StatusNotImplemented, SubmitError{Error: "execution subsystem disabled on this node"})
 		return
 	}
 	read, ok := g.cfg.ReadKV([]byte(key))
@@ -328,6 +384,85 @@ func (g *Gateway) handleKV(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusNotFound
 	}
 	writeJSON(w, status, resp)
+}
+
+// handleKVProof answers GET /v1/kv/{key}?proof=1: the Merkle proof for the
+// key against the last quorum-certified checkpoint, plus the certificate. The
+// convenience Value/Found fields are filled from the proof itself, but a
+// trustless client re-derives them by verifying the proof client-side.
+func (g *Gateway) handleKVProof(w http.ResponseWriter, key []byte) {
+	if g.cfg.ProvenRead == nil {
+		writeJSON(w, http.StatusNotImplemented, SubmitError{Error: "proof-carrying reads unavailable on this node"})
+		return
+	}
+	pr, ok := g.cfg.ProvenRead(key)
+	if !ok {
+		writeJSON(w, http.StatusServiceUnavailable, SubmitError{Error: "no certified checkpoint yet"})
+		return
+	}
+	_, entry, err := pr.Proof.Verify(key)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, SubmitError{Error: "malformed proof: " + err.Error()})
+		return
+	}
+	leaf, steps := rpcapi.ProofToWire(pr.Proof)
+	resp := KVProofResponse{
+		Key:          key,
+		Value:        entry.Value,
+		Found:        entry.Found,
+		Leaf:         leaf,
+		Steps:        steps,
+		StateVersion: pr.Version,
+		StateOpaque:  pr.Opaque,
+		Cert:         rpcapi.CertToWire(pr.Cert),
+	}
+	status := http.StatusOK
+	if !entry.Found {
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleCheckpoint answers GET /v1/checkpoint: the newest quorum checkpoint
+// certificate, the trust anchor replicas cross-check their re-executed state
+// against.
+func (g *Gateway) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, SubmitError{Error: "GET only"})
+		return
+	}
+	if g.cfg.Checkpoint == nil {
+		writeJSON(w, http.StatusNotImplemented, SubmitError{Error: "checkpoint certification disabled on this node"})
+		return
+	}
+	cert, ok := g.cfg.Checkpoint()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, SubmitError{Error: "no certified checkpoint yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rpcapi.CertToWire(cert))
+}
+
+// handleSnapshot answers GET /v1/snapshot: the raw certified snapshot blob
+// (execution snapshot wire format) replicas bootstrap from. Binary, not JSON
+// — the blob already carries its own framing, checksum and certificate.
+func (g *Gateway) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, SubmitError{Error: "GET only"})
+		return
+	}
+	if g.cfg.SnapshotBlob == nil {
+		writeJSON(w, http.StatusNotImplemented, SubmitError{Error: "snapshot serving disabled on this node"})
+		return
+	}
+	blob, ok := g.cfg.SnapshotBlob()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, SubmitError{Error: "no certified snapshot yet"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
 }
 
 func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -381,6 +516,9 @@ func (g *Gateway) handleCommits(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, SubmitError{Error: err.Error()})
 		return
 	}
+	// ?full=1 keeps the per-commit transaction payloads on the events — the
+	// re-execution feed replicas tail. Plain subscribers get them stripped.
+	full := r.URL.Query().Get("full") == "1"
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -444,6 +582,9 @@ func (g *Gateway) handleCommits(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		for i := range batch {
+			if !full {
+				batch[i].Payloads = nil
+			}
 			if g.cfg.RootAt != nil && batch[i].StateRoot == "" {
 				if root, ok := g.cfg.RootAt(batch[i].Seq); ok {
 					batch[i].StateRoot = hex.EncodeToString(root[:])

@@ -106,6 +106,14 @@ type Cluster struct {
 	// pin on the right validator.
 	voteWithholdAt   []int64
 	voteWithholdFrom []map[types.ValidatorID]bool
+	// certWithholdAt / certWithholdFrom complete the withholding family: from
+	// the given virtual time, the validator suppresses its DAG certificate
+	// broadcasts (engine.KindCertificate) toward the peer set. The targets
+	// still see headers and votes, so the withholder looks alive — but their
+	// DAGs starve of the certified vertices needed to advance rounds and
+	// anchor commits, leaning on certificate resync to limp along.
+	certWithholdAt   []int64
+	certWithholdFrom []map[types.ValidatorID]bool
 
 	// incarnation guards against cross-incarnation delivery: a SIGKILL
 	// restart (KillRestart) bumps a validator's incarnation at kill AND at
@@ -164,6 +172,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		withholdFrom:     make([]map[types.ValidatorID]bool, n),
 		voteWithholdAt:   make([]int64, n),
 		voteWithholdFrom: make([]map[types.ValidatorID]bool, n),
+		certWithholdAt:   make([]int64, n),
+		certWithholdFrom: make([]map[types.ValidatorID]bool, n),
 		incarnation:      make([]uint64, n),
 		replaying:        make([]bool, n),
 		latency:          cfg.Latency,
@@ -177,6 +187,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.badSigAt[i] = -1
 		c.withholdAt[i] = -1
 		c.voteWithholdAt[i] = -1
+		c.certWithholdAt[i] = -1
 	}
 
 	// Simulated deployments are crash-only (as is the paper's evaluation);
@@ -540,6 +551,22 @@ func (c *Cluster) WithholdVotes(id types.ValidatorID, peers []types.ValidatorID,
 	c.voteWithholdAt[id] = from.Nanoseconds()
 }
 
+// WithholdCerts makes validator id suppress its DAG certificate broadcasts
+// (engine.KindCertificate) toward the given peers from the given virtual
+// time on — the third member of the withholding family. Headers and votes
+// still flow, so the withholder certifies its own vertices and looks fully
+// alive; the targets simply never receive the resulting certificates and
+// must recover them through certificate resync (or fall behind when too few
+// honest relays remain).
+func (c *Cluster) WithholdCerts(id types.ValidatorID, peers []types.ValidatorID, from time.Duration) {
+	set := make(map[types.ValidatorID]bool, len(peers))
+	for _, p := range peers {
+		set[p] = true
+	}
+	c.certWithholdFrom[id] = set
+	c.certWithholdAt[id] = from.Nanoseconds()
+}
+
 // SlowDown multiplies all message latencies touching the validator by
 // factor within [from, until] — the §1 incident's "less responsive"
 // validators.
@@ -641,6 +668,13 @@ func (c *Cluster) send(from, to types.ValidatorID, msg *engine.Message, now int6
 		msg.Vote.Voter == from && c.voteWithholdFrom[from][msg.Vote.Origin] {
 		// Vote-withholding variant: only votes endorsing the targeted
 		// origins are dropped; everything else flows normally.
+		return
+	}
+	if at := c.certWithholdAt[from]; at >= 0 && now >= at &&
+		msg.Kind == engine.KindCertificate && msg.Cert != nil &&
+		c.certWithholdFrom[from][to] {
+		// Certificate withholding: the sender's DAG certificate broadcasts
+		// toward the targets vanish; headers and votes still flow.
 		return
 	}
 	if at := c.badSigAt[from]; at >= 0 && now >= at {

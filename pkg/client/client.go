@@ -24,11 +24,15 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"hammerhead/internal/checkpoint"
+	"hammerhead/internal/crypto"
 	"hammerhead/internal/execution"
+	"hammerhead/internal/types"
 	"hammerhead/pkg/rpcapi"
 )
 
@@ -252,6 +256,144 @@ func (c *Client) StatusAt(ctx context.Context, endpoint int) (rpcapi.StatusRespo
 	return out, err
 }
 
+// Checkpoint fetches the newest quorum checkpoint certificate a gateway
+// holds (failing over across endpoints). The wire form is returned as-is;
+// use rpcapi.CertFromWire + Verifier to vet it.
+func (c *Client) Checkpoint(ctx context.Context) (rpcapi.CheckpointCert, error) {
+	var out rpcapi.CheckpointCert
+	err := c.do(ctx, func(base string) error {
+		return c.getJSON(ctx, base, "/v1/checkpoint", &out, http.StatusOK)
+	})
+	return out, err
+}
+
+// CheckpointAt fetches one specific endpoint's newest certificate.
+func (c *Client) CheckpointAt(ctx context.Context, endpoint int) (rpcapi.CheckpointCert, error) {
+	var out rpcapi.CheckpointCert
+	err := c.getJSON(ctx, c.bases[endpoint%len(c.bases)], "/v1/checkpoint", &out, http.StatusOK)
+	return out, err
+}
+
+// ErrNoSnapshot reports that no endpoint holds a certified snapshot yet —
+// normal early in a cluster's life; callers retry after a backoff.
+var ErrNoSnapshot = errors.New("client: no certified snapshot available yet")
+
+// Snapshot fetches the raw certified snapshot blob a gateway serves on
+// /v1/snapshot (failing over across endpoints). The blob is the execution
+// snapshot wire format, certificate embedded; decode with
+// execution.DecodeSnapshot and verify the certificate before restoring.
+func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
+	var blob []byte
+	sawEmpty := false
+	err := c.do(ctx, func(base string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/snapshot", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			blob, err = io.ReadAll(resp.Body)
+			return err
+		case http.StatusNotFound:
+			sawEmpty = true
+			return ErrNoSnapshot
+		default:
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return fmt.Errorf("client: %s/v1/snapshot: status %d: %s", base, resp.StatusCode, body)
+		}
+	})
+	if err != nil && sawEmpty {
+		return nil, ErrNoSnapshot
+	}
+	return blob, err
+}
+
+// Verifier holds the committee trust anchor a client checks quorum
+// certificates against: the stake distribution and each validator's public
+// key. With one, reads verify end-to-end with zero trust in the serving node
+// — including a non-voting replica.
+type Verifier struct {
+	Committee  *types.Committee
+	PublicKeys []crypto.PublicKey
+	Scheme     crypto.Scheme
+}
+
+// VerifyCert checks a certificate's signatures and quorum stake.
+func (v *Verifier) VerifyCert(cert *checkpoint.Certificate) error {
+	return cert.Verify(v.Committee, v.PublicKeys, v.Scheme)
+}
+
+// VerifiedRead is the outcome of a proof-checked read: the value (or proven
+// absence) under the quorum-certified checkpoint the certificate names.
+type VerifiedRead struct {
+	Value   []byte
+	Version uint64
+	Found   bool
+	// Cert is the verified certificate the proof was checked against;
+	// Cert.Meta.CommitSeq is the certified sequence the read is valid at.
+	Cert *checkpoint.Certificate
+}
+
+// VerifiedGet performs a proof-carrying read (GET /v1/kv/{key}?proof=1) and
+// verifies everything client-side: the certificate's 2f+1 signatures against
+// the Verifier's committee, the Merkle proof's fold to a root, and that root
+// + state counters reproducing exactly the certified state digest. Nothing
+// the serving node returns is trusted — a forged value, proof or certificate
+// fails with an error. Missing keys return Found=false with a nil error
+// (provable absence). Fails over across endpoints.
+func (c *Client) VerifiedGet(ctx context.Context, v *Verifier, key []byte) (VerifiedRead, error) {
+	var out VerifiedRead
+	err := c.do(ctx, func(base string) error {
+		var err error
+		out, err = c.verifiedGet(ctx, base, v, key)
+		return err
+	})
+	return out, err
+}
+
+// VerifiedGetAt is VerifiedGet against one specific endpoint (index into
+// Endpoints) — convergence checks interrogate each node, replicas included.
+func (c *Client) VerifiedGetAt(ctx context.Context, endpoint int, v *Verifier, key []byte) (VerifiedRead, error) {
+	return c.verifiedGet(ctx, c.bases[endpoint%len(c.bases)], v, key)
+}
+
+func (c *Client) verifiedGet(ctx context.Context, base string, v *Verifier, key []byte) (VerifiedRead, error) {
+	var resp rpcapi.KVProofResponse
+	if err := c.getJSON(ctx, base, "/v1/kv/"+url.PathEscape(string(key))+"?proof=1", &resp,
+		http.StatusOK, http.StatusNotFound); err != nil {
+		return VerifiedRead{}, err
+	}
+	cert, err := rpcapi.CertFromWire(resp.Cert)
+	if err != nil {
+		return VerifiedRead{}, err
+	}
+	if err := v.VerifyCert(cert); err != nil {
+		return VerifiedRead{}, fmt.Errorf("client: certificate rejected: %w", err)
+	}
+	proof, err := rpcapi.ProofFromWire(resp.Leaf, resp.Steps)
+	if err != nil {
+		return VerifiedRead{}, err
+	}
+	root, entry, err := proof.Verify(key)
+	if err != nil {
+		return VerifiedRead{}, fmt.Errorf("client: proof rejected: %w", err)
+	}
+	if execution.StateDigestFrom(resp.StateVersion, resp.StateOpaque, root) != cert.Meta.StateDigest {
+		return VerifiedRead{}, errors.New("client: proof root does not reproduce the certified state digest")
+	}
+	return VerifiedRead{
+		Value:   entry.Value,
+		Version: entry.Version,
+		Found:   entry.Found,
+		Cert:    cert,
+	}, nil
+}
+
 // CommitHandler observes one commit-stream event. Returning an error stops
 // the stream and is returned from StreamCommits.
 type CommitHandler func(ev rpcapi.CommitEvent) error
@@ -263,6 +405,17 @@ type CommitHandler func(ev rpcapi.CommitEvent) error
 // out of the gateway's ring) are folded in transparently: streaming continues
 // from the oldest retained commit.
 func (c *Client) StreamCommits(ctx context.Context, fromSeq uint64, fn CommitHandler) error {
+	return c.streamCommits(ctx, fromSeq, false, fn)
+}
+
+// StreamCommitsFull is StreamCommits with ?full=1: events carry the commit
+// digest and the full transaction payloads in application order — the
+// re-execution feed read replicas tail.
+func (c *Client) StreamCommitsFull(ctx context.Context, fromSeq uint64, fn CommitHandler) error {
+	return c.streamCommits(ctx, fromSeq, true, fn)
+}
+
+func (c *Client) streamCommits(ctx context.Context, fromSeq uint64, full bool, fn CommitHandler) error {
 	last := fromSeq
 	seen := fromSeq > 0
 	endpoint := int(c.next.Add(1) - 1)
@@ -271,7 +424,7 @@ func (c *Client) StreamCommits(ctx context.Context, fromSeq uint64, fn CommitHan
 			return err
 		}
 		base := c.bases[endpoint%len(c.bases)]
-		err := c.streamOnce(ctx, base, &last, &seen, fn)
+		err := c.streamOnce(ctx, base, full, &last, &seen, fn)
 		switch {
 		case err == nil:
 			return nil // handler asked to stop
@@ -299,10 +452,17 @@ func (e errStopStream) Error() string { return e.err.Error() }
 
 // streamOnce runs a single SSE connection until it breaks (error) or the
 // handler stops it (nil).
-func (c *Client) streamOnce(ctx context.Context, base string, last *uint64, seen *bool, fn CommitHandler) error {
-	path := base + "/v1/commits"
+func (c *Client) streamOnce(ctx context.Context, base string, full bool, last *uint64, seen *bool, fn CommitHandler) error {
+	params := url.Values{}
 	if *seen {
-		path += fmt.Sprintf("?from=%d", *last)
+		params.Set("from", strconv.FormatUint(*last, 10))
+	}
+	if full {
+		params.Set("full", "1")
+	}
+	path := base + "/v1/commits"
+	if len(params) > 0 {
+		path += "?" + params.Encode()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
 	if err != nil {

@@ -18,12 +18,19 @@
 //	                     backpressure)
 //	GET  /v1/kv/{key}  — read the executor's KV ledger: value + write version
 //	                     + applied commit seq + chained state root, one
-//	                     consistent cursor
+//	                     consistent cursor; ?proof=1 adds a Merkle
+//	                     inclusion/exclusion proof plus the quorum checkpoint
+//	                     certificate for zero-trust client-side verification
 //	GET  /v1/commits   — Server-Sent Events stream of committed transactions,
 //	                     resumable from a sequence number (?from= or
-//	                     Last-Event-ID)
+//	                     Last-Event-ID); ?full=1 carries payloads + commit
+//	                     digests so replicas can re-execute
+//	GET  /v1/checkpoint — the latest quorum checkpoint certificate (2f+1
+//	                     signatures over the checkpoint tuple)
+//	GET  /v1/snapshot  — the latest certified snapshot blob (replica
+//	                     bootstrap)
 //	GET  /v1/status    — round, frontier, rejoining, snapshot floor, mempool
-//	                     lane depths
+//	                     lane depths; replica:true on the read tier
 //	GET  /metrics      — Prometheus text exposition (when a registry is
 //	                     attached)
 //
@@ -81,6 +88,63 @@ type KVResponse struct {
 	StateRoot    string `json:"state_root"`
 }
 
+// CheckpointSig is one validator's signature inside a CheckpointCert.
+type CheckpointSig struct {
+	Validator uint32 `json:"validator"`
+	Signature []byte `json:"signature"`
+}
+
+// CheckpointCert is the JSON form of a quorum checkpoint certificate
+// (internal/checkpoint.Certificate): 2f+1 validator signatures over one
+// checkpoint tuple. Served on GET /v1/checkpoint and embedded in proof
+// responses; digests are hex encoded.
+type CheckpointCert struct {
+	Round       uint64          `json:"round"`
+	CommitSeq   uint64          `json:"commit_seq"`
+	StateRoot   string          `json:"state_root"`
+	StateDigest string          `json:"state_digest"`
+	SchedDigest string          `json:"sched_digest"`
+	Sigs        []CheckpointSig `json:"sigs"`
+}
+
+// ProofStep is one inner node on a Merkle proof's root-to-leaf path: the
+// split-bit index and the hex digest of the sibling subtree.
+type ProofStep struct {
+	Bit     uint16 `json:"bit"`
+	Sibling string `json:"sibling"`
+}
+
+// ProofLeaf is the entry a Merkle proof path terminates at. For an inclusion
+// proof its Key equals the requested key; for an exclusion proof it is the
+// unrelated entry the key's descent lands on (absent entirely when the
+// certified state is empty).
+type ProofLeaf struct {
+	Key     []byte `json:"key"`
+	Value   []byte `json:"value,omitempty"`
+	Version uint64 `json:"version,omitempty"`
+}
+
+// KVProofResponse is the GET /v1/kv/{key}?proof=1 body: a proof-carrying
+// read against the serving node's last quorum-certified checkpoint. A
+// verifying client MUST ignore the convenience Value/Found fields and instead
+// fold Steps+Leaf to a root, combine it with the state counters
+// (execution.StateDigestFrom) and compare against Cert.StateDigest after
+// checking Cert's signatures — then nothing the serving node says is trusted.
+type KVProofResponse struct {
+	Key   []byte `json:"key"`
+	Value []byte `json:"value,omitempty"`
+	Found bool   `json:"found"`
+	// Leaf and Steps are the Merkle inclusion/exclusion proof (root → leaf).
+	Leaf  *ProofLeaf  `json:"leaf,omitempty"`
+	Steps []ProofStep `json:"steps,omitempty"`
+	// StateVersion and StateOpaque are the certified state's op counters,
+	// which bind the Merkle root into the certified state digest.
+	StateVersion uint64 `json:"state_version"`
+	StateOpaque  uint64 `json:"state_opaque"`
+	// Cert is the quorum certificate the proof verifies against.
+	Cert CheckpointCert `json:"cert"`
+}
+
 // LaneStatus is one admission lane's view in /v1/status.
 type LaneStatus struct {
 	Lane      int    `json:"lane"`
@@ -101,6 +165,10 @@ type ValidatorScore struct {
 // StatusResponse is the GET /v1/status body.
 type StatusResponse struct {
 	Validator uint32 `json:"validator"`
+	// Replica is true when the serving node is a non-voting read replica
+	// (validator-only fields like Round stay zero; Validator echoes the
+	// validator the replica redirects submissions to, if any).
+	Replica bool `json:"replica,omitempty"`
 	// Round is the engine's current proposing round; HighestRound the DAG
 	// frontier; LastOrdered the committer's ordering floor.
 	Round        uint64 `json:"round"`
@@ -145,6 +213,14 @@ type CommitEvent struct {
 	TxCount   int      `json:"tx_count"`
 	TxIDs     []uint64 `json:"tx_ids,omitempty"`
 	StateRoot string   `json:"state_root,omitempty"`
+	// CommitDigest is the hex content address of the commit (sequence, anchor
+	// and ordered vertex set — see execution.CommitDigestOf). Replicas chain
+	// H(prev, digest) over it to reproduce the executor's state root.
+	CommitDigest string `json:"commit_digest,omitempty"`
+	// Payloads carries the commit's full transaction payloads in application
+	// order. Only populated on GET /v1/commits?full=1 — the re-execution feed
+	// read replicas tail; plain subscribers get the lighter event.
+	Payloads [][]byte `json:"payloads,omitempty"`
 }
 
 // GapEvent is sent on the commit stream when the requested resume point has

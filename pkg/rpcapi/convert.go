@@ -1,0 +1,113 @@
+package rpcapi
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"hammerhead/internal/checkpoint"
+	"hammerhead/internal/crypto"
+	"hammerhead/internal/merkle"
+	"hammerhead/internal/types"
+)
+
+// This file converts between the gateway's JSON wire forms and the internal
+// checkpoint/merkle types, so the gateway (encoding) and pkg/client plus the
+// replica (decoding + verifying) share one definition of the trustless-read
+// wire format and can never drift.
+
+// DigestToHex encodes a digest for the wire.
+func DigestToHex(d types.Digest) string { return hex.EncodeToString(d[:]) }
+
+// DigestFromHex parses a hex digest, insisting on the exact digest length.
+func DigestFromHex(s string) (types.Digest, error) {
+	var d types.Digest
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return d, fmt.Errorf("rpcapi: bad digest hex: %w", err)
+	}
+	if len(raw) != len(d) {
+		return d, fmt.Errorf("rpcapi: digest is %d bytes, want %d", len(raw), len(d))
+	}
+	copy(d[:], raw)
+	return d, nil
+}
+
+// CertToWire encodes a checkpoint certificate for JSON serving.
+func CertToWire(c *checkpoint.Certificate) CheckpointCert {
+	w := CheckpointCert{
+		Round:       uint64(c.Meta.Round),
+		CommitSeq:   c.Meta.CommitSeq,
+		StateRoot:   DigestToHex(c.Meta.StateRoot),
+		StateDigest: DigestToHex(c.Meta.StateDigest),
+		SchedDigest: DigestToHex(c.Meta.SchedDigest),
+		Sigs:        make([]CheckpointSig, len(c.Sigs)),
+	}
+	for i, s := range c.Sigs {
+		w.Sigs[i] = CheckpointSig{Validator: uint32(s.Validator), Signature: s.Signature}
+	}
+	return w
+}
+
+// CertFromWire parses a JSON certificate back into the verifiable internal
+// form. Parsing does NOT vet it — call Certificate.Verify against a committee
+// before trusting anything it certifies.
+func CertFromWire(w CheckpointCert) (*checkpoint.Certificate, error) {
+	root, err := DigestFromHex(w.StateRoot)
+	if err != nil {
+		return nil, fmt.Errorf("rpcapi: cert state_root: %w", err)
+	}
+	digest, err := DigestFromHex(w.StateDigest)
+	if err != nil {
+		return nil, fmt.Errorf("rpcapi: cert state_digest: %w", err)
+	}
+	sched, err := DigestFromHex(w.SchedDigest)
+	if err != nil {
+		return nil, fmt.Errorf("rpcapi: cert sched_digest: %w", err)
+	}
+	c := &checkpoint.Certificate{
+		Meta: checkpoint.Meta{
+			Round:       types.Round(w.Round),
+			CommitSeq:   w.CommitSeq,
+			StateRoot:   root,
+			StateDigest: digest,
+			SchedDigest: sched,
+		},
+		Sigs: make([]checkpoint.Sig, len(w.Sigs)),
+	}
+	for i, s := range w.Sigs {
+		c.Sigs[i] = checkpoint.Sig{
+			Validator: types.ValidatorID(s.Validator),
+			Signature: crypto.Signature(s.Signature),
+		}
+	}
+	return c, nil
+}
+
+// ProofToWire encodes a Merkle proof for JSON serving.
+func ProofToWire(p merkle.Proof) (leaf *ProofLeaf, steps []ProofStep) {
+	if p.Leaf != nil {
+		leaf = &ProofLeaf{Key: p.Leaf.Key, Value: p.Leaf.Value, Version: p.Leaf.Version}
+	}
+	steps = make([]ProofStep, len(p.Steps))
+	for i, s := range p.Steps {
+		steps[i] = ProofStep{Bit: s.Bit, Sibling: DigestToHex(s.Sibling)}
+	}
+	return leaf, steps
+}
+
+// ProofFromWire parses a JSON proof back into the verifiable internal form.
+func ProofFromWire(leaf *ProofLeaf, steps []ProofStep) (merkle.Proof, error) {
+	var p merkle.Proof
+	if leaf != nil {
+		p.Leaf = &merkle.ProofLeaf{Key: leaf.Key, Value: leaf.Value, Version: leaf.Version}
+	}
+	p.Steps = make([]merkle.ProofStep, len(steps))
+	for i, s := range steps {
+		sib, err := DigestFromHex(s.Sibling)
+		if err != nil {
+			return merkle.Proof{}, fmt.Errorf("rpcapi: proof step %d: %w", i, err)
+		}
+		p.Steps[i] = merkle.ProofStep{Bit: s.Bit, Sibling: sib}
+	}
+	return p, nil
+}
