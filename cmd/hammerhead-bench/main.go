@@ -17,6 +17,7 @@
 //	hammerhead-bench -experiment crash-restart        # full-committee SIGKILL + WAL restart + rejoin
 //	hammerhead-bench -experiment scheduler            # byzantine leaders: round-robin vs reputation, emits BENCH_scheduler.json
 //	hammerhead-bench -experiment merkle               # incremental root vs full rehash + proof costs, emits BENCH_merkle.json
+//	hammerhead-bench -experiment codec                # gob vs deterministic wire codec, emits BENCH_codec.json
 //	hammerhead-bench -experiment client-load          # REAL cluster + RPC gateway + open-loop HTTP load (wall clock)
 //	hammerhead-bench -experiment all
 //	  -sizes 10,50,100  -loads 1000,2000,3000,4000  -duration 60s -warmup 30s -seed 1
@@ -106,10 +107,11 @@ func run(cfg benchConfig) error {
 		"crash-restart":    runCrashRestart,
 		"scheduler":        runScheduler,
 		"merkle":           runMerkle,
+		"codec":            runCodec,
 		"client-load":      runClientLoad,
 	}
 	if cfg.experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "incident", "utilization", "recovery", "ablation-epoch", "ablation-scoring", "executor-replay", "snapshot-catchup", "crash-restart", "scheduler", "merkle"} {
+		for _, name := range []string{"fig1", "fig2", "incident", "utilization", "recovery", "ablation-epoch", "ablation-scoring", "executor-replay", "snapshot-catchup", "crash-restart", "scheduler", "merkle", "codec"} {
 			if err := experiments[name](cfg); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

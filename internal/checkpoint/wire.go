@@ -1,0 +1,93 @@
+package checkpoint
+
+import (
+	"hammerhead/internal/crypto"
+	"hammerhead/internal/types"
+	"hammerhead/internal/wire"
+)
+
+// Wire forms for the checkpoint types, shared by the engine's message codec
+// (KindCheckpointSig / KindCheckpointCert) and the execution snapshot
+// encoding (the certificate embedded in every certified snapshot). Field
+// order is fixed; see the README's "Wire format" section.
+
+// AppendMeta appends m's wire form: round, commit seq, then the three
+// digests.
+//
+//hammerlint:deterministic
+func AppendMeta(b []byte, m Meta) []byte {
+	b = wire.AppendU64(b, uint64(m.Round))
+	b = wire.AppendU64(b, m.CommitSeq)
+	b = wire.AppendDigest(b, m.StateRoot)
+	b = wire.AppendDigest(b, m.StateDigest)
+	b = wire.AppendDigest(b, m.SchedDigest)
+	return b
+}
+
+// ReadMeta decodes AppendMeta's form.
+func ReadMeta(r *wire.Reader) Meta {
+	return Meta{
+		Round:       types.Round(r.U64()),
+		CommitSeq:   r.U64(),
+		StateRoot:   r.Digest(),
+		StateDigest: r.Digest(),
+		SchedDigest: r.Digest(),
+	}
+}
+
+// AppendShare appends one validator's checkpoint signature share.
+//
+//hammerlint:deterministic
+func AppendShare(b []byte, s *Share) []byte {
+	b = AppendMeta(b, s.Meta)
+	b = wire.AppendU32(b, uint32(s.Validator))
+	b = wire.AppendBytes(b, s.Signature)
+	return b
+}
+
+// ReadShare decodes AppendShare's form. The signature aliases the reader's
+// buffer.
+func ReadShare(r *wire.Reader) *Share {
+	return &Share{
+		Meta:      ReadMeta(r),
+		Validator: types.ValidatorID(r.U32()),
+		Signature: crypto.Signature(r.Bytes()),
+	}
+}
+
+// AppendCertificate appends a quorum certificate: the tuple plus its
+// ID-sorted signature list. The encoding is deterministic because Sigs are
+// kept strictly ascending by validator (Verify enforces it).
+//
+//hammerlint:deterministic
+func AppendCertificate(b []byte, c *Certificate) []byte {
+	b = AppendMeta(b, c.Meta)
+	b = wire.AppendUvarint(b, uint64(len(c.Sigs)))
+	for i := range c.Sigs {
+		b = wire.AppendU32(b, uint32(c.Sigs[i].Validator))
+		b = wire.AppendBytes(b, c.Sigs[i].Signature)
+	}
+	return b
+}
+
+// certSigMinWire bounds one encoded Sig from below (4-byte validator + 1+
+// signature length), so ReadCertificate's pre-allocation is bounded by the
+// input size.
+const certSigMinWire = 5
+
+// ReadCertificate decodes AppendCertificate's form. Signatures alias the
+// reader's buffer.
+func ReadCertificate(r *wire.Reader) *Certificate {
+	c := &Certificate{Meta: ReadMeta(r)}
+	n := r.Count(certSigMinWire)
+	if n > 0 {
+		c.Sigs = make([]Sig, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		c.Sigs = append(c.Sigs, Sig{
+			Validator: types.ValidatorID(r.U32()),
+			Signature: crypto.Signature(r.Bytes()),
+		})
+	}
+	return c
+}

@@ -8,12 +8,24 @@ import (
 
 	"hammerhead/internal/leader"
 	"hammerhead/internal/types"
+	"hammerhead/internal/wire"
 )
 
-// _managerStateV1 tags the versioned ManagerState encoding. Bodies with an
-// unknown leading tag are rejected, so a future format change cannot be
-// silently misdecoded by an old binary.
-const _managerStateV1 = byte(0x01)
+// ManagerState encoding version tags. Bodies with an unknown leading tag are
+// rejected, so a future format change cannot be silently misdecoded by an
+// old binary. V1 (gob body) blobs still decode — they ride inside
+// pre-upgrade execution checkpoints; V2 is the current wire-codec body.
+const (
+	_managerStateV1 = byte(0x01)
+	_managerStateV2 = byte(0x02)
+)
+
+// Minimum encoded sizes bounding pre-allocation on decode.
+const (
+	_slotWire     = 4 // fixed u32 validator ID
+	_scoreMinWire = 5 // 4-byte ID + >=1-byte varint score
+	_schedMinWire = 9 // 8-byte initial round + >=1-byte slot count
+)
 
 // ManagerState is an immutable point-in-time export of a Manager: the
 // schedule suffix still covering retained rounds, the epoch cursor and the
@@ -88,56 +100,127 @@ func scoresFromEntries(entries []scoreEntry) Scores {
 	return out
 }
 
-// Encode implements leader.SchedulerState: version tag + gob body,
-// deterministic for equal states.
+// Encode implements leader.SchedulerState: version tag + wire-codec body,
+// deterministic for equal states (scores flattened ID-sorted; explicit field
+// order).
 //
 //hammerlint:deterministic
 func (st *ManagerState) Encode() ([]byte, error) {
-	wire := managerStateWire{
-		BaseSlots:             st.baseSlots,
-		CommitsThisEpoch:      st.commitsThisEpoch,
-		ShoalScores:           sortedScores(st.shoalScores),
-		LastOrderedAnchor:     st.lastOrderedAnchor,
-		HaveLastOrderedAnchor: st.haveLastOrderedAnchor,
-		Switches:              st.switches,
-		Excluded:              st.excluded,
-		EpochScores:           sortedScores(st.epochScores),
+	scheds := st.history.Schedules()
+	buf := make([]byte, 0, 64+len(scheds)*16+len(st.baseSlots)*4+len(st.shoalScores)*10+len(st.epochScores)*10)
+	buf = append(buf, _managerStateV2)
+	buf = wire.AppendUvarint(buf, uint64(len(scheds)))
+	for _, s := range scheds {
+		buf = wire.AppendU64(buf, uint64(s.InitialRound()))
+		buf = appendSlots(buf, s.Slots())
 	}
-	for _, s := range st.history.Schedules() {
-		wire.Schedules = append(wire.Schedules, scheduleWire{
-			InitialRound: s.InitialRound(),
-			Slots:        s.Slots(),
-		})
+	buf = appendSlots(buf, st.baseSlots)
+	buf = wire.AppendVarint(buf, int64(st.commitsThisEpoch))
+	buf = appendScores(buf, sortedScores(st.shoalScores))
+	buf = wire.AppendU64(buf, uint64(st.lastOrderedAnchor))
+	buf = wire.AppendBool(buf, st.haveLastOrderedAnchor)
+	buf = wire.AppendVarint(buf, int64(st.switches))
+	buf = appendSlots(buf, st.excluded)
+	buf = appendScores(buf, sortedScores(st.epochScores))
+	return buf, nil
+}
+
+func appendSlots(b []byte, ids []types.ValidatorID) []byte {
+	b = wire.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = wire.AppendU32(b, uint32(id))
 	}
-	var buf bytes.Buffer
-	buf.WriteByte(_managerStateV1)
-	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
-		return nil, fmt.Errorf("core: encoding scheduler state: %w", err)
+	return b
+}
+
+func readSlots(r *wire.Reader) []types.ValidatorID {
+	n := r.Count(_slotWire)
+	if n == 0 {
+		return nil
 	}
-	return buf.Bytes(), nil
+	out := make([]types.ValidatorID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, types.ValidatorID(r.U32()))
+	}
+	return out
+}
+
+func appendScores(b []byte, entries []scoreEntry) []byte {
+	b = wire.AppendUvarint(b, uint64(len(entries)))
+	for _, e := range entries {
+		b = wire.AppendU32(b, uint32(e.ID))
+		b = wire.AppendVarint(b, e.Score)
+	}
+	return b
+}
+
+func readScores(r *wire.Reader) Scores {
+	n := r.Count(_scoreMinWire)
+	out := make(Scores, n)
+	for i := 0; i < n; i++ {
+		id := types.ValidatorID(r.U32())
+		score := r.Varint()
+		if r.Err() != nil {
+			break
+		}
+		out[id] = score
+	}
+	return out
 }
 
 // DecodeManagerState parses an encoded ManagerState, validating the version
-// tag and the schedule suffix (non-empty, strictly ascending initial rounds).
+// tag and the schedule suffix (non-empty, strictly ascending initial
+// rounds). Both generations decode: V2 wire bodies (current) and V1 gob
+// bodies from pre-upgrade checkpoints.
 func DecodeManagerState(data []byte) (*ManagerState, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("core: empty scheduler state")
 	}
-	if data[0] != _managerStateV1 {
+	var w managerStateWire
+	switch data[0] {
+	case _managerStateV2:
+		r := wire.NewReader(data[1:])
+		nScheds := r.Count(_schedMinWire)
+		for i := 0; i < nScheds; i++ {
+			w.Schedules = append(w.Schedules, scheduleWire{
+				InitialRound: types.Round(r.U64()),
+				Slots:        readSlots(r),
+			})
+		}
+		w.BaseSlots = readSlots(r)
+		w.CommitsThisEpoch = int(r.Varint())
+		w.ShoalScores = nil // decoded directly into Scores below
+		shoal := readScores(r)
+		w.LastOrderedAnchor = types.Round(r.U64())
+		w.HaveLastOrderedAnchor = r.Bool()
+		w.Switches = int(r.Varint())
+		w.Excluded = readSlots(r)
+		epoch := readScores(r)
+		if err := r.Finish(); err != nil {
+			return nil, fmt.Errorf("core: decoding scheduler state: %w", err)
+		}
+		return managerStateFromWire(&w, shoal, epoch)
+	case _managerStateV1:
+		if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(&w); err != nil {
+			return nil, fmt.Errorf("core: decoding scheduler state: %w", err)
+		}
+		return managerStateFromWire(&w, scoresFromEntries(w.ShoalScores), scoresFromEntries(w.EpochScores))
+	default:
 		return nil, fmt.Errorf("core: unknown scheduler state version 0x%02x", data[0])
 	}
-	var wire managerStateWire
-	if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("core: decoding scheduler state: %w", err)
-	}
-	if len(wire.Schedules) == 0 {
+}
+
+// managerStateFromWire validates the decoded fields and assembles the state
+// (shared by both format generations).
+func managerStateFromWire(w *managerStateWire, shoal, epoch Scores) (*ManagerState, error) {
+	if len(w.Schedules) == 0 {
 		return nil, fmt.Errorf("core: scheduler state carries no schedules")
 	}
-	if len(wire.BaseSlots) == 0 {
+	if len(w.BaseSlots) == 0 {
 		return nil, fmt.Errorf("core: scheduler state carries no base slots")
 	}
 	var history *leader.History
-	for i, sw := range wire.Schedules {
+	for i, sw := range w.Schedules {
 		s, err := leader.NewSchedule(sw.InitialRound, sw.Slots)
 		if err != nil {
 			return nil, fmt.Errorf("core: scheduler state schedule %d: %w", i, err)
@@ -150,14 +233,14 @@ func DecodeManagerState(data []byte) (*ManagerState, error) {
 	}
 	return &ManagerState{
 		history:               history,
-		baseSlots:             append([]types.ValidatorID(nil), wire.BaseSlots...),
-		commitsThisEpoch:      wire.CommitsThisEpoch,
-		shoalScores:           scoresFromEntries(wire.ShoalScores),
-		lastOrderedAnchor:     wire.LastOrderedAnchor,
-		haveLastOrderedAnchor: wire.HaveLastOrderedAnchor,
-		switches:              wire.Switches,
-		excluded:              append([]types.ValidatorID(nil), wire.Excluded...),
-		epochScores:           scoresFromEntries(wire.EpochScores),
+		baseSlots:             append([]types.ValidatorID(nil), w.BaseSlots...),
+		commitsThisEpoch:      w.CommitsThisEpoch,
+		shoalScores:           shoal,
+		lastOrderedAnchor:     w.LastOrderedAnchor,
+		haveLastOrderedAnchor: w.HaveLastOrderedAnchor,
+		switches:              w.Switches,
+		excluded:              append([]types.ValidatorID(nil), w.Excluded...),
+		epochScores:           epoch,
 	}, nil
 }
 

@@ -34,99 +34,107 @@ func FuzzMessageRoundTrip(f *testing.F) {
 		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
 			t.Fatalf("decode %s: %v", msg.Kind, err)
 		}
-		if got.Kind != msg.Kind {
-			t.Fatalf("kind %s decoded as %s", msg.Kind, got.Kind)
-		}
-		if got.EncodedSize() != msg.EncodedSize() {
-			t.Fatalf("EncodedSize changed across the wire: %d vs %d", msg.EncodedSize(), got.EncodedSize())
-		}
-		switch msg.Kind {
-		case KindHeader:
-			if got.Header.Digest() != msg.Header.Digest() {
-				t.Fatal("header digest changed across the wire")
-			}
-			if got.Header.SigVerified() {
-				t.Fatal("sig-verified mark must not survive the wire")
-			}
-		case KindVote:
-			v, w := got.Vote, msg.Vote
-			if v.HeaderDigest != w.HeaderDigest || v.Round != w.Round ||
-				v.Origin != w.Origin || v.Voter != w.Voter ||
-				!bytes.Equal(v.Signature, w.Signature) {
-				t.Fatal("vote fields changed across the wire")
-			}
-			if got.Vote.SigVerified() {
-				t.Fatal("sig-verified mark must not survive the wire")
-			}
-		case KindCertificate:
-			if got.Cert.Digest() != msg.Cert.Digest() {
-				t.Fatal("certificate digest changed across the wire")
-			}
-			if len(got.Cert.Votes) != len(msg.Cert.Votes) {
-				t.Fatal("vote count changed across the wire")
-			}
-			if got.Cert.SigVerified() {
-				t.Fatal("sig-verified mark must not survive the wire")
-			}
-		case KindCertRequest:
-			if len(got.CertRequest.Digests) != len(msg.CertRequest.Digests) {
-				t.Fatal("digest count changed across the wire")
-			}
-		case KindCertResponse:
-			if len(got.CertResponse.Certs) != len(msg.CertResponse.Certs) {
-				t.Fatal("certificate count changed across the wire")
-			}
-			for i := range got.CertResponse.Certs {
-				if got.CertResponse.Certs[i].Digest() != msg.CertResponse.Certs[i].Digest() {
-					t.Fatalf("certificate %d digest changed across the wire", i)
-				}
-			}
-		case KindRoundRequest:
-			if got.RoundRequest.FromRound != msg.RoundRequest.FromRound {
-				t.Fatal("round changed across the wire")
-			}
-		case KindSnapshotResponse:
-			r, w := got.SnapshotResponse, msg.SnapshotResponse
-			if r.Round != w.Round || r.Chunk != w.Chunk || r.DataCRC != w.DataCRC ||
-				!bytes.Equal(r.Data, w.Data) {
-				t.Fatal("snapshot response fields changed across the wire")
-			}
-		case KindRejoinRequest:
-			if got.RejoinRequest.Frontier != msg.RejoinRequest.Frontier {
-				t.Fatal("rejoin frontier changed across the wire")
-			}
-		case KindRejoinResponse:
-			if got.RejoinResponse.Frontier != msg.RejoinResponse.Frontier {
-				t.Fatal("rejoin frontier changed across the wire")
-			}
-			if (got.RejoinResponse.Offer == nil) != (msg.RejoinResponse.Offer == nil) {
-				t.Fatal("checkpoint offer presence changed across the wire")
-			}
-			if msg.RejoinResponse.Offer != nil && *got.RejoinResponse.Offer != *msg.RejoinResponse.Offer {
-				t.Fatal("checkpoint offer changed across the wire")
-			}
-			if len(got.RejoinResponse.Certs) != len(msg.RejoinResponse.Certs) {
-				t.Fatal("certificate count changed across the wire")
-			}
-			for i := range got.RejoinResponse.Certs {
-				if got.RejoinResponse.Certs[i].Digest() != msg.RejoinResponse.Certs[i].Digest() {
-					t.Fatalf("certificate %d digest changed across the wire", i)
-				}
-				if got.RejoinResponse.Certs[i].SigVerified() {
-					t.Fatal("sig-verified mark must not survive the wire")
-				}
-			}
-		case KindCheckpointSig:
-			s, w := got.CheckpointSig, msg.CheckpointSig
-			if s.Meta != w.Meta || s.Validator != w.Validator || !bytes.Equal(s.Signature, w.Signature) {
-				t.Fatal("checkpoint share changed across the wire")
-			}
-		case KindCheckpointCert:
-			if !got.CheckpointCert.Equal(msg.CheckpointCert) {
-				t.Fatal("checkpoint certificate changed across the wire")
-			}
-		}
+		assertWireFidelity(t, msg, &got)
 	})
+}
+
+// assertWireFidelity fails the test unless got is a faithful decode of msg:
+// same kind, same content digests, and the unexported sig-verified marks
+// cleared. Shared by the gob and wire-codec round-trip fuzz targets.
+func assertWireFidelity(t *testing.T, msg, got *Message) {
+	t.Helper()
+	if got.Kind != msg.Kind {
+		t.Fatalf("kind %s decoded as %s", msg.Kind, got.Kind)
+	}
+	if got.EncodedSize() != msg.EncodedSize() {
+		t.Fatalf("EncodedSize changed across the wire: %d vs %d", msg.EncodedSize(), got.EncodedSize())
+	}
+	switch msg.Kind {
+	case KindHeader:
+		if got.Header.Digest() != msg.Header.Digest() {
+			t.Fatal("header digest changed across the wire")
+		}
+		if got.Header.SigVerified() {
+			t.Fatal("sig-verified mark must not survive the wire")
+		}
+	case KindVote:
+		v, w := got.Vote, msg.Vote
+		if v.HeaderDigest != w.HeaderDigest || v.Round != w.Round ||
+			v.Origin != w.Origin || v.Voter != w.Voter ||
+			!bytes.Equal(v.Signature, w.Signature) {
+			t.Fatal("vote fields changed across the wire")
+		}
+		if got.Vote.SigVerified() {
+			t.Fatal("sig-verified mark must not survive the wire")
+		}
+	case KindCertificate:
+		if got.Cert.Digest() != msg.Cert.Digest() {
+			t.Fatal("certificate digest changed across the wire")
+		}
+		if len(got.Cert.Votes) != len(msg.Cert.Votes) {
+			t.Fatal("vote count changed across the wire")
+		}
+		if got.Cert.SigVerified() {
+			t.Fatal("sig-verified mark must not survive the wire")
+		}
+	case KindCertRequest:
+		if len(got.CertRequest.Digests) != len(msg.CertRequest.Digests) {
+			t.Fatal("digest count changed across the wire")
+		}
+	case KindCertResponse:
+		if len(got.CertResponse.Certs) != len(msg.CertResponse.Certs) {
+			t.Fatal("certificate count changed across the wire")
+		}
+		for i := range got.CertResponse.Certs {
+			if got.CertResponse.Certs[i].Digest() != msg.CertResponse.Certs[i].Digest() {
+				t.Fatalf("certificate %d digest changed across the wire", i)
+			}
+		}
+	case KindRoundRequest:
+		if got.RoundRequest.FromRound != msg.RoundRequest.FromRound {
+			t.Fatal("round changed across the wire")
+		}
+	case KindSnapshotResponse:
+		r, w := got.SnapshotResponse, msg.SnapshotResponse
+		if r.Round != w.Round || r.Chunk != w.Chunk || r.DataCRC != w.DataCRC ||
+			!bytes.Equal(r.Data, w.Data) {
+			t.Fatal("snapshot response fields changed across the wire")
+		}
+	case KindRejoinRequest:
+		if got.RejoinRequest.Frontier != msg.RejoinRequest.Frontier {
+			t.Fatal("rejoin frontier changed across the wire")
+		}
+	case KindRejoinResponse:
+		if got.RejoinResponse.Frontier != msg.RejoinResponse.Frontier {
+			t.Fatal("rejoin frontier changed across the wire")
+		}
+		if (got.RejoinResponse.Offer == nil) != (msg.RejoinResponse.Offer == nil) {
+			t.Fatal("checkpoint offer presence changed across the wire")
+		}
+		if msg.RejoinResponse.Offer != nil && *got.RejoinResponse.Offer != *msg.RejoinResponse.Offer {
+			t.Fatal("checkpoint offer changed across the wire")
+		}
+		if len(got.RejoinResponse.Certs) != len(msg.RejoinResponse.Certs) {
+			t.Fatal("certificate count changed across the wire")
+		}
+		for i := range got.RejoinResponse.Certs {
+			if got.RejoinResponse.Certs[i].Digest() != msg.RejoinResponse.Certs[i].Digest() {
+				t.Fatalf("certificate %d digest changed across the wire", i)
+			}
+			if got.RejoinResponse.Certs[i].SigVerified() {
+				t.Fatal("sig-verified mark must not survive the wire")
+			}
+		}
+	case KindCheckpointSig:
+		s, w := got.CheckpointSig, msg.CheckpointSig
+		if s.Meta != w.Meta || s.Validator != w.Validator || !bytes.Equal(s.Signature, w.Signature) {
+			t.Fatal("checkpoint share changed across the wire")
+		}
+	case KindCheckpointCert:
+		if !got.CheckpointCert.Equal(msg.CheckpointCert) {
+			t.Fatal("checkpoint certificate changed across the wire")
+		}
+	}
 }
 
 // buildMessage derives a structurally valid message of the selected kind

@@ -11,7 +11,9 @@ import (
 	"sync"
 
 	"hammerhead/internal/checkpoint"
+	"hammerhead/internal/crypto"
 	"hammerhead/internal/types"
+	"hammerhead/internal/wire"
 )
 
 // ErrStaleSnapshot is returned by Install when the snapshot is no newer than
@@ -74,20 +76,32 @@ type Snapshot struct {
 	Cert *checkpoint.Certificate
 }
 
-// EncodeSnapshot serializes a snapshot for the wire or disk.
+// EncodeSnapshot serializes a snapshot for the wire or disk in the current
+// (wire-codec, checksummed) framing.
 //
 //hammerlint:deterministic
 func EncodeSnapshot(s Snapshot) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.WriteByte(snapshotMagic)
-	buf.WriteByte(snapshotWireV2)
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
-		return nil, fmt.Errorf("execution: encoding snapshot: %w", err)
+	buf := make([]byte, 0, len(s.Data)+len(s.SchedulerState)+len(s.Ordered)*48+256)
+	buf = append(buf, snapshotMagic, snapshotWireV3)
+	buf = wire.AppendU64(buf, uint64(s.Round))
+	buf = wire.AppendU64(buf, s.CommitSeq)
+	buf = wire.AppendDigest(buf, s.StateRoot)
+	buf = wire.AppendDigest(buf, s.StateDigest)
+	buf = wire.AppendU64(buf, uint64(s.Floor))
+	buf = wire.AppendUvarint(buf, uint64(len(s.Ordered)))
+	for i := range s.Ordered {
+		buf = wire.AppendDigest(buf, s.Ordered[i].Digest)
+		buf = wire.AppendU64(buf, uint64(s.Ordered[i].Round))
+	}
+	buf = wire.AppendBytes(buf, s.Data)
+	buf = wire.AppendBytes(buf, s.SchedulerState)
+	buf = wire.AppendBool(buf, s.Cert != nil)
+	if s.Cert != nil {
+		buf = checkpoint.AppendCertificate(buf, s.Cert)
 	}
 	var crc [4]byte
-	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(buf.Bytes()[2:], snapshotCRCTable))
-	buf.Write(crc[:])
-	return buf.Bytes(), nil
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(buf[2:], snapshotCRCTable))
+	return append(buf, crc[:]...), nil
 }
 
 // Snapshot wire framing. The install path's digest recomputation only covers
@@ -95,31 +109,77 @@ func EncodeSnapshot(s Snapshot) ([]byte, error) {
 // Ordered or SchedulerState would otherwise decode cleanly and install — a
 // whole-blob checksum closes that gap. The magic byte 0x00 can never begin a
 // bare gob stream (gob's first byte encodes a nonzero message length), so
-// pre-checksum legacy blobs remain unambiguous and still decode.
+// pre-checksum legacy blobs remain unambiguous and still decode; the version
+// byte separates checksummed gob bodies (V2) from wire-codec bodies (V3).
 const (
 	snapshotMagic  = 0x00
 	snapshotWireV2 = 0x02
+	snapshotWireV3 = 0x03
+
+	// _orderedRefWire is one encoded OrderedRef (digest + fixed round).
+	_orderedRefWire = types.DigestSize + 8
 )
 
 var snapshotCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // DecodeSnapshot parses an EncodeSnapshot blob, verifying the whole-blob
-// checksum on current-format blobs. Legacy bare-gob blobs (written before
-// the checksummed framing) decode unchecked — the state digest still guards
-// their Data.
+// checksum on framed blobs. Three generations decode: V3 wire bodies
+// (current), V2 checksummed gob bodies, and legacy bare-gob blobs (written
+// before the checksummed framing; unchecked — the state digest still guards
+// their Data). Decoded byte fields are copied, not aliased: snapshots are
+// reassembled from transfer chunks and installed long after the source
+// buffer is gone.
 func DecodeSnapshot(data []byte) (Snapshot, error) {
 	var s Snapshot
 	if len(data) > 0 && data[0] == snapshotMagic {
-		if len(data) < 6 || data[1] != snapshotWireV2 {
+		if len(data) < 6 || (data[1] != snapshotWireV2 && data[1] != snapshotWireV3) {
 			return Snapshot{}, fmt.Errorf("execution: malformed snapshot framing")
 		}
 		body, trailer := data[2:len(data)-4], data[len(data)-4:]
 		if crc32.Checksum(body, snapshotCRCTable) != binary.BigEndian.Uint32(trailer) {
 			return Snapshot{}, fmt.Errorf("execution: snapshot checksum mismatch (corrupt blob)")
 		}
+		if data[1] == snapshotWireV3 {
+			return decodeSnapshotWire(body)
+		}
 		data = body
 	}
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("execution: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+func decodeSnapshotWire(body []byte) (Snapshot, error) {
+	r := wire.NewReader(body)
+	s := Snapshot{Checkpoint: Checkpoint{
+		Round:       types.Round(r.U64()),
+		CommitSeq:   r.U64(),
+		StateRoot:   r.Digest(),
+		StateDigest: r.Digest(),
+	}}
+	s.Floor = types.Round(r.U64())
+	n := r.Count(_orderedRefWire)
+	if n > 0 {
+		s.Ordered = make([]OrderedRef, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		s.Ordered = append(s.Ordered, OrderedRef{Digest: r.Digest(), Round: types.Round(r.U64())})
+	}
+	s.Data = r.BytesCopy()
+	s.SchedulerState = r.BytesCopy()
+	if r.Bool() {
+		c := checkpoint.ReadCertificate(r)
+		if c != nil {
+			cc := *c
+			cc.Sigs = append([]checkpoint.Sig(nil), c.Sigs...)
+			for i := range cc.Sigs {
+				cc.Sigs[i].Signature = append(crypto.Signature(nil), cc.Sigs[i].Signature...)
+			}
+			s.Cert = &cc
+		}
+	}
+	if err := r.Finish(); err != nil {
 		return Snapshot{}, fmt.Errorf("execution: decoding snapshot: %w", err)
 	}
 	return s, nil

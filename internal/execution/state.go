@@ -23,6 +23,7 @@ import (
 
 	"hammerhead/internal/merkle"
 	"hammerhead/internal/types"
+	"hammerhead/internal/wire"
 )
 
 // StateMachine is the pluggable deterministic state the Executor drives. All
@@ -253,35 +254,57 @@ type kvSnapshotCompat struct {
 	Opaque  uint64
 }
 
+// KV snapshot blob framing. The magic byte 0x00 never begins a gob stream
+// (gob's first byte is a nonzero uvarint message length), so blobs from both
+// gob generations — sorted-pair and the older map form — stay unambiguous
+// and restore through the compat decoder.
+const (
+	kvSnapshotMagic  = 0x00
+	kvSnapshotWireV1 = 0x01
+
+	// _kvPairMinWire is one encoded pair from below: two 1-byte length
+	// prefixes plus the fixed 8-byte version.
+	_kvPairMinWire = 10
+)
+
 // Snapshot implements StateMachine. The encoding is deterministic: equal
-// states yield equal bytes on every validator.
+// states yield equal bytes on every validator (pairs are key-sorted; the op
+// counters are explicit fields).
 //
 //hammerlint:deterministic
 func (s *KVState) Snapshot() ([]byte, error) {
-	wire := kvSnapshotWire{
-		Pairs:   make([]kvPair, 0, s.tree.Len()),
-		Version: s.version,
-		Opaque:  s.opaque,
-	}
+	pairs := make([]kvPair, 0, s.tree.Len())
+	total := 0
 	s.tree.Walk(func(k, v []byte, ver uint64) bool {
-		wire.Pairs = append(wire.Pairs, kvPair{Key: string(k), Entry: kvEntry{Value: v, Version: ver}})
+		pairs = append(pairs, kvPair{Key: string(k), Entry: kvEntry{Value: v, Version: ver}})
+		total += len(k) + len(v)
 		return true
 	})
-	sort.Slice(wire.Pairs, func(i, j int) bool { return wire.Pairs[i].Key < wire.Pairs[j].Key })
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
-		return nil, fmt.Errorf("execution: encoding KV snapshot: %w", err)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	buf := make([]byte, 0, total+len(pairs)*12+32)
+	buf = append(buf, kvSnapshotMagic, kvSnapshotWireV1)
+	buf = wire.AppendU64(buf, s.version)
+	buf = wire.AppendU64(buf, s.opaque)
+	buf = wire.AppendUvarint(buf, uint64(len(pairs)))
+	for i := range pairs {
+		buf = wire.AppendBytes(buf, []byte(pairs[i].Key))
+		buf = wire.AppendBytes(buf, pairs[i].Entry.Value)
+		buf = wire.AppendU64(buf, pairs[i].Entry.Version)
 	}
-	return buf.Bytes(), nil
+	return buf, nil
 }
 
 // Restore implements StateMachine. Decoding and tree rebuilding happen into
 // fresh structures, so a corrupt snapshot leaves the previous state
-// untouched. Legacy map-form blobs (written before the sorted-pair wire
-// migration) restore as well. The rebuild is the batch recomputation of the
-// Merkle root — the install path's digest check compares it against the
-// incrementally maintained root the snapshot was cut under.
+// untouched. Both gob generations (sorted-pair and the older map form)
+// restore as well as the current wire form. The rebuild is the batch
+// recomputation of the Merkle root — the install path's digest check
+// compares it against the incrementally maintained root the snapshot was cut
+// under.
 func (s *KVState) Restore(data []byte) error {
+	if len(data) > 0 && data[0] == kvSnapshotMagic {
+		return s.restoreWire(data)
+	}
 	var snap kvSnapshotCompat
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("execution: decoding KV snapshot: %w", err)
@@ -296,5 +319,35 @@ func (s *KVState) Restore(data []byte) error {
 	s.tree = tree
 	s.version = snap.Version
 	s.opaque = snap.Opaque
+	return nil
+}
+
+// restoreWire rebuilds the ledger from a wire-form blob. Keys and values are
+// copied out of the blob (the tree holds its inputs by reference, and the
+// blob is a transient transfer buffer).
+func (s *KVState) restoreWire(data []byte) error {
+	if len(data) < 2 || data[1] != kvSnapshotWireV1 {
+		return fmt.Errorf("execution: unknown KV snapshot version")
+	}
+	r := wire.NewReader(data[2:])
+	version := r.U64()
+	opaque := r.U64()
+	n := r.Count(_kvPairMinWire)
+	tree := merkle.New()
+	for i := 0; i < n; i++ {
+		key := r.BytesCopy()
+		value := r.BytesCopy()
+		ver := r.U64()
+		if r.Err() != nil {
+			break
+		}
+		tree.Insert(key, value, ver)
+	}
+	if err := r.Finish(); err != nil {
+		return fmt.Errorf("execution: decoding KV snapshot: %w", err)
+	}
+	s.tree = tree
+	s.version = version
+	s.opaque = opaque
 	return nil
 }

@@ -18,11 +18,13 @@
 // the slot.
 //
 // Record layout: 4-byte big-endian body length, 4-byte CRC32C of the body,
-// then a version-tagged body (0x01 + gob-encoded record envelope; bodies
-// without the tag are legacy bare-certificate records and replay
-// losslessly). A torn tail (partial final record, truncated file, CRC
-// mismatch at the end) is tolerated on replay, as a crash mid-append must
-// not poison recovery.
+// then a version-tagged body. Current bodies are 0x02 + kind byte (1 =
+// certificate, 2 = proposal) + the engine's deterministic wire encoding;
+// 0x01-tagged bodies are the previous gob envelope and untagged bodies are
+// legacy bare-certificate records — both replay losslessly, and the next
+// compaction rewrites them into the current form. A torn tail (partial
+// final record, truncated file, CRC mismatch at the end) is tolerated on
+// replay, as a crash mid-append must not poison recovery.
 package storage
 
 import (
@@ -39,6 +41,7 @@ import (
 
 	"hammerhead/internal/engine"
 	"hammerhead/internal/types"
+	"hammerhead/internal/wire"
 )
 
 var _crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -118,15 +121,23 @@ func (r *walRecord) valid() bool {
 	return (r.Cert != nil) != (r.Proposal != nil)
 }
 
-// _recordV1 tags envelope-format record bodies. Legacy logs (bare
-// gob-encoded certificates, pre-proposal-records) have a gob stream as the
-// first body byte — a uvarint message length that is never 1 (the first gob
-// message is a type descriptor) — so the tag is unambiguous. Without the
-// tag, gob would "decode" a legacy certificate into an EMPTY walRecord
-// (field names don't overlap), the valid-prefix scan would stop at record
-// one, and the reopen truncation would silently erase the node's entire
-// pre-upgrade history.
-const _recordV1 = 0x01
+// Record body version tags. Legacy logs (bare gob-encoded certificates,
+// pre-proposal-records) have a gob stream as the first body byte — a uvarint
+// message length that is never 1 or 2 (the first gob message is a type
+// descriptor) — so the tags are unambiguous. Without them, gob would
+// "decode" a legacy certificate into an EMPTY walRecord (field names don't
+// overlap), the valid-prefix scan would stop at record one, and the reopen
+// truncation would silently erase the node's entire pre-upgrade history.
+const (
+	// _recordV1 tags the previous gob-envelope body format (decode only).
+	_recordV1 = 0x01
+	// _recordV2 tags the current wire-codec body format: the tag, a record
+	// kind byte, then the payload's engine wire form.
+	_recordV2 = 0x02
+
+	_recordKindCert     = 0x01
+	_recordKindProposal = 0x02
+)
 
 // validPrefix scans the log and returns the byte length of its longest valid
 // record prefix, plus the total file size. Validity matches Replay exactly
@@ -181,11 +192,36 @@ func readRecord(r *bufio.Reader) (body []byte, ok bool) {
 	return body, true
 }
 
-// decodeRecord parses a record body into its envelope. Bodies without the
-// version tag are legacy bare-certificate records (pre-upgrade logs replay
-// losslessly; their rewrite on the next compaction migrates them).
+// decodeRecord parses a record body into its envelope. 0x02-tagged bodies
+// are the current wire form; 0x01-tagged bodies are the previous gob
+// envelope; anything else is a legacy bare-certificate record (pre-upgrade
+// logs replay losslessly; their rewrite on the next compaction migrates
+// them). Wire-decoded payloads alias body, which readRecord allocates per
+// record.
 func decodeRecord(body []byte) (walRecord, bool) {
-	if len(body) > 0 && body[0] == _recordV1 {
+	if len(body) == 0 {
+		return walRecord{}, false
+	}
+	switch body[0] {
+	case _recordV2:
+		if len(body) < 2 {
+			return walRecord{}, false
+		}
+		r := wire.NewReader(body[2:])
+		var rec walRecord
+		switch body[1] {
+		case _recordKindCert:
+			rec.Cert = engine.ReadCertificateWire(r)
+		case _recordKindProposal:
+			rec.Proposal = engine.ReadHeaderWire(r)
+		default:
+			return walRecord{}, false
+		}
+		if r.Finish() != nil {
+			return walRecord{}, false
+		}
+		return rec, true
+	case _recordV1:
 		var rec walRecord
 		if err := gob.NewDecoder(bytes.NewReader(body[1:])).Decode(&rec); err != nil {
 			return walRecord{}, false
@@ -194,12 +230,13 @@ func decodeRecord(body []byte) (walRecord, bool) {
 			return walRecord{}, false
 		}
 		return rec, true
+	default:
+		var cert engine.Certificate
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&cert); err != nil {
+			return walRecord{}, false
+		}
+		return walRecord{Cert: &cert}, true
 	}
-	var cert engine.Certificate
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&cert); err != nil {
-		return walRecord{}, false
-	}
-	return walRecord{Cert: &cert}, true
 }
 
 // Path returns the log's file path.
@@ -228,18 +265,26 @@ func (w *WAL) appendRecord(rec walRecord) error {
 	if w.closed {
 		return ErrClosed
 	}
-	var body bytes.Buffer
-	body.WriteByte(_recordV1)
-	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
-		return fmt.Errorf("storage: encoding WAL record: %w", err)
+	var body []byte
+	switch {
+	case rec.Cert != nil:
+		body = make([]byte, 0, rec.Cert.EncodedSize()+8)
+		body = append(body, _recordV2, _recordKindCert)
+		body = engine.AppendCertificateWire(body, rec.Cert)
+	case rec.Proposal != nil:
+		body = make([]byte, 0, rec.Proposal.EncodedSize()+8)
+		body = append(body, _recordV2, _recordKindProposal)
+		body = engine.AppendHeaderWire(body, rec.Proposal)
+	default:
+		return fmt.Errorf("storage: encoding WAL record: empty envelope")
 	}
 	var header [8]byte
-	binary.BigEndian.PutUint32(header[:4], uint32(body.Len()))
-	binary.BigEndian.PutUint32(header[4:], crc32.Checksum(body.Bytes(), _crcTable))
+	binary.BigEndian.PutUint32(header[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(header[4:], crc32.Checksum(body, _crcTable))
 	if _, err := w.writer.Write(header[:]); err != nil {
 		return fmt.Errorf("storage: writing record header: %w", err)
 	}
-	if _, err := w.writer.Write(body.Bytes()); err != nil {
+	if _, err := w.writer.Write(body); err != nil {
 		return fmt.Errorf("storage: writing record body: %w", err)
 	}
 	if err := w.writer.Flush(); err != nil {

@@ -1,9 +1,7 @@
 package transport
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"io"
 	"net"
@@ -43,7 +41,8 @@ type TCPConfig struct {
 
 // TCPTransport implements Transport over persistent TCP connections: one
 // outbound connection per peer (with automatic redial) carrying
-// length-prefixed gob frames, and a listener accepting inbound streams that
+// length-prefixed wire-codec frames (legacy gob frames still decode), and a
+// listener accepting inbound streams that
 // start with a magic + sender-ID handshake.
 type TCPTransport struct {
 	cfg      TCPConfig
@@ -287,22 +286,24 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return
 		}
-		var msg engine.Message
-		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&msg); err != nil {
+		// body is allocated per frame, so the decoded message may alias it
+		// (engine.DecodeMessage is zero-copy for byte fields). Legacy peers
+		// that still send gob frames decode through the same entry point.
+		msg, err := engine.DecodeMessage(body)
+		if err != nil {
 			return
 		}
-		t.cfg.Handler(from, &msg)
+		t.cfg.Handler(from, msg)
 	}
 }
 
-// encodeFrame serializes a message with its length prefix.
+// encodeFrame serializes a message with its length prefix in the engine's
+// versioned wire format — one allocation per frame, prefix included.
 func encodeFrame(msg *engine.Message) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
-	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+	frame, err := engine.AppendMessage(make([]byte, 4, msg.EncodedSize()+20), msg)
+	if err != nil {
 		return nil, fmt.Errorf("transport: encoding %s: %w", msg.Kind, err)
 	}
-	frame := buf.Bytes()
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 	return frame, nil
 }

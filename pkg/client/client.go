@@ -356,6 +356,56 @@ func (c *Client) VerifiedGet(ctx context.Context, v *Verifier, key []byte) (Veri
 	return out, err
 }
 
+// Freshness bounds how stale a verified read may be. Zero values place no
+// bound on that dimension.
+type Freshness struct {
+	// MinCommitSeq is the lowest acceptable certified commit sequence: the
+	// read-your-writes bound a caller derives from a commit-stream event or a
+	// previous read's Cert.Meta.CommitSeq.
+	MinCommitSeq uint64
+	// MinRound is the lowest acceptable certified DAG round.
+	MinRound types.Round
+}
+
+// ErrStaleRead reports a cryptographically valid answer whose certificate is
+// older than the caller's freshness bound — the serving node (typically a
+// lagging read replica) has not caught up yet.
+var ErrStaleRead = errors.New("client: certified read is older than the freshness bound")
+
+func (f Freshness) check(cert *checkpoint.Certificate) error {
+	if cert.Meta.CommitSeq < f.MinCommitSeq {
+		return fmt.Errorf("%w: certified commit_seq %d < required %d",
+			ErrStaleRead, cert.Meta.CommitSeq, f.MinCommitSeq)
+	}
+	if cert.Meta.Round < f.MinRound {
+		return fmt.Errorf("%w: certified round %d < required %d",
+			ErrStaleRead, cert.Meta.Round, f.MinRound)
+	}
+	return nil
+}
+
+// VerifiedGetFresh is VerifiedGet with a max-staleness SLA: after the proof
+// and certificate verify, the certified checkpoint must also satisfy fresh,
+// or the answer is rejected with ErrStaleRead and the client fails over —
+// another validator or replica may hold a newer certified checkpoint. The
+// staleness check runs only on proofs that already verified, so a malicious
+// node cannot satisfy the bound by inventing a higher sequence.
+func (c *Client) VerifiedGetFresh(ctx context.Context, v *Verifier, key []byte, fresh Freshness) (VerifiedRead, error) {
+	var out VerifiedRead
+	err := c.do(ctx, func(base string) error {
+		r, err := c.verifiedGet(ctx, base, v, key)
+		if err != nil {
+			return err
+		}
+		if err := fresh.check(r.Cert); err != nil {
+			return err
+		}
+		out = r
+		return nil
+	})
+	return out, err
+}
+
 // VerifiedGetAt is VerifiedGet against one specific endpoint (index into
 // Endpoints) — convergence checks interrogate each node, replicas included.
 func (c *Client) VerifiedGetAt(ctx context.Context, endpoint int, v *Verifier, key []byte) (VerifiedRead, error) {

@@ -1,0 +1,73 @@
+// Package wirecodec exercises the determinism analyzer on the repo's
+// append-style wire codec idiom (internal/wire): hand-rolled binary encoders
+// must not fold map iteration order or wall-clock reads into bytes that get
+// digested or diffed across replicas.
+package wirecodec
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// scores mimics core's reputation map: ValidatorID -> score.
+type scores map[uint32]int64
+
+// appendU32 and appendI64 stand in for wire.AppendU32/AppendVarint.
+func appendU32(buf []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(buf, v)
+}
+
+func appendI64(buf []byte, v int64) []byte {
+	return binary.BigEndian.AppendUint64(buf, uint64(v))
+}
+
+// AppendScoresUnsorted is the bug the wire migration must not reintroduce:
+// a deterministic-annotated encoder walking a map in iteration order.
+//
+//hammerlint:deterministic
+func AppendScoresUnsorted(buf []byte, s scores) []byte {
+	for id, sc := range s { // want `iterates map .* in unspecified order`
+		buf = appendU32(buf, id)
+		buf = appendI64(buf, sc)
+	}
+	return buf
+}
+
+// AppendScoresSorted is the canonical fix, the shape core/state.go uses:
+// collect IDs, insertion-sort them, then append in ID order.
+//
+//hammerlint:deterministic
+func AppendScoresSorted(buf []byte, s scores) []byte {
+	ids := make([]uint32, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	for _, id := range ids {
+		buf = appendU32(buf, id)
+		buf = appendI64(buf, s[id])
+	}
+	return buf
+}
+
+// AppendStampedHeader folds a wall-clock read into encoded bytes — two
+// replicas encoding the same header would disagree.
+//
+//hammerlint:deterministic
+func AppendStampedHeader(buf []byte, round uint64) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, round)
+	return appendI64(buf, time.Now().UnixNano()) // want `calls time.Now`
+}
+
+// AppendHeader carries the timestamp as a caller-supplied field, like the
+// real codec: deterministic given its inputs.
+//
+//hammerlint:deterministic
+func AppendHeader(buf []byte, round uint64, createdNanos int64) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, round)
+	return appendI64(buf, createdNanos)
+}
