@@ -5,7 +5,7 @@
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build test race lint hammerlint staticcheck vulncheck clean
+.PHONY: all build test race lint hammerlint staticcheck vulncheck bench-core clean
 
 all: build test
 
@@ -42,6 +42,12 @@ vulncheck:
 	else \
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
+
+# bench-core regenerates BENCH_core.json and fails on a perf regression
+# beyond the tolerance band (or >5% tracing overhead on the gateway path).
+# Commit the refreshed artifact when a deliberate change moves the numbers.
+bench-core:
+	go run ./cmd/hammerhead-bench -experiment core -duration 10s
 
 clean:
 	rm -rf bin hammerlint

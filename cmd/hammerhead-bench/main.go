@@ -19,6 +19,7 @@
 //	hammerhead-bench -experiment merkle               # incremental root vs full rehash + proof costs, emits BENCH_merkle.json
 //	hammerhead-bench -experiment codec                # gob vs deterministic wire codec, emits BENCH_codec.json
 //	hammerhead-bench -experiment client-load          # REAL cluster + RPC gateway + open-loop HTTP load (wall clock)
+//	hammerhead-bench -experiment core                 # pinned perf trajectory: verify/pipeline/apply/gateway, emits and gates on BENCH_core.json
 //	hammerhead-bench -experiment all
 //	  -sizes 10,50,100  -loads 1000,2000,3000,4000  -duration 60s -warmup 30s -seed 1
 package main
@@ -50,6 +51,7 @@ type benchConfig struct {
 	duration   time.Duration
 	warmup     time.Duration
 	seed       int64
+	tolerance  float64
 }
 
 func main() {
@@ -72,10 +74,11 @@ func parseFlags(args []string) (benchConfig, error) {
 	duration := fs.Duration("duration", 60*time.Second, "simulated run length per data point")
 	warmup := fs.Duration("warmup", 30*time.Second, "warmup excluded from statistics")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	tolerance := fs.Float64("tolerance", 0.5, "core: allowed fractional drift per row vs the committed BENCH_core.json before the gate fails")
 	if err := fs.Parse(args); err != nil {
 		return benchConfig{}, err
 	}
-	cfg := benchConfig{experiment: *exp, duration: *duration, warmup: *warmup, seed: *seed}
+	cfg := benchConfig{experiment: *exp, duration: *duration, warmup: *warmup, seed: *seed, tolerance: *tolerance}
 	for _, s := range strings.Split(*sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
@@ -109,6 +112,7 @@ func run(cfg benchConfig) error {
 		"merkle":           runMerkle,
 		"codec":            runCodec,
 		"client-load":      runClientLoad,
+		"core":             runCore,
 	}
 	if cfg.experiment == "all" {
 		for _, name := range []string{"fig1", "fig2", "incident", "utilization", "recovery", "ablation-epoch", "ablation-scoring", "executor-replay", "snapshot-catchup", "crash-restart", "scheduler", "merkle", "codec"} {

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"hammerhead/internal/genesis"
+	"hammerhead/internal/obs"
 )
 
 func main() {
@@ -32,9 +33,16 @@ func run(args []string) error {
 	basePort := fs.Int("base-port", 9000, "first validator port (validator i gets base-port+i)")
 	out := fs.String("out", ".", "output directory")
 	seedHex := fs.String("seed", "", "32-byte hex cluster seed (default: random)")
+	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := fs.String("log-format", "text", "log format: text|json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	root, err := obs.NewLogger(os.Stdout, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	logger := obs.Component(root, "keygen")
 	if *n < 1 {
 		return fmt.Errorf("committee size must be >= 1")
 	}
@@ -63,13 +71,13 @@ func run(args []string) error {
 	if err := file.Save(committeePath); err != nil {
 		return err
 	}
-	fmt.Println("wrote", committeePath)
+	logger.Info("wrote committee file", "path", committeePath, "n", *n, "scheme", *scheme)
 	for i, kp := range pairs {
 		keyPath := filepath.Join(*out, fmt.Sprintf("validator-%d.key", i))
 		if err := genesis.WriteKeyFile(keyPath, kp.Private); err != nil {
 			return err
 		}
-		fmt.Println("wrote", keyPath)
+		logger.Info("wrote key file", "path", keyPath, "validator", i)
 	}
 	return nil
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"hammerhead/internal/experiment"
+	"hammerhead/internal/obs"
 )
 
 func main() {
@@ -54,9 +55,17 @@ func run(args []string) error {
 	replicas := fs.Int("replicas", 0, "selfcluster: boot this many non-voting read replicas (enables checkpoint certificates; verified reads + root agreement asserted)")
 	scheme := fs.String("scheme", "ed25519", "selfcluster: signature scheme (insecure speeds up CI)")
 	assert := fs.Bool("assert", true, "selfcluster: exit non-zero unless commits > 0, KV reads agree, roots agree, and SSE resume works")
+	trace := fs.Bool("trace", false, "selfcluster: enable commit-path tracing on every node, fetch each accepted tx's waterfall over /v1/trace/{txid}, and report per-stage latency breakdown")
+	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := fs.String("log-format", "text", "log format: text|json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	root, err := obs.NewLogger(os.Stdout, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	logger := obs.Component(root, "loadgen")
 	if *selfCluster > 0 && *targets != "" {
 		return fmt.Errorf("-selfcluster and -targets are mutually exclusive")
 	}
@@ -71,6 +80,7 @@ func run(args []string) error {
 	s.Lanes = *lanes
 	s.Scheme = *scheme
 	s.Replicas = *replicas
+	s.Trace = *trace
 	if *replicas > 0 && *targets != "" {
 		return fmt.Errorf("-replicas requires -selfcluster")
 	}
@@ -78,11 +88,11 @@ func run(args []string) error {
 		for _, ep := range strings.Split(*targets, ",") {
 			s.Endpoints = append(s.Endpoints, strings.TrimSpace(ep))
 		}
-		fmt.Printf("== targets: %v rate=%.0f tx/s duration=%v clients=%d batch=%d\n",
-			s.Endpoints, *rate, *duration, *clients, *batch)
+		logger.Info("driving targets",
+			"endpoints", s.Endpoints, "rate", *rate, "duration", *duration, "clients", *clients, "batch", *batch, "trace", *trace)
 	} else {
-		fmt.Printf("== self-cluster: n=%d rate=%.0f tx/s duration=%v clients=%d batch=%d scheme=%s\n",
-			*selfCluster, *rate, *duration, *clients, *batch, *scheme)
+		logger.Info("booting self-cluster",
+			"n", *selfCluster, "rate", *rate, "duration", *duration, "clients", *clients, "batch", *batch, "scheme", *scheme, "trace", *trace)
 	}
 
 	res, err := experiment.RunClientLoad(s)
@@ -108,6 +118,10 @@ func run(args []string) error {
 			return fmt.Errorf("FAIL: replica chained roots disagree with the validators")
 		case *replicas > 0 && (res.ReplicaChecked == 0 || res.ReplicaMismatches != 0):
 			return fmt.Errorf("FAIL: %d of %d replica verified reads failed", res.ReplicaMismatches, res.ReplicaChecked)
+		case *trace && res.TraceChecked == 0:
+			return fmt.Errorf("FAIL: tracing enabled but no accepted transactions were trace-checked")
+		case *trace && res.TraceIncomplete != 0:
+			return fmt.Errorf("FAIL: %d of %d accepted transactions lack a complete monotonic commit-path trace", res.TraceIncomplete, res.TraceChecked)
 		}
 		if *replicas > 0 {
 			fmt.Println("PASS: commits observed, KV agrees on every validator, state roots agree, SSE resume OK, replica verified reads OK")
@@ -136,5 +150,25 @@ func printClientLoad(res experiment.ClientLoadResult) {
 	if res.Scenario.Replicas > 0 {
 		fmt.Printf("replicas=%d certified, verified-reads=%d/%d replica_roots_agree=%v\n",
 			res.ReplicasCompared, res.ReplicaChecked-res.ReplicaMismatches, res.ReplicaChecked, res.ReplicaRootsAgree)
+	}
+	printStageBreakdown(res)
+}
+
+// printStageBreakdown renders the commit-path waterfall assembled from
+// GET /v1/trace/{txid}: for each stage transition, the distribution of time
+// spent reaching that stage from the previous one across all fully-traced
+// transactions.
+func printStageBreakdown(res experiment.ClientLoadResult) {
+	if res.TraceChecked == 0 {
+		return
+	}
+	fmt.Printf("traces: complete=%d/%d\n", res.TraceComplete, res.TraceChecked)
+	if len(res.StageLatencies) == 0 {
+		return
+	}
+	fmt.Println("stage breakdown (time from previous stage):")
+	for _, sl := range res.StageLatencies {
+		fmt.Printf("  %-12s p50=%-12v p95=%-12v p99=%-12v max=%v\n",
+			sl.Stage, sl.Stats.P50, sl.Stats.P95, sl.Stats.P99, sl.Stats.Max)
 	}
 }

@@ -14,7 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +29,7 @@ import (
 	"hammerhead/internal/genesis"
 	"hammerhead/internal/metrics"
 	"hammerhead/internal/node"
+	"hammerhead/internal/obs"
 	"hammerhead/internal/transport"
 	"hammerhead/internal/types"
 )
@@ -61,6 +62,11 @@ func run(args []string) error {
 	checkpointInterval := fs.Uint64("checkpoint-interval", 0, "commits between execution checkpoints (0 = default 32; needs -execution)")
 	checkpointCerts := fs.Bool("checkpoint-certs", false, "sign and gossip checkpoint tuples into quorum certificates, enabling trustless snapshots, proof-carrying reads and read replicas (needs -execution)")
 	snapshotDir := fs.String("snapshot-dir", "", "directory persisting execution checkpoints (empty = in-memory; needs -execution)")
+	trace := fs.Bool("trace", false, "record per-transaction commit-path traces, served on GET /v1/trace/{txid} and in the hammerhead_stage_latency_seconds histograms")
+	traceSlots := fs.Int("trace-slots", 0, "retained trace capacity, FIFO-evicted (0 = default 1<<16; needs -trace)")
+	debugAddr := fs.String("debug-addr", "", "address for the debug surface (net/http/pprof + /debug/runtime) on its OWN listener, never the public RPC mux (empty disables)")
+	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := fs.String("log-format", "text", "log format: text|json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,7 +132,12 @@ func run(args []string) error {
 		return fmt.Errorf("binding %s: %w", authority.Address, err)
 	}
 
-	logger := log.New(os.Stdout, fmt.Sprintf("[%s] ", self), log.Ltime|log.Lmicroseconds)
+	root, err := obs.NewLogger(os.Stdout, *logLevel, *logFormat)
+	if err != nil {
+		_ = tr.Close()
+		return err
+	}
+	logger := obs.WithValidator(obs.Component(root, "validator"), uint64(self))
 	nd, err = node.New(node.Config{
 		Committee:          committee,
 		Self:               self,
@@ -145,12 +156,20 @@ func run(args []string) error {
 		CheckpointCerts:    *checkpointCerts,
 		SnapshotDir:        *snapshotDir,
 		Metrics:            reg,
+		Trace:              *trace,
+		TraceSlots:         *traceSlots,
+		DebugAddr:          *debugAddr,
+		Logger:             root,
 		OnCommit: func(sub bullshark.CommittedSubDAG, replayed bool) {
 			if replayed {
 				return
 			}
-			logger.Printf("commit #%d: anchor round %d led by %s, %d vertices, %d txs",
-				sub.Index, sub.Anchor.Round, sub.Anchor.Source, len(sub.Vertices), sub.TxCount())
+			logger.Info("commit",
+				"seq", sub.Index,
+				"anchor_round", uint64(sub.Anchor.Round),
+				"leader", uint64(sub.Anchor.Source),
+				"vertices", len(sub.Vertices),
+				"txs", sub.TxCount())
 		},
 	}, tr)
 	if err != nil {
@@ -160,25 +179,29 @@ func run(args []string) error {
 	return serve(nd, tr, logger, reg, *metricsAddr, self)
 }
 
-func serve(nd *node.Node, tr transport.Transport, logger *log.Logger, reg *metrics.Registry, metricsAddr string, self types.ValidatorID) error {
+func serve(nd *node.Node, tr transport.Transport, logger *slog.Logger, reg *metrics.Registry, metricsAddr string, self types.ValidatorID) error {
 	if err := nd.Start(); err != nil {
 		return err
 	}
 	defer nd.Close()
-	logger.Printf("validator %s running", self)
+	logger.Info("validator running", "id", uint64(self))
 	if gw := nd.Gateway(); gw != nil {
-		logger.Printf("client gateway on http://%s (POST /v1/tx, GET /v1/kv/{key}, GET /v1/commits, GET /v1/status)", gw.Addr())
+		logger.Info("client gateway listening (POST /v1/tx, GET /v1/kv/{key}, /v1/commits, /v1/status, /v1/trace/{txid})",
+			"addr", gw.Addr())
+	}
+	if addr := nd.DebugAddr(); addr != "" {
+		logger.Info("debug surface listening (/debug/pprof/, /debug/runtime)", "addr", addr)
 	}
 
 	if metricsAddr != "" {
 		srv := &http.Server{Addr: metricsAddr, Handler: reg}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				logger.Printf("metrics server: %v", err)
+				logger.Error("metrics server failed", "err", err)
 			}
 		}()
 		defer srv.Close()
-		logger.Printf("metrics on http://%s/metrics", metricsAddr)
+		logger.Info("metrics listening", "addr", metricsAddr)
 	}
 
 	// Periodic status line, plus clean shutdown on SIGINT/SIGTERM.
@@ -192,17 +215,26 @@ func serve(nd *node.Node, tr transport.Transport, logger *log.Logger, reg *metri
 			st := nd.Engine().Stats()
 			cs := nd.Engine().CommitterStats()
 			pv := nd.PreVerifyStats()
-			logger.Printf("round=%d commits=%d ordered_vertices=%d skipped=%d timeouts=%d pending_tx=%d preverified=%d dropped=%d",
-				nd.Engine().Round(), cs.DirectCommits+cs.IndirectCommits,
-				cs.OrderedVertices, cs.SkippedAnchors, st.LeaderTimeouts, nd.Pool().Pending(),
-				pv.Checked-pv.Dropped, pv.Dropped)
+			logger.Info("status",
+				"round", uint64(nd.Engine().Round()),
+				"commits", cs.DirectCommits+cs.IndirectCommits,
+				"ordered_vertices", cs.OrderedVertices,
+				"skipped", cs.SkippedAnchors,
+				"timeouts", st.LeaderTimeouts,
+				"pending_tx", nd.Pool().Pending(),
+				"preverified", pv.Checked-pv.Dropped,
+				"dropped", pv.Dropped)
 			if exec := nd.Executor(); exec != nil {
-				logger.Printf("executor applied_seq=%d applied_round=%d state_root=%s queue=%d checkpoints=%d snapshots_installed=%d",
-					exec.AppliedSeq(), exec.AppliedRound(), exec.StateRoot(), exec.QueueDepth(),
-					exec.Checkpoints(), st.SnapshotInstalls)
+				logger.Info("executor",
+					"applied_seq", exec.AppliedSeq(),
+					"applied_round", uint64(exec.AppliedRound()),
+					"state_root", exec.StateRoot(),
+					"queue", exec.QueueDepth(),
+					"checkpoints", exec.Checkpoints(),
+					"snapshots_installed", st.SnapshotInstalls)
 			}
 		case s := <-sig:
-			logger.Printf("received %v, shutting down", s)
+			logger.Info("shutting down", "signal", s.String())
 			return nil
 		}
 	}

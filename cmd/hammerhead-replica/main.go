@@ -22,7 +22,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +30,7 @@ import (
 
 	"hammerhead/internal/crypto"
 	"hammerhead/internal/genesis"
+	"hammerhead/internal/obs"
 	"hammerhead/internal/replica"
 	"hammerhead/pkg/client"
 )
@@ -49,6 +49,8 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:9500", "address for this replica's read gateway")
 	pollInterval := fs.Duration("poll-interval", 0, "checkpoint certificate poll cadence (0 = default)")
 	bootstrapTimeout := fs.Duration("bootstrap-timeout", 2*time.Minute, "give up if no certified snapshot appears within this window")
+	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := fs.String("log-format", "text", "log format: text|json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,13 +79,17 @@ func run(args []string) error {
 	for _, ep := range strings.Split(*validators, ",") {
 		endpoints = append(endpoints, strings.TrimSpace(ep))
 	}
-	logger := log.New(os.Stdout, "[replica] ", log.Ltime|log.Lmicroseconds)
+	root, err := obs.NewLogger(os.Stdout, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	logger := obs.Component(root, "replica")
 	rep, err := replica.New(replica.Config{
 		Validators:   endpoints,
 		Verifier:     &client.Verifier{Committee: committee, PublicKeys: pubs, Scheme: scheme},
 		RPCAddr:      *listen,
 		PollInterval: *pollInterval,
-		Logf:         logger.Printf,
+		Logger:       root,
 	})
 	if err != nil {
 		return err
@@ -91,14 +97,15 @@ func run(args []string) error {
 	defer rep.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *bootstrapTimeout)
-	logger.Printf("bootstrapping from %v (waiting for a quorum-certified snapshot)", endpoints)
+	logger.Info("bootstrapping (waiting for a quorum-certified snapshot)", "validators", endpoints)
 	err = rep.Bootstrap(ctx)
 	cancel()
 	if err != nil {
 		return fmt.Errorf("bootstrap: %w", err)
 	}
 	rep.Start()
-	logger.Printf("read gateway on http://%s (GET /v1/kv/{key}[?proof=1], /v1/commits, /v1/checkpoint, /v1/status; POST /v1/tx redirects)", rep.Addr())
+	logger.Info("read gateway listening (GET /v1/kv/{key}[?proof=1], /v1/commits, /v1/checkpoint, /v1/status; POST /v1/tx redirects)",
+		"addr", rep.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -116,10 +123,12 @@ func run(args []string) error {
 			if cert, ok := rep.Certificate(); ok {
 				certSeq = cert.Meta.CommitSeq
 			}
-			logger.Printf("applied_seq=%d certified_seq=%d chained_root=%s",
-				rep.AppliedSeq(), certSeq, rep.ChainedRoot())
+			logger.Info("status",
+				"applied_seq", rep.AppliedSeq(),
+				"certified_seq", certSeq,
+				"chained_root", rep.ChainedRoot())
 		case s := <-sig:
-			logger.Printf("received %v, shutting down", s)
+			logger.Info("shutting down", "signal", s.String())
 			return nil
 		}
 	}

@@ -120,6 +120,12 @@ type Engine struct {
 	sink            CommitSink
 	persist         func(*Certificate)
 	persistProposal func(*Header)
+	// Tracing taps (nil when the runtime records no traces): onOwnHeader
+	// observes every header this validator proposes; onOwnCert every
+	// certificate formed for its own header. Both run on the engine
+	// goroutine and must not block.
+	onOwnHeader func(*Header)
+	onOwnCert   func(*Certificate)
 	// proposalFloor is the voted-round high-water mark restored from the WAL:
 	// the engine never CONSTRUCTS a new header at a round at or below it (the
 	// restored header itself is re-transmitted instead), because a fresh
@@ -243,6 +249,18 @@ type Params struct {
 	// conflicting one for a slot whose certificate may have survived only in
 	// a peer's WAL, which would equivocate the slot and fork the DAG.
 	PersistProposal func(*Header)
+	// OnOwnHeader, when non-nil, observes every header this validator builds
+	// and proposes — the tracing tap for the "proposed" lifecycle stage of
+	// the batch's transactions. Runs on the engine goroutine after the header
+	// is signed (and, when configured, persisted), immediately before its
+	// broadcast is queued; it must not block.
+	OnOwnHeader func(*Header)
+	// OnOwnCert, when non-nil, observes every certificate formed for this
+	// validator's OWN header (quorum of votes gathered, or the n=1 instant
+	// self-certification) — the tracing tap for the "cert_formed" stage.
+	// Runs on the engine goroutine; it must not block. Certificates received
+	// from peers for other validators' headers are not delivered here.
+	OnOwnCert func(*Certificate)
 	// OnCheckpointCert, when non-nil, enables checkpoint certification: the
 	// runtime calls OnLocalCheckpoint after each local checkpoint, the engine
 	// gossips signature shares and assembles 2f+1 certificates, and each
@@ -300,6 +318,8 @@ func New(p Params) (*Engine, error) {
 		sink:             sink,
 		persist:          p.Persist,
 		persistProposal:  p.PersistProposal,
+		onOwnHeader:      p.OnOwnHeader,
+		onOwnCert:        p.OnOwnCert,
 		snapshots:        p.Snapshots,
 		installSnapshot:  p.InstallSnapshot,
 		appliedSeq:       p.AppliedSeq,
@@ -624,6 +644,9 @@ func (e *Engine) onVote(v *Vote, nowNanos int64, out *Output) {
 	}
 	e.ownCertFormed = true
 	e.stats.CertsFormed++
+	if e.onOwnCert != nil {
+		e.onOwnCert(cert)
+	}
 	out.broadcast(&Message{Kind: KindCertificate, Cert: cert})
 	e.onCertificate(cert, nowNanos, out)
 }
@@ -1183,6 +1206,9 @@ func (e *Engine) propose(round types.Round, nowNanos int64, out *Output) {
 		// wire, so a restart can re-adopt it instead of equivocating the slot.
 		e.persistProposal(header)
 	}
+	if e.onOwnHeader != nil {
+		e.onOwnHeader(header)
+	}
 
 	out.broadcast(&Message{Kind: KindHeader, Header: header})
 	out.timer(Timer{Kind: TimerRoundDelay, Round: uint64(round), Delay: e.config.MinRoundDelay})
@@ -1195,6 +1221,9 @@ func (e *Engine) propose(round types.Round, nowNanos int64, out *Output) {
 		cert := &Certificate{Header: *header, Votes: []VoteSig{{Voter: e.self, Signature: sig}}}
 		e.ownCertFormed = true
 		e.stats.CertsFormed++
+		if e.onOwnCert != nil {
+			e.onOwnCert(cert)
+		}
 		out.broadcast(&Message{Kind: KindCertificate, Cert: cert})
 		e.onCertificate(cert, nowNanos, out)
 	}

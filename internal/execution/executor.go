@@ -69,6 +69,12 @@ type Config struct {
 	// quorum (typically checkpoint.Certificate.Verify against the node's
 	// committee). Only consulted when RequireCertificate is set.
 	CertVerifier func(*checkpoint.Certificate) error
+	// OnApplied, when non-nil, observes every commit the ASYNC apply
+	// goroutine finishes (including the close-time drain) — the tracing tap
+	// for the "applied" lifecycle stage. It runs on the apply goroutine with
+	// no executor lock held, after ApplyCommit returns; it must not block.
+	// Synchronous ApplyCommit callers (benchmarks, replay tools) bypass it.
+	OnApplied func(sub bullshark.CommittedSubDAG)
 	// Metrics, when non-nil, receives executor gauges and counters.
 	Metrics *metrics.Registry
 }
@@ -672,12 +678,18 @@ func (x *Executor) loop() {
 				x.queueMetric.Set(int64(len(x.q)))
 			}
 			x.ApplyCommit(sub)
+			if x.cfg.OnApplied != nil {
+				x.cfg.OnApplied(sub)
+			}
 		case <-x.done:
 			// Drain what the commit loop already queued, then stop.
 			for {
 				select {
 				case sub := <-x.q:
 					x.ApplyCommit(sub)
+					if x.cfg.OnApplied != nil {
+						x.cfg.OnApplied(sub)
+					}
 				default:
 					return
 				}

@@ -10,6 +10,7 @@ import (
 	"hammerhead/internal/crypto"
 	"hammerhead/internal/engine"
 	"hammerhead/internal/node"
+	"hammerhead/internal/obs"
 	"hammerhead/internal/replica"
 	"hammerhead/internal/rpc"
 	"hammerhead/internal/transport"
@@ -63,6 +64,14 @@ type ClientLoadScenario struct {
 	// sequence, and serve proof-carrying reads that verify client-side.
 	// Ignored in Endpoints (remote) mode.
 	Replicas int
+	// Trace switches on commit-path tracing in the cluster nodes and, after
+	// the drain, fetches every accepted transaction's waterfall back over
+	// GET /v1/trace/{txid} — locating the validator that admitted it (the
+	// only one holding the full admitted→applied waterfall), verifying the
+	// timestamps are monotonic, and assembling the per-stage latency
+	// breakdown in the result. In Endpoints mode the targets must have been
+	// started with tracing on, or every fetch reports incomplete.
+	Trace bool
 }
 
 // NewClientLoadScenario returns a calibrated client-load scenario.
@@ -123,6 +132,25 @@ type ClientLoadResult struct {
 	// Drained reports whether every accepted transaction was seen committed
 	// within DrainTimeout (false = the drain cut the run short).
 	Drained bool
+	// Commit-path trace verification (Scenario.Trace): TraceChecked counts
+	// accepted transactions whose waterfall was fetched back; TraceComplete
+	// those whose admitting validator served a complete, monotonically
+	// timestamped admitted→…→applied waterfall; TraceIncomplete the rest
+	// (evicted from the ring, or no endpoint held the admitted stage).
+	TraceChecked    uint64
+	TraceComplete   uint64
+	TraceIncomplete uint64
+	// StageLatencies breaks the commit path down per lifecycle stage: each
+	// entry is the latency from the previous recorded stage to this one,
+	// over every complete waterfall, in causal order.
+	StageLatencies []StageLatency
+}
+
+// StageLatency is one commit-path stage's latency distribution, measured
+// from the previous recorded stage of the same transaction's waterfall.
+type StageLatency struct {
+	Stage string
+	Stats LatencyStats
 }
 
 // RunClientLoad executes the scenario. Unlike Run (discrete-event simnet),
@@ -258,6 +286,8 @@ func RunClientLoad(s ClientLoadScenario) (ClientLoadResult, error) {
 	var submitted, accepted, rejected, txSeq atomic.Uint64
 	var latMu sync.Mutex
 	var submitLatencies []time.Duration
+	var traceMu sync.Mutex
+	var acceptedIDs []uint64
 	keysWritten := make([]map[string]bool, s.Clients)
 	interval := time.Duration(float64(time.Second) * float64(s.BatchSize) * float64(s.Clients) / s.RateTxPerSec)
 	if interval <= 0 {
@@ -311,6 +341,11 @@ func RunClientLoad(s ClientLoadScenario) (ClientLoadResult, error) {
 						continue
 					}
 					keysWritten[c][batchKeys[i]] = true
+					if s.Trace {
+						traceMu.Lock()
+						acceptedIDs = append(acceptedIDs, id)
+						traceMu.Unlock()
+					}
 				}
 			}
 		}(c)
@@ -390,6 +425,11 @@ func RunClientLoad(s ClientLoadScenario) (ClientLoadResult, error) {
 	// expired context here would misreport every read as divergence.
 	ctx, cancel := context.WithTimeout(context.Background(), s.DrainTimeout)
 	defer cancel()
+
+	// ---- commit-path trace verification and stage breakdown ----
+	if s.Trace {
+		verifyTraces(ctx, &res, readClient, len(addrs), acceptedIDs)
+	}
 
 	// ---- cross-validator read-back: every written key on every validator ----
 	for c := range keysWritten {
@@ -541,6 +581,61 @@ func (res *ClientLoadResult) verifyReplicas(cluster *clientLoadCluster, replicas
 	}
 }
 
+// verifyTraces fetches every accepted transaction's commit-path waterfall
+// back over GET /v1/trace/{txid}. A transaction's FULL waterfall (admitted →
+// … → applied, all from one clock) lives only on the validator that admitted
+// it, so each ID is tried against every endpoint until one serves a complete
+// trace. Incomplete fetches are retried briefly: the applied stage is
+// stamped by the executor's asynchronous apply goroutine and can trail the
+// commit stream by a beat.
+func verifyTraces(ctx context.Context, res *ClientLoadResult, cl *client.Client, endpoints int, ids []uint64) {
+	stageSamples := make(map[string][]time.Duration)
+	var smu sync.Mutex
+	var complete atomic.Uint64
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(id uint64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var full rpc.TraceResponse
+			for attempt := 0; attempt < 5 && !full.Complete && ctx.Err() == nil; attempt++ {
+				if attempt > 0 {
+					time.Sleep(20 * time.Millisecond)
+				}
+				for v := 0; v < endpoints; v++ {
+					if tr, err := cl.TraceAt(ctx, v, id); err == nil && tr.Complete {
+						full = tr
+						break
+					}
+				}
+			}
+			if !full.Complete {
+				return
+			}
+			complete.Add(1)
+			smu.Lock()
+			for i := 1; i < len(full.Stages); i++ {
+				d := time.Duration(full.Stages[i].TimeNanos - full.Stages[i-1].TimeNanos)
+				stageSamples[full.Stages[i].Stage] = append(stageSamples[full.Stages[i].Stage], d)
+			}
+			smu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	res.TraceChecked = uint64(len(ids))
+	res.TraceComplete = complete.Load()
+	res.TraceIncomplete = res.TraceChecked - res.TraceComplete
+	for _, name := range obs.StageNames() {
+		if samples, ok := stageSamples[name]; ok {
+			res.StageLatencies = append(res.StageLatencies,
+				StageLatency{Stage: name, Stats: SummarizeLatencies(samples)})
+		}
+	}
+}
+
 func containsIndex(errs []rpc.SubmitError, idx int) bool {
 	for _, e := range errs {
 		if e.Index == idx {
@@ -645,6 +740,7 @@ func newClientLoadCluster(s ClientLoadScenario, lanes int, minRoundDelay time.Du
 			CheckpointCerts:    s.Replicas > 0,
 			MempoolLanes:       lanes,
 			RPCAddr:            "127.0.0.1:0",
+			Trace:              s.Trace,
 		}, tr)
 		if err != nil {
 			_ = tr.Close()

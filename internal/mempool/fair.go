@@ -38,6 +38,12 @@ type FairConfig struct {
 	// non-positive entries default to 1). len(Weights) beyond Lanes is
 	// ignored.
 	Weights []int
+	// OnAdmit, when non-nil, observes every transaction that clears
+	// admission (any lane) — the tracing tap for the "admitted" lifecycle
+	// stage. It runs on the submitter's goroutine after the transaction is
+	// in its lane; it must not block. Rejected transactions are not
+	// reported.
+	OnAdmit func(tx types.Transaction)
 }
 
 // LaneStats is one lane's instantaneous and cumulative counters.
@@ -66,6 +72,7 @@ type lane struct {
 type FairPool struct {
 	lanes       []lane
 	totalWeight int
+	onAdmit     func(tx types.Transaction)
 }
 
 // NewFair builds a fair-admission pool.
@@ -76,7 +83,7 @@ func NewFair(cfg FairConfig) *FairPool {
 	if cfg.Lanes < 1 {
 		cfg.Lanes = 1
 	}
-	p := &FairPool{lanes: make([]lane, cfg.Lanes)}
+	p := &FairPool{lanes: make([]lane, cfg.Lanes), onAdmit: cfg.OnAdmit}
 	for i := range p.lanes {
 		w := 1
 		if i < len(cfg.Weights) && cfg.Weights[i] > 0 {
@@ -114,19 +121,31 @@ func (p *FairPool) LaneFor(client string) int {
 // Submit enqueues onto lane 0 — the default lane for traffic with no client
 // attribution (the node's own Submit path, simulators, tests).
 func (p *FairPool) Submit(tx types.Transaction) error {
-	return p.lanes[0].pool.Submit(tx)
+	return p.admit(0, tx)
 }
 
 // SubmitClient enqueues on the client's lane, returning ErrFull when that
 // lane's cap is reached — other clients' lanes are unaffected, which is the
 // whole point.
 func (p *FairPool) SubmitClient(client string, tx types.Transaction) error {
-	return p.lanes[p.LaneFor(client)].pool.Submit(tx)
+	return p.admit(p.LaneFor(client), tx)
 }
 
 // SubmitLane enqueues directly onto a lane (tests, static lane assignment).
 func (p *FairPool) SubmitLane(laneIdx int, tx types.Transaction) error {
-	return p.lanes[laneIdx%len(p.lanes)].pool.Submit(tx)
+	return p.admit(laneIdx%len(p.lanes), tx)
+}
+
+// admit funnels every submission path through the lane's pool and fires the
+// OnAdmit tap on success.
+func (p *FairPool) admit(laneIdx int, tx types.Transaction) error {
+	if err := p.lanes[laneIdx].pool.Submit(tx); err != nil {
+		return err
+	}
+	if p.onAdmit != nil {
+		p.onAdmit(tx)
+	}
+	return nil
 }
 
 // NextBatch implements engine.BatchProvider: up to maxTx transactions drained

@@ -102,12 +102,58 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// Label is one name="value" pair attached to a metric series. Labeled
+// lookups replace the old habit of minting per-entity series by string
+// concatenation (`name_validator_3`): the same base name carries every
+// series, and exposition renders proper Prometheus label syntax.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// labelString renders labels canonically (sorted by name) WITHOUT braces:
+// `a="1",b="x"`. Empty for no labels. The canonical form is the series
+// identity, so {a,b} and {b,a} hit the same metric.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	return b.String()
+}
+
+// seriesKey is a series' unique registry key: base name plus canonical
+// label string.
+func seriesKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// entry ties one series to its base name and rendered labels so Render can
+// group `# TYPE` lines per base name and merge labels with histogram
+// suffixes.
+type entry[M any] struct {
+	base   string
+	labels string
+	m      M
+}
+
 // Registry names and exposes metrics. The zero value is ready to use.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*entry[*Counter]
+	gauges     map[string]*entry[*Gauge]
+	histograms map[string]*entry[*Histogram]
 }
 
 // NewRegistry returns an empty registry.
@@ -115,47 +161,102 @@ func NewRegistry() *Registry { return &Registry{} }
 
 // Counter returns (creating on first use) the named counter.
 func (r *Registry) Counter(name string) *Counter {
+	return r.LabeledCounter(name)
+}
+
+// LabeledCounter returns (creating on first use) the counter series for
+// name plus labels. Label order does not matter.
+func (r *Registry) LabeledCounter(name string, labels ...Label) *Counter {
+	ls := labelString(labels)
+	key := seriesKey(name, ls)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.counters == nil {
-		r.counters = make(map[string]*Counter)
+		r.counters = make(map[string]*entry[*Counter])
 	}
-	c, ok := r.counters[name]
+	e, ok := r.counters[key]
 	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+		e = &entry[*Counter]{base: name, labels: ls, m: &Counter{}}
+		r.counters[key] = e
 	}
-	return c
+	return e.m
 }
 
 // Gauge returns (creating on first use) the named gauge.
 func (r *Registry) Gauge(name string) *Gauge {
+	return r.LabeledGauge(name)
+}
+
+// LabeledGauge returns (creating on first use) the gauge series for name
+// plus labels.
+func (r *Registry) LabeledGauge(name string, labels ...Label) *Gauge {
+	ls := labelString(labels)
+	key := seriesKey(name, ls)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.gauges == nil {
-		r.gauges = make(map[string]*Gauge)
+		r.gauges = make(map[string]*entry[*Gauge])
 	}
-	g, ok := r.gauges[name]
+	e, ok := r.gauges[key]
 	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+		e = &entry[*Gauge]{base: name, labels: ls, m: &Gauge{}}
+		r.gauges[key] = e
 	}
-	return g
+	return e.m
 }
 
 // Histogram returns (creating on first use) the named histogram.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return r.LabeledHistogram(name, bounds)
+}
+
+// LabeledHistogram returns (creating on first use) the histogram series for
+// name plus labels. Bounds only apply on first creation.
+func (r *Registry) LabeledHistogram(name string, bounds []float64, labels ...Label) *Histogram {
+	ls := labelString(labels)
+	key := seriesKey(name, ls)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.histograms == nil {
-		r.histograms = make(map[string]*Histogram)
+		r.histograms = make(map[string]*entry[*Histogram])
 	}
-	h, ok := r.histograms[name]
+	e, ok := r.histograms[key]
 	if !ok {
-		h = NewHistogram(bounds)
-		r.histograms[name] = h
+		e = &entry[*Histogram]{base: name, labels: ls, m: NewHistogram(bounds)}
+		r.histograms[key] = e
 	}
-	return h
+	return e.m
+}
+
+// sortedEntries returns m's entries ordered by (base, labels) so labeled
+// series of one base name group under a single `# TYPE` line.
+func sortedEntries[M any](m map[string]*entry[M]) []*entry[M] {
+	out := make([]*entry[M], 0, len(m))
+	for _, e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].base != out[j].base {
+			return out[i].base < out[j].base
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// renderName emits `base{labels}` (or bare `base`), with extra merged into
+// the label set (histogram `le` bounds).
+func renderName(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	default:
+		return base + "{" + labels + "," + extra + "}"
+	}
 }
 
 // Render writes the Prometheus text exposition of all metrics, sorted by
@@ -165,40 +266,39 @@ func (r *Registry) Render() string {
 	defer r.mu.Unlock()
 	var b strings.Builder
 
-	names := make([]string, 0, len(r.counters))
-	for name := range r.counters {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name].Value())
-	}
-
-	names = names[:0]
-	for name := range r.gauges {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value())
+	lastType := ""
+	for _, e := range sortedEntries(r.counters) {
+		if e.base != lastType {
+			fmt.Fprintf(&b, "# TYPE %s counter\n", e.base)
+			lastType = e.base
+		}
+		fmt.Fprintf(&b, "%s %d\n", renderName(e.base, e.labels, ""), e.m.Value())
 	}
 
-	names = names[:0]
-	for name := range r.histograms {
-		names = append(names, name)
+	lastType = ""
+	for _, e := range sortedEntries(r.gauges) {
+		if e.base != lastType {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", e.base)
+			lastType = e.base
+		}
+		fmt.Fprintf(&b, "%s %d\n", renderName(e.base, e.labels, ""), e.m.Value())
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		h := r.histograms[name]
-		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+
+	lastType = ""
+	for _, e := range sortedEntries(r.histograms) {
+		h := e.m
+		if e.base != lastType {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", e.base)
+			lastType = e.base
+		}
 		var cum uint64
 		for i, bound := range h.bounds {
 			cum += h.counts[i].Load()
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, trimFloat(bound), cum)
+			fmt.Fprintf(&b, "%s %d\n", renderName(e.base+"_bucket", e.labels, fmt.Sprintf("le=%q", trimFloat(bound))), cum)
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
-		fmt.Fprintf(&b, "%s_sum %g\n", name, h.Sum())
-		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
+		fmt.Fprintf(&b, "%s %d\n", renderName(e.base+"_bucket", e.labels, `le="+Inf"`), h.Count())
+		fmt.Fprintf(&b, "%s %g\n", renderName(e.base+"_sum", e.labels, ""), h.Sum())
+		fmt.Fprintf(&b, "%s %d\n", renderName(e.base+"_count", e.labels, ""), h.Count())
 	}
 	return b.String()
 }

@@ -81,6 +81,48 @@ func TestRenderExposition(t *testing.T) {
 	}
 }
 
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledGauge("score", Label{Name: "validator", Value: "0"}).Set(5)
+	r.LabeledGauge("score", Label{Name: "validator", Value: "1"}).Set(9)
+	// Label order must not mint a distinct series.
+	a := r.LabeledCounter("hits", Label{Name: "x", Value: "1"}, Label{Name: "y", Value: "2"})
+	b := r.LabeledCounter("hits", Label{Name: "y", Value: "2"}, Label{Name: "x", Value: "1"})
+	if a != b {
+		t.Fatal("label order minted two series")
+	}
+	a.Inc()
+	h := r.LabeledHistogram("lat_seconds", []float64{0.5}, Label{Name: "stage", Value: "ordered"})
+	h.Observe(0.1)
+	h.Observe(2)
+
+	out := r.Render()
+	for _, want := range []string{
+		"# TYPE score gauge\n" + `score{validator="0"} 5` + "\n" + `score{validator="1"} 9`,
+		`hits{x="1",y="2"} 1`,
+		`lat_seconds_bucket{stage="ordered",le="0.5"} 1`,
+		`lat_seconds_bucket{stage="ordered",le="+Inf"} 2`,
+		`lat_seconds_count{stage="ordered"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per base name, not per series.
+	if got := strings.Count(out, "# TYPE score"); got != 1 {
+		t.Fatalf("TYPE score emitted %d times:\n%s", got, out)
+	}
+	// An unlabeled and a labeled series of the same base name coexist.
+	r.Counter("hits").Add(7)
+	out = r.Render()
+	if !strings.Contains(out, "\nhits 7\n") {
+		t.Fatalf("unlabeled hits series missing:\n%s", out)
+	}
+	if got := strings.Count(out, "# TYPE hits"); got != 1 {
+		t.Fatalf("TYPE hits emitted %d times:\n%s", got, out)
+	}
+}
+
 func TestServeHTTP(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("x_total").Inc()

@@ -1,0 +1,78 @@
+package node
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	runtimemetrics "runtime/metrics"
+	"time"
+)
+
+// debugServer is the operator debug surface behind Config.DebugAddr:
+// net/http/pprof plus a runtime/metrics snapshot on /debug/runtime. It binds
+// its OWN listener — profiling endpoints must never ride the public RPC mux,
+// where they would hand any client heap dumps and multi-second CPU captures.
+type debugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+func newDebugServer(addr string) (*debugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", handleRuntimeMetrics)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &debugServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+func (d *debugServer) Addr() string { return d.ln.Addr().String() }
+
+func (d *debugServer) Close() error { return d.srv.Close() }
+
+// handleRuntimeMetrics dumps the Go runtime's metric registry as flat JSON:
+// numeric samples verbatim; histogram samples summarized to their total
+// count (full distributions belong in pprof captures, not a snapshot).
+func handleRuntimeMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	descs := runtimemetrics.All()
+	samples := make([]runtimemetrics.Sample, len(descs))
+	for i := range descs {
+		samples[i].Name = descs[i].Name
+	}
+	runtimemetrics.Read(samples)
+	out := make(map[string]any, len(samples))
+	for i := range samples {
+		s := &samples[i]
+		switch s.Value.Kind() {
+		case runtimemetrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case runtimemetrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		case runtimemetrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var total uint64
+			for _, c := range h.Counts {
+				total += c
+			}
+			out[s.Name] = map[string]uint64{"count": total}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}

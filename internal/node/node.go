@@ -8,7 +8,9 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +25,7 @@ import (
 	"hammerhead/internal/leader"
 	"hammerhead/internal/mempool"
 	"hammerhead/internal/metrics"
+	"hammerhead/internal/obs"
 	"hammerhead/internal/rpc"
 	"hammerhead/internal/storage"
 	"hammerhead/internal/transport"
@@ -95,6 +98,27 @@ type Config struct {
 	SnapshotDir string
 	// Metrics, when non-nil, receives node counters.
 	Metrics *metrics.Registry
+	// Trace enables commit-path transaction tracing: every accepted tx ID
+	// accrues one wall-clock timestamp per lifecycle stage (admitted →
+	// proposed → cert_formed → ordered → durable → streamed → applied),
+	// served on GET /v1/trace/{txid} and fed into the
+	// hammerhead_stage_latency_seconds histograms when Metrics is set.
+	// Recording is lock-sharded and allocation-lean (see internal/obs);
+	// replayed commits record nothing, so a recovered node never fabricates
+	// pre-crash timestamps.
+	Trace bool
+	// TraceSlots bounds the retained traces, FIFO-evicted
+	// (0 = obs.DefaultSlots). Ignored without Trace.
+	TraceSlots int
+	// DebugAddr, when non-empty, serves the debug surface — net/http/pprof
+	// plus a runtime/metrics snapshot on /debug/runtime — on its OWN
+	// listener, never on the public RPC mux. ":0" binds an ephemeral port;
+	// read it back via DebugAddr(). Off by default.
+	DebugAddr string
+	// Logger, when non-nil, receives structured component logs (slog). Nil
+	// keeps the node silent; library code never branches on it (a nop
+	// logger substitutes).
+	Logger *slog.Logger
 }
 
 // Node is a running validator.
@@ -112,6 +136,15 @@ type Node struct {
 	// commits fan out to it from the commit loop, it applies them on its own
 	// goroutine and owns checkpointing and snapshot install.
 	exec *execution.Executor
+	// tracer is the commit-path trace collector (nil without Config.Trace;
+	// the nil tracer is inert, so record sites need no branches).
+	tracer *obs.Tracer
+	// debug is the pprof + runtime/metrics listener (nil without
+	// Config.DebugAddr).
+	debug *debugServer
+	// logger is the structured component logger (never nil; a nop handler
+	// substitutes when Config.Logger is unset).
+	logger *slog.Logger
 
 	// Pre-verify stage: inbound signature-bearing messages are validated by
 	// preWorkers goroutines pulling from preq, off the engine loop, before
@@ -227,11 +260,25 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 	if cfg.MempoolSize == 0 {
 		cfg.MempoolSize = 1 << 20
 	}
-	pool := mempool.NewFair(mempool.FairConfig{
+	var tracer *obs.Tracer
+	if cfg.Trace {
+		tracer = obs.NewTracer(cfg.TraceSlots, cfg.Metrics)
+	}
+	fairCfg := mempool.FairConfig{
 		MaxSize: cfg.MempoolSize,
 		Shards:  cfg.MempoolShards,
 		Lanes:   cfg.MempoolLanes,
-	})
+	}
+	if tracer != nil {
+		// The admitted stage starts a trace; tx ID 0 means "gateway will
+		// assign one later" on some paths, so it never gets a trace entry.
+		fairCfg.OnAdmit = func(tx types.Transaction) {
+			if tx.ID != 0 {
+				tracer.Record(obs.StageAdmitted, tx.ID)
+			}
+		}
+	}
+	pool := mempool.NewFair(fairCfg)
 	d := dag.New(cfg.Committee)
 
 	var sched leader.Scheduler
@@ -251,6 +298,8 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		cfg:     cfg,
 		pool:    pool,
 		trans:   trans,
+		tracer:  tracer,
+		logger:  obs.WithValidator(obs.Component(cfg.Logger, "node"), uint64(cfg.Self)),
 		tasks:   make(chan func(), 4096),
 		done:    make(chan struct{}),
 		commitq: make(chan commitDelivery, 1024),
@@ -275,6 +324,17 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		DAG:        d,
 		Commits:    engine.CommitSinkFunc(n.sinkCommit),
 	}
+	if tracer != nil {
+		// Proposed / cert_formed fire only for this validator's OWN headers —
+		// which carry exactly the transactions its local mempool admitted, so
+		// the admitting node holds the full waterfall from one clock.
+		params.OnOwnHeader = func(h *engine.Header) {
+			recordBatchStage(tracer, obs.StageProposed, h.Batch)
+		}
+		params.OnOwnCert = func(c *engine.Certificate) {
+			recordBatchStage(tracer, obs.StageCertFormed, c.Header.Batch)
+		}
+	}
 	if cfg.Execution {
 		var store execution.SnapshotStore
 		if cfg.SnapshotDir != "" {
@@ -292,6 +352,11 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 			// carry scheduler state — restoring the KV state without the
 			// schedule would silently degrade it to a stale leader sequence.
 			RequireSchedulerState: cfg.HammerHead != nil,
+		}
+		if tracer != nil {
+			execCfg.OnApplied = func(sub bullshark.CommittedSubDAG) {
+				recordCommitStage(tracer, obs.StageApplied, &sub)
+			}
 		}
 		if cfg.CheckpointCerts {
 			if len(cfg.PublicKeys) != cfg.Committee.Size() {
@@ -413,6 +478,9 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 			Status:    n.statusSnapshot,
 			Metrics:   cfg.Metrics,
 		}
+		if n.tracer != nil {
+			gwCfg.Trace = n.traceResponse
+		}
 		if n.exec != nil {
 			gwCfg.ReadKV = n.exec.ReadKV
 			gwCfg.RootAt = n.exec.RootAt
@@ -431,7 +499,24 @@ func New(cfg Config, trans transport.Transport) (*Node, error) {
 		}
 		n.gw = gw
 	}
+	if cfg.DebugAddr != "" {
+		dbg, err := newDebugServer(cfg.DebugAddr)
+		if err != nil {
+			return nil, fmt.Errorf("node: binding debug listener: %w", err)
+		}
+		n.debug = dbg
+		n.logger.Info("debug surface listening", "addr", dbg.Addr())
+	}
 	return n, nil
+}
+
+// DebugAddr returns the debug listener's bound address ("" when
+// Config.DebugAddr is unset).
+func (n *Node) DebugAddr() string {
+	if n.debug == nil {
+		return ""
+	}
+	return n.debug.Addr()
 }
 
 // statusSnapshot assembles the node-level half of /v1/status from the
@@ -496,10 +581,11 @@ func (n *Node) publishSchedulerState(ms *core.ManagerState) {
 	n.epochMetric.Set(int64(ms.Epoch()))
 	n.epochStartMet.Set(int64(ms.EpochStartRound()))
 	n.excludedMetric.Set(int64(len(ms.Excluded())))
-	// The registry has no label support, so per-validator reputation scores
-	// encode the validator ID in the metric name.
+	// Per-validator reputation scores ride in a validator label on one
+	// metric family (the registry canonicalizes label order).
 	for id, score := range ms.Scores() {
-		n.cfg.Metrics.Gauge(fmt.Sprintf("hammerhead_reputation_score_validator_%d", id)).Set(score)
+		n.cfg.Metrics.LabeledGauge("hammerhead_reputation_score",
+			metrics.Label{Name: "validator", Value: strconv.FormatUint(uint64(id), 10)}).Set(score)
 	}
 }
 
@@ -568,9 +654,14 @@ func (n *Node) persistProposal(h *engine.Header) {
 // cases a single goroutine at a time, in commit order.
 func (n *Node) sinkCommit(sub bullshark.CommittedSubDAG) {
 	if n.replaying.Load() {
+		// WAL replay re-derives pre-crash commits; their trace entries died
+		// with the process and must not be fabricated from post-restart time.
 		n.deliverCommit(sub, true)
 		return
 	}
+	// Ordered creates the trace when absent: a peer that never saw the tx's
+	// admission still records the commit-side suffix of the waterfall.
+	recordCommitStageCreate(n.tracer, obs.StageOrdered, &sub)
 	d := commitDelivery{sub: sub}
 	if n.walq != nil {
 		n.walMu.Lock()
@@ -602,6 +693,9 @@ func (n *Node) commitLoop() {
 			}
 			n.walMu.Unlock()
 		}
+		if !d.replayed {
+			recordCommitStage(n.tracer, obs.StageDurable, &d.sub)
+		}
 		n.deliverCommit(d.sub, d.replayed)
 	}
 }
@@ -628,6 +722,9 @@ func (n *Node) deliverCommit(sub bullshark.CommittedSubDAG, replayed bool) {
 		// The gateway's commit ring feeds SSE subscribers; replayed commits
 		// are included so resume history survives a restart.
 		n.gw.ObserveCommit(sub)
+		if !replayed {
+			recordCommitStage(n.tracer, obs.StageStreamed, &sub)
+		}
 	}
 	if n.exec != nil {
 		// The executor dedupes by commit sequence, so replayed commits that
@@ -690,6 +787,7 @@ func (n *Node) walLoop() {
 			// Compaction failure is as tolerable as an append failure: the log
 			// keeps (at worst) redundant history, never loses needed records.
 			if err := n.wal.CompactTo(types.Round(floor)); err != nil {
+				n.logger.Warn("WAL compaction failed", "floor", floor, "err", err)
 				if n.compactFailsMet != nil {
 					n.compactFailsMet.Inc()
 				}
@@ -938,8 +1036,14 @@ func (n *Node) Start() error {
 	})
 	<-startup
 	if walErr != nil {
+		n.logger.Error("WAL recovery failed", "err", walErr)
 		return fmt.Errorf("node: recovering from WAL: %w", walErr)
 	}
+	n.logger.Info("node started",
+		"round", n.statusRound.Load(),
+		"wal", n.cfg.WALPath != "",
+		"execution", n.exec != nil,
+		"tracing", n.tracer != nil)
 	return nil
 }
 
@@ -984,6 +1088,9 @@ func (n *Node) Close() error {
 	n.closed = true
 	n.startMu.Unlock()
 
+	if n.debug != nil {
+		_ = n.debug.Close()
+	}
 	if n.gw != nil {
 		// Stop accepting client traffic before tearing the engine down.
 		_ = n.gw.Close()

@@ -144,7 +144,6 @@ func TestTrustlessReadTierEndToEnd(t *testing.T) {
 		Verifier:     verifier,
 		RPCAddr:      "127.0.0.1:0",
 		PollInterval: 50 * time.Millisecond,
-		Logf:         t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)

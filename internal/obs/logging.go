@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the shared structured logger the cmds hand to
+// node/replica/gateway: a text or JSON slog handler at the given level,
+// with every record carrying the component name. Validator-bearing
+// components add their ID via WithValidator. Level is one of
+// debug|info|warn|error (default info), format text|json (default text).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// ParseLevel maps a -log-level flag value onto a slog.Level.
+func ParseLevel(level string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(level)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+}
+
+// Component returns logger with the component attribute attached (nil in,
+// nop out — library code never branches on logging being configured).
+func Component(logger *slog.Logger, name string) *slog.Logger {
+	if logger == nil {
+		return NopLogger()
+	}
+	return logger.With("component", name)
+}
+
+// WithValidator attaches the validator ID attribute.
+func WithValidator(logger *slog.Logger, id uint64) *slog.Logger {
+	if logger == nil {
+		return NopLogger()
+	}
+	return logger.With("validator", id)
+}
+
+// NopLogger returns a logger that discards every record, so *slog.Logger
+// fields can be used unconditionally.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -29,11 +29,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"hammerhead/internal/checkpoint"
 	"hammerhead/internal/execution"
+	"hammerhead/internal/obs"
 	"hammerhead/internal/rpc"
 	"hammerhead/internal/types"
 	"hammerhead/pkg/client"
@@ -72,8 +74,9 @@ type Config struct {
 	// RingSize overrides the retained re-execution history
 	// (0 = DefaultRingSize).
 	RingSize int
-	// Logf, when non-nil, receives progress and divergence reports.
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured progress and divergence
+	// reports (slog, component=replica). Nil keeps the replica silent.
+	Logger *slog.Logger
 }
 
 // ringEntry is one re-executed commit the replica can still cross-check:
@@ -92,6 +95,9 @@ type Replica struct {
 	cfg Config
 	cli *client.Client
 	gw  *rpc.Gateway
+	// logger is never nil; a nop handler substitutes when Config.Logger is
+	// unset.
+	logger *slog.Logger
 
 	mu           sync.Mutex
 	kv           *execution.KVState
@@ -128,7 +134,12 @@ func New(cfg Config) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Replica{cfg: cfg, cli: cli, kv: execution.NewKVState()}
+	r := &Replica{
+		cfg:    cfg,
+		cli:    cli,
+		kv:     execution.NewKVState(),
+		logger: obs.Component(cfg.Logger, "replica"),
+	}
 	if cfg.RPCAddr != "" {
 		gw, err := rpc.New(rpc.Config{
 			Addr:           cfg.RPCAddr,
@@ -156,12 +167,6 @@ func (r *Replica) Addr() string {
 	return r.gw.Addr()
 }
 
-func (r *Replica) logf(format string, args ...any) {
-	if r.cfg.Logf != nil {
-		r.cfg.Logf(format, args...)
-	}
-}
-
 // Bootstrap fetches a certified snapshot from the validators — retrying
 // until one exists or ctx is done — verifies it and installs it. Must
 // complete before Start.
@@ -175,7 +180,7 @@ func (r *Replica) Bootstrap(ctx context.Context) error {
 			return nil
 		}
 		if !errors.Is(err, client.ErrNoSnapshot) && ctx.Err() == nil {
-			r.logf("replica: snapshot fetch: %v", err)
+			r.logger.Warn("snapshot fetch failed", "err", err)
 		}
 		select {
 		case <-time.After(bootstrapBackoff):
@@ -238,7 +243,7 @@ func (r *Replica) BootstrapFromBlob(blob []byte) error {
 		stateDigest: snap.StateDigest,
 		frozen:      frozen,
 	})
-	r.logf("replica: bootstrapped from certified snapshot at seq %d (round %d)", snap.CommitSeq, snap.Round)
+	r.logger.Info("bootstrapped from certified snapshot", "seq", snap.CommitSeq, "round", snap.Round)
 	return nil
 }
 
@@ -393,7 +398,7 @@ func (r *Replica) CrossCheck(cert *checkpoint.Certificate) error {
 			seq, entry.chainedRoot, entry.stateDigest, cert.Meta.StateRoot, cert.Meta.StateDigest)
 		r.certified = nil
 		r.certifiedKV = nil
-		r.logf("%v", r.poisoned)
+		r.logger.Error("divergence detected; replica poisoned", "err", r.poisoned)
 		return r.poisoned
 	}
 	r.certified = cert
@@ -472,9 +477,9 @@ func (r *Replica) tailLoop(ctx context.Context) {
 			return
 		}
 		if errors.Is(err, errResync) {
-			r.logf("replica: %v", err)
+			r.logger.Warn("resync required", "err", err)
 			if berr := r.Bootstrap(ctx); berr != nil && ctx.Err() == nil {
-				r.logf("replica: re-bootstrap failed: %v", berr)
+				r.logger.Error("re-bootstrap failed", "err", berr)
 			}
 			continue
 		}
@@ -506,11 +511,11 @@ func (r *Replica) pollLoop(ctx context.Context) {
 		}
 		cert, err := rpcapi.CertFromWire(wire)
 		if err != nil {
-			r.logf("replica: malformed certificate: %v", err)
+			r.logger.Warn("malformed certificate", "err", err)
 			continue
 		}
 		if err := r.cfg.Verifier.VerifyCert(cert); err != nil {
-			r.logf("replica: certificate rejected: %v", err)
+			r.logger.Warn("certificate rejected", "err", err)
 			continue
 		}
 		if err := r.CrossCheck(cert); err != nil {

@@ -18,6 +18,9 @@
 //	                     Last-Event-ID)
 //	GET  /v1/status    — round, frontier, rejoining, snapshot floor, mempool
 //	                     lane depths
+//	GET  /v1/trace/{txid} — a transaction's commit-path waterfall (admitted →
+//	                     proposed → cert_formed → ordered → durable →
+//	                     streamed → applied), from the node's tracer
 //	GET  /metrics      — Prometheus text exposition (when a registry is
 //	                     attached)
 //
@@ -60,4 +63,8 @@ type (
 	CommitEvent = rpcapi.CommitEvent
 	// GapEvent announces that a resume point aged out of retained history.
 	GapEvent = rpcapi.GapEvent
+	// TraceResponse is the GET /v1/trace/{txid} body.
+	TraceResponse = rpcapi.TraceResponse
+	// TraceStage is one recorded lifecycle stage in a TraceResponse.
+	TraceStage = rpcapi.TraceStage
 )

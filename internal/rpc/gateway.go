@@ -77,6 +77,10 @@ type Config struct {
 	// frontier, execution cursor); the gateway fills in commit and mempool
 	// counters. Nil leaves those fields zero.
 	Status func() StatusResponse
+	// Trace serves GET /v1/trace/{txid}: the transaction's commit-path
+	// waterfall from the node's lifecycle tracer. nil (tracing disabled)
+	// answers 501; ok=false (unknown or evicted tx) 404.
+	Trace func(txID uint64) (TraceResponse, bool)
 	// Metrics, when non-nil, receives gateway counters
 	// (hammerhead_rpc_requests_total, hammerhead_rpc_submit_latency_seconds,
 	// hammerhead_mempool_lane_depth) and is mounted at /metrics.
@@ -152,6 +156,7 @@ func New(cfg Config) (*Gateway, error) {
 	mux.HandleFunc("/v1/status", g.counted(g.handleStatus))
 	mux.HandleFunc("/v1/checkpoint", g.counted(g.handleCheckpoint))
 	mux.HandleFunc("/v1/snapshot", g.counted(g.handleSnapshot))
+	mux.HandleFunc("/v1/trace/", g.counted(g.handleTrace))
 	if cfg.Metrics != nil {
 		mux.Handle("/metrics", cfg.Metrics)
 	}
@@ -463,6 +468,31 @@ func (g *Gateway) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(blob)
+}
+
+// handleTrace answers GET /v1/trace/{txid}: the per-stage commit-path
+// waterfall the node's lifecycle tracer recorded for one transaction.
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, SubmitError{Error: "GET only"})
+		return
+	}
+	if g.cfg.Trace == nil {
+		writeJSON(w, http.StatusNotImplemented, SubmitError{Error: "tracing disabled on this node"})
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	txID, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil || txID == 0 {
+		writeJSON(w, http.StatusBadRequest, SubmitError{Error: "bad tx id: " + raw})
+		return
+	}
+	resp, ok := g.cfg.Trace(txID)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, SubmitError{Error: "no trace retained for this tx"})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -256,6 +256,28 @@ func (c *Client) StatusAt(ctx context.Context, endpoint int) (rpcapi.StatusRespo
 	return out, err
 }
 
+// Trace fetches a transaction's commit-path waterfall (GET
+// /v1/trace/{txid}), failing over across endpoints. Every validator that
+// committed the transaction holds at least the commit-side stages; the one
+// that admitted it holds the full waterfall — use TraceAt to interrogate a
+// specific node when completeness matters.
+func (c *Client) Trace(ctx context.Context, txID uint64) (rpcapi.TraceResponse, error) {
+	var out rpcapi.TraceResponse
+	err := c.do(ctx, func(base string) error {
+		return c.getJSON(ctx, base, "/v1/trace/"+strconv.FormatUint(txID, 10), &out, http.StatusOK)
+	})
+	return out, err
+}
+
+// TraceAt fetches one specific endpoint's trace for a transaction. A 404
+// (trace evicted or never seen there) returns an error.
+func (c *Client) TraceAt(ctx context.Context, endpoint int, txID uint64) (rpcapi.TraceResponse, error) {
+	var out rpcapi.TraceResponse
+	err := c.getJSON(ctx, c.bases[endpoint%len(c.bases)],
+		"/v1/trace/"+strconv.FormatUint(txID, 10), &out, http.StatusOK)
+	return out, err
+}
+
 // Checkpoint fetches the newest quorum checkpoint certificate a gateway
 // holds (failing over across endpoints). The wire form is returned as-is;
 // use rpcapi.CertFromWire + Verifier to vet it.

@@ -31,6 +31,10 @@
 //	                     bootstrap)
 //	GET  /v1/status    — round, frontier, rejoining, snapshot floor, mempool
 //	                     lane depths; replica:true on the read tier
+//	GET  /v1/trace/{txid} — a transaction's commit-path waterfall: one
+//	                     wall-clock timestamp per lifecycle stage (admitted,
+//	                     proposed, cert_formed, ordered, durable, streamed,
+//	                     applied), recorded by the serving node's tracer
 //	GET  /metrics      — Prometheus text exposition (when a registry is
 //	                     attached)
 //
@@ -229,4 +233,27 @@ type CommitEvent struct {
 type GapEvent struct {
 	// Oldest is the first sequence still retained; streaming resumes there.
 	Oldest uint64 `json:"oldest"`
+}
+
+// TraceStage is one recorded lifecycle stage in a GET /v1/trace/{txid}
+// waterfall. Stages arrive in causal order; TimeNanos is the serving
+// node's wall clock (UnixNano) when that stage fired.
+type TraceStage struct {
+	Stage     string `json:"stage"`
+	TimeNanos int64  `json:"time_unix_nanos"`
+}
+
+// TraceResponse is the GET /v1/trace/{txid} body. Stages lists only the
+// stages this node recorded: the validator that admitted the transaction
+// holds the full waterfall (admitted → … → streamed/applied, all from its
+// own clock); its peers hold the commit-side suffix (ordered onward).
+// Replayed commits after a restart record nothing — a recovered node never
+// fabricates pre-crash timestamps.
+type TraceResponse struct {
+	TxID   uint64       `json:"tx_id"`
+	Stages []TraceStage `json:"stages"`
+	// Complete is true when every stage through the end of this node's
+	// commit path (streamed, plus applied when execution is enabled) was
+	// recorded with monotonically non-decreasing timestamps.
+	Complete bool `json:"complete"`
 }

@@ -25,26 +25,32 @@ type expectation struct {
 // every diagnostic must be wanted, every want must be hit.
 func TestFixtures(t *testing.T) {
 	cases := []struct {
-		name     string // fixture package directory
-		analyzer string
+		name      string   // fixture package directory
+		analyzers []string // analyzers whose union of diagnostics must match the wants
 	}{
-		{"determ", "determinism"},
-		{"determcross", "determinism"}, // sinks in determdep, roots here: facts propagation
-		{"wirecodec", "determinism"},   // append-style binary encoders (the internal/wire idiom)
-		{"guarded", "guardedby"},
-		{"atomicmix", "atomicptr"},
-		{"sendblk", "sendblock"},
+		{"determ", []string{"determinism"}},
+		{"determcross", []string{"determinism"}}, // sinks in determdep, roots here: facts propagation
+		{"wirecodec", []string{"determinism"}},   // append-style binary encoders (the internal/wire idiom)
+		{"guarded", []string{"guardedby"}},
+		{"atomicmix", []string{"atomicptr"}},
+		{"sendblk", []string{"sendblock"}},
+		// The trace-collector contract needs both halves at once: the record
+		// path is nonblocking AND determinism-tainted by its internal clock
+		// read.
+		{"obs", []string{"determinism", "sendblock"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var enabled []*Analyzer
 			for _, a := range allAnalyzers() {
-				if a.Name == tc.analyzer {
-					enabled = append(enabled, a)
+				for _, name := range tc.analyzers {
+					if a.Name == name {
+						enabled = append(enabled, a)
+					}
 				}
 			}
-			if len(enabled) == 0 {
-				t.Fatalf("no analyzer named %q", tc.analyzer)
+			if len(enabled) != len(tc.analyzers) {
+				t.Fatalf("resolved %d of %d analyzers %v", len(enabled), len(tc.analyzers), tc.analyzers)
 			}
 			results, err := loadAndAnalyze(enabled, []string{"./" + tc.name}, filepath.Join("testdata", "src"))
 			if err != nil {

@@ -1,0 +1,78 @@
+// Package obs mirrors the internal/obs trace-collector contract, pinning
+// both halves of its enforcement story:
+//
+//   - The record path is //hammerlint:nonblocking — it is called from the
+//     mempool admit path, the engine goroutine and the commit loop, so it
+//     may take a shard lock but must never park on a channel.
+//   - record stamps the wall clock internally, so the collector is
+//     determinism-tainted by construction: any //hammerlint:deterministic
+//     root that reaches it is flagged without a dedicated analyzer rule.
+//     Tracing can observe replayable code but never run inside it.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+type tracer struct {
+	mu      sync.Mutex
+	times   map[uint64]int64
+	spill   chan uint64
+	evicted chan uint64
+}
+
+// record is the collector hot path: wall-clock stamp under a short lock.
+// The time.Now call is what taints every deterministic caller below.
+//
+//hammerlint:nonblocking
+func (t *tracer) record(id uint64) {
+	now := time.Now().UnixNano() // want `calls time.Now`
+	t.mu.Lock()
+	t.times[id] = now
+	t.mu.Unlock()
+}
+
+// recordSpillBad ships evictions over a bare channel send: a full consumer
+// would park the consensus goroutine on a trace buffer.
+//
+//hammerlint:nonblocking
+func (t *tracer) recordSpillBad(id uint64) {
+	t.evicted <- id // want `bare blocking channel send`
+}
+
+// recordSpillGood sheds the sample when the buffer is full — tracing must
+// never backpressure the paths it observes.
+//
+//hammerlint:nonblocking
+func (t *tracer) recordSpillGood(id uint64) bool {
+	select {
+	case t.spill <- id:
+		return true
+	default:
+		return false
+	}
+}
+
+// replayCommit mimics a WAL replay root reaching into the collector: the
+// taint flows from record's clock read, reported at the sink above.
+//
+//hammerlint:deterministic
+func replayCommit(t *tracer, txs []uint64) {
+	for _, id := range txs {
+		t.record(id)
+	}
+}
+
+// orderCommits is the shape replayable code must keep: derive everything
+// from inputs, hand the IDs back, and let a non-deterministic caller do the
+// recording.
+//
+//hammerlint:deterministic
+func orderCommits(txs []uint64) []uint64 {
+	out := make([]uint64, 0, len(txs))
+	for _, id := range txs {
+		out = append(out, id*2)
+	}
+	return out
+}
